@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks of the building blocks: dependency-vector algebra, the wire
+//! codec, and version-chain operations. These quantify the per-operation metadata cost the
+//! paper argues is small (linear in the number of data centers).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pocc_proto::codec;
+use pocc_proto::ClientRequest;
+use pocc_storage::VersionChain;
+use pocc_types::{DependencyVector, Key, ReplicaId, Timestamp, Value, Version, VersionVector};
+
+fn bench_vectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependency_vector");
+    for &m in &[3usize, 8, 16] {
+        let a = DependencyVector::from_entries((0..m as u64).map(Timestamp).collect());
+        let b = DependencyVector::from_entries((0..m as u64).rev().map(Timestamp).collect());
+        group.bench_with_input(BenchmarkId::new("join", m), &m, |bench, _| {
+            bench.iter(|| black_box(a.joined(&b)))
+        });
+        let vv = VersionVector::from_entries((0..m as u64).map(Timestamp).collect());
+        group.bench_with_input(BenchmarkId::new("covers", m), &m, |bench, _| {
+            bench.iter(|| black_box(vv.covers_dependencies_except_local(&a, ReplicaId(0))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let get = ClientRequest::Get {
+        key: Key(42),
+        rdv: DependencyVector::from_entries(vec![Timestamp(1), Timestamp(2), Timestamp(3)]),
+    };
+    let put = ClientRequest::Put {
+        key: Key(42),
+        value: Value::from(7u64),
+        dv: DependencyVector::from_entries(vec![Timestamp(1), Timestamp(2), Timestamp(3)]),
+    };
+    group.bench_function("encode_get", |b| b.iter(|| black_box(codec::encode_request(&get))));
+    group.bench_function("encode_put", |b| b.iter(|| black_box(codec::encode_request(&put))));
+    let encoded = codec::encode_request(&put);
+    group.bench_function("decode_put", |b| {
+        b.iter(|| black_box(codec::decode_request(encoded.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_version_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("version_chain");
+    let deps = |ts: u64| DependencyVector::from_entries(vec![Timestamp(ts), Timestamp(0), Timestamp(0)]);
+    let mk = |ts: u64| {
+        Version::new(
+            Key(1),
+            Value::from(ts),
+            ReplicaId((ts % 3) as u16),
+            Timestamp(ts),
+            deps(ts.saturating_sub(1)),
+        )
+    };
+    for &len in &[4usize, 32, 128] {
+        let mut chain = VersionChain::new();
+        for i in 0..len as u64 {
+            chain.insert(mk(i + 1));
+        }
+        group.bench_with_input(BenchmarkId::new("latest", len), &len, |b, _| {
+            b.iter(|| black_box(chain.latest().cloned()))
+        });
+        // A snapshot in the middle of the chain forces a traversal (the Cure*-style cost).
+        let tv = DependencyVector::from_entries(vec![
+            Timestamp(len as u64 / 2),
+            Timestamp(len as u64 / 2),
+            Timestamp(len as u64 / 2),
+        ]);
+        group.bench_with_input(BenchmarkId::new("latest_in_snapshot", len), &len, |b, _| {
+            b.iter(|| black_box(chain.latest_in_snapshot(&tv)))
+        });
+        group.bench_with_input(BenchmarkId::new("insert", len), &len, |b, _| {
+            b.iter_batched(
+                || chain.clone(),
+                |mut chain| chain.insert(mk(len as u64 + 2)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vectors, bench_codec, bench_version_chain);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion benchmarks of the protocol hot paths: serving a GET and a PUT on a POCC and
+//! a Cure\* server. This is the per-operation CPU cost difference ("resource efficiency")
+//! that underlies the throughput comparisons of the paper's evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pocc_clock::ManualClock;
+use pocc_cure::CureServer;
+use pocc_proto::{ClientRequest, ProtocolServer};
+use pocc_protocol::PoccServer;
+use pocc_storage::partition_for_key;
+use pocc_types::{
+    ClientId, Config, DependencyVector, Key, ServerId, Timestamp, Value,
+};
+
+fn key_for_partition_zero(num_partitions: usize) -> Key {
+    (0u64..)
+        .map(Key)
+        .find(|k| partition_for_key(*k, num_partitions).index() == 0)
+        .unwrap()
+}
+
+fn config() -> Config {
+    Config::builder()
+        .num_replicas(3)
+        .num_partitions(1)
+        .build()
+        .unwrap()
+}
+
+fn bench_pocc_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pocc_server");
+    let cfg = config();
+    let key = key_for_partition_zero(1);
+    let clock = ManualClock::new(Timestamp::from_millis(10));
+    let mut server = PoccServer::new(ServerId::new(0u16, 0u32), cfg.clone(), clock.clone());
+    // Seed one version so GETs return data.
+    server.handle_client_request(
+        ClientId(0),
+        ClientRequest::Put {
+            key,
+            value: Value::from(1u64),
+            dv: DependencyVector::zero(3),
+        },
+    );
+
+    group.bench_function("get", |b| {
+        b.iter(|| {
+            black_box(server.handle_client_request(
+                ClientId(1),
+                ClientRequest::Get {
+                    key,
+                    rdv: DependencyVector::zero(3),
+                },
+            ))
+        })
+    });
+    let mut t = 10_000u64;
+    group.bench_function("put", |b| {
+        b.iter(|| {
+            t += 1;
+            clock.set(Timestamp::from_millis(t));
+            black_box(server.handle_client_request(
+                ClientId(1),
+                ClientRequest::Put {
+                    key,
+                    value: Value::from(t),
+                    dv: DependencyVector::zero(3),
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cure_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cure_server");
+    let cfg = config();
+    let key = key_for_partition_zero(1);
+    let clock = ManualClock::new(Timestamp::from_millis(10));
+    let mut server = CureServer::new(ServerId::new(0u16, 0u32), cfg.clone(), clock.clone());
+    server.handle_client_request(
+        ClientId(0),
+        ClientRequest::Put {
+            key,
+            value: Value::from(1u64),
+            dv: DependencyVector::zero(3),
+        },
+    );
+
+    group.bench_function("get", |b| {
+        b.iter(|| {
+            black_box(server.handle_client_request(
+                ClientId(1),
+                ClientRequest::Get {
+                    key,
+                    rdv: DependencyVector::zero(3),
+                },
+            ))
+        })
+    });
+    let mut t = 10_000u64;
+    group.bench_function("put", |b| {
+        b.iter(|| {
+            t += 1;
+            clock.set(Timestamp::from_millis(t));
+            black_box(server.handle_client_request(
+                ClientId(1),
+                ClientRequest::Put {
+                    key,
+                    value: Value::from(t),
+                    dv: DependencyVector::zero(3),
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pocc_ops, bench_cure_ops);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Ablation (not in the paper): sensitivity of both systems to their protocol timers and
+//! to clock skew.
+//!
+//! * Cure\*'s stabilization interval trades CPU/messages against data staleness
+//!   (the paper mentions this trade-off when discussing Figure 2b).
+//! * POCC's heartbeat interval `∆` bounds how long a blocked operation waits when the
+//!   missing dependency's partition is idle.
+//! * Clock skew inflates POCC's PUT clock-wait and its spurious blocking.
+
+use pocc_bench as bench;
+use pocc_bench::Scale;
+use pocc_sim::ProtocolKind;
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale::from_env();
+    let p = scale.max_partitions();
+    let clients = 64;
+
+    bench::header(
+        "Ablation A1.1",
+        "Cure*: stabilization interval vs staleness",
+        scale,
+    );
+    bench::row(&[
+        "stab (ms)".into(),
+        "tput (ops/s)".into(),
+        "% old GETs".into(),
+        "stab msgs".into(),
+    ]);
+    for stab_ms in [1u64, 5, 20, 50] {
+        let mut deployment = bench::deployment(scale, p);
+        deployment.stabilization_interval = Duration::from_millis(stab_ms);
+        let report = bench::run(
+            bench::point(scale, ProtocolKind::Cure)
+                .deployment(deployment)
+                .clients_per_partition(clients)
+                .mix(bench::get_put(p)),
+        );
+        bench::row(&[
+            stab_ms.to_string(),
+            bench::fmt_tput(report.throughput_ops_per_sec),
+            bench::fmt_pct(report.old_get_fraction()),
+            report.server_metrics.stabilization_messages.to_string(),
+        ]);
+    }
+
+    println!();
+    bench::header(
+        "Ablation A1.2",
+        "POCC: heartbeat interval vs blocking",
+        scale,
+    );
+    bench::row(&[
+        "heartbeat (ms)".into(),
+        "tput (ops/s)".into(),
+        "block prob".into(),
+        "block time ms".into(),
+    ]);
+    for hb_us in [500u64, 1_000, 5_000, 10_000] {
+        let mut deployment = bench::deployment(scale, p);
+        deployment.heartbeat_interval = Duration::from_micros(hb_us);
+        let report = bench::run(
+            bench::point(scale, ProtocolKind::Pocc)
+                .deployment(deployment)
+                .clients_per_partition(clients)
+                .mix(bench::get_put(p)),
+        );
+        bench::row(&[
+            format!("{:.1}", hb_us as f64 / 1_000.0),
+            bench::fmt_tput(report.throughput_ops_per_sec),
+            bench::fmt_prob(report.blocking_probability()),
+            bench::fmt_ms(report.avg_block_time()),
+        ]);
+    }
+
+    println!();
+    bench::header("Ablation A1.3", "POCC: clock skew vs blocking", scale);
+    bench::row(&[
+        "skew (ms)".into(),
+        "tput (ops/s)".into(),
+        "block prob".into(),
+        "clock wait ms".into(),
+    ]);
+    for skew_us in [0u64, 500, 2_000, 5_000] {
+        let mut deployment = bench::deployment(scale, p);
+        deployment.max_clock_skew = Duration::from_micros(skew_us);
+        let report = bench::run(
+            bench::point(scale, ProtocolKind::Pocc)
+                .deployment(deployment)
+                .clients_per_partition(clients)
+                .mix(bench::get_put(p)),
+        );
+        bench::row(&[
+            format!("{:.1}", skew_us as f64 / 1_000.0),
+            bench::fmt_tput(report.throughput_ops_per_sec),
+            bench::fmt_prob(report.blocking_probability()),
+            format!(
+                "{:.3}",
+                report.server_metrics.clock_wait_time.as_secs_f64() * 1e3
+            ),
+        ]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 1a — Throughput while varying the number of partitions.
+//!
+//! Workload: GET:PUT = p:1 (p = number of partitions), zipf 0.99, 25 ms think time,
+//! high client count so the servers operate near their maximum throughput.
+//! Series: maximum achievable throughput for Cure\* and POCC.
+
+use pocc_bench as bench;
+use pocc_bench::Scale;
+use pocc_sim::ProtocolKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    bench::header(
+        "Figure 1a",
+        "throughput vs number of partitions (GET:PUT = p:1)",
+        scale,
+    );
+    let partitions: Vec<usize> = match scale {
+        Scale::Quick => vec![2, 4, 8],
+        Scale::Full => vec![2, 4, 8, 16, 24, 32],
+    };
+    let clients = match scale {
+        Scale::Quick => 256,
+        Scale::Full => 192,
+    };
+
+    bench::row(&[
+        "partitions".into(),
+        "Cure* (ops/s)".into(),
+        "POCC (ops/s)".into(),
+        "POCC/Cure*".into(),
+    ]);
+    for &p in &partitions {
+        let mut tput = Vec::new();
+        for protocol in [ProtocolKind::Cure, ProtocolKind::Pocc] {
+            let report = bench::run(
+                bench::point(scale, protocol)
+                    .deployment(bench::deployment(scale, p))
+                    .clients_per_partition(clients)
+                    .mix(bench::get_put(p)),
+            );
+            tput.push(report.throughput_ops_per_sec);
+        }
+        bench::row(&[
+            p.to_string(),
+            bench::fmt_tput(tput[0]),
+            bench::fmt_tput(tput[1]),
+            bench::fmt_f(tput[1] / tput[0].max(1.0)),
+        ]);
+    }
+    println!("\nExpected shape: both systems scale with the number of partitions and the two");
+    println!("curves nearly overlap (the paper reports 'basically the same throughput').");
+}

@@ -1,0 +1,39 @@
+//! Figure 2a — Blocking behaviour of POCC (probability and average blocking time) as the
+//! load increases (GET:PUT = p:1 workload).
+
+use pocc_bench as bench;
+use pocc_bench::Scale;
+use pocc_sim::ProtocolKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    bench::header("Figure 2a", "blocking probability and blocking time in POCC", scale);
+    let p = scale.max_partitions();
+    let client_sweep: Vec<usize> = match scale {
+        Scale::Quick => vec![32, 64, 128, 192, 256, 320],
+        Scale::Full => vec![32, 64, 128, 192, 256, 320, 384],
+    };
+
+    bench::row(&[
+        "clients/part".into(),
+        "tput (ops/s)".into(),
+        "block prob".into(),
+        "block time ms".into(),
+    ]);
+    for &clients in &client_sweep {
+        let report = bench::run(
+            bench::point(scale, ProtocolKind::Pocc)
+                .clients_per_partition(clients)
+                .mix(bench::get_put(p)),
+        );
+        bench::row(&[
+            clients.to_string(),
+            bench::fmt_tput(report.throughput_ops_per_sec),
+            bench::fmt_prob(report.blocking_probability()),
+            bench::fmt_ms(report.avg_block_time()),
+        ]);
+    }
+    println!("\nExpected shape: the blocking probability is negligible (<1e-3) below saturation");
+    println!("and only becomes noticeable as the system approaches its maximum throughput;");
+    println!("blocking times stay in the sub-millisecond range until saturation.");
+}

@@ -1,0 +1,211 @@
+//! Shared harness code for the figure-reproduction binaries.
+//!
+//! Every figure of the paper's evaluation (§V) has a binary in `src/bin/` that sweeps the
+//! same parameter the paper sweeps and prints the same series as an ASCII table. The
+//! binaries share the sweep/printing machinery defined here.
+//!
+//! Two scales are supported, selected by the `POCC_BENCH_SCALE` environment variable:
+//!
+//! * `quick` (default) — a scaled-down deployment (8 partitions, shorter runs) that
+//!   finishes in a couple of minutes on a laptop and reproduces the *shape* of every
+//!   figure;
+//! * `full` — the paper's deployment size (32 partitions per DC, 1 M keys per partition,
+//!   longer measurement windows). Expect long run times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pocc_sim::{ProtocolKind, SimConfig, SimConfigBuilder, SimReport};
+use pocc_workload::WorkloadMix;
+use std::time::Duration;
+
+/// The sweep scale, selected by the `POCC_BENCH_SCALE` environment variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Scaled-down deployment; minutes of wall-clock time for the whole figure set.
+    Quick,
+    /// The paper's deployment dimensions; hours of wall-clock time.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (`POCC_BENCH_SCALE=quick|full`).
+    pub fn from_env() -> Scale {
+        match std::env::var("POCC_BENCH_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Number of partitions per data center at this scale (the paper uses 32).
+    pub fn max_partitions(self) -> usize {
+        match self {
+            Scale::Quick => 8,
+            Scale::Full => 32,
+        }
+    }
+
+    /// Keys per partition at this scale (the paper uses one million).
+    pub fn keys_per_partition(self) -> u64 {
+        match self {
+            Scale::Quick => 10_000,
+            Scale::Full => 1_000_000,
+        }
+    }
+
+    /// Measured window per point.
+    pub fn duration(self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_secs(1),
+            Scale::Full => Duration::from_secs(10),
+        }
+    }
+
+    /// Warm-up per point.
+    pub fn warmup(self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_millis(300),
+            Scale::Full => Duration::from_secs(2),
+        }
+    }
+}
+
+/// The deployment used by the figure harnesses at the given scale and partition count:
+/// 3 data centers with AWS-like latencies, the paper's protocol timers, and a per-request
+/// CPU service time chosen so that the scaled-down deployment saturates within the client
+/// counts the sweeps use (the full scale uses a faster per-op cost, matching the larger
+/// fleet).
+pub fn deployment(scale: Scale, partitions: usize) -> pocc_types::Config {
+    pocc_types::Config::builder()
+        .num_replicas(3)
+        .num_partitions(partitions)
+        .op_service_time(match scale {
+            Scale::Quick => Duration::from_micros(100),
+            Scale::Full => Duration::from_micros(40),
+        })
+        .build()
+        .expect("benchmark deployment is valid")
+}
+
+/// One point of a sweep: a fully-specified simulation configuration.
+pub fn point(scale: Scale, protocol: ProtocolKind) -> SimConfigBuilder {
+    SimConfig::builder()
+        .protocol(protocol)
+        .deployment(deployment(scale, scale.max_partitions()))
+        .keys_per_partition(scale.keys_per_partition())
+        .zipf_theta(0.99)
+        .think_time(Duration::from_millis(25))
+        .warmup(scale.warmup())
+        .duration(scale.duration())
+        .drain(Duration::from_millis(200))
+        .seed(42)
+}
+
+/// Runs one configured point and returns the report.
+pub fn run(builder: SimConfigBuilder) -> SimReport {
+    pocc_sim::Simulation::new(builder.build()).run()
+}
+
+/// Convenience: the GET:PUT mix of §V-B with `n` GETs per PUT.
+pub fn get_put(n: usize) -> WorkloadMix {
+    WorkloadMix::GetPut { gets_per_put: n }
+}
+
+/// Convenience: the transactional mix of §V-C with `p` partitions per RO-TX.
+pub fn tx_put(p: usize) -> WorkloadMix {
+    WorkloadMix::TxPut {
+        partitions_per_tx: p,
+    }
+}
+
+/// Prints a figure header.
+pub fn header(figure: &str, caption: &str, scale: Scale) {
+    println!("=== {figure} — {caption}");
+    println!(
+        "    (scale: {scale:?}; set POCC_BENCH_SCALE=full for the paper's deployment size)\n"
+    );
+}
+
+/// Prints one table row of `columns` width-14 cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>16}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn fmt_f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats an ops/sec throughput.
+pub fn fmt_tput(v: f64) -> String {
+    format!("{:.0}", v)
+}
+
+/// Formats a duration in milliseconds with decimals.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a probability in scientific notation.
+pub fn fmt_prob(p: f64) -> String {
+    if p == 0.0 {
+        "0".into()
+    } else {
+        format!("{p:.2e}")
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{:.2}%", p * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_quick() {
+        // The environment variable is not set in the test environment.
+        assert_eq!(Scale::from_env(), Scale::Quick);
+        assert_eq!(Scale::Quick.max_partitions(), 8);
+        assert_eq!(Scale::Full.max_partitions(), 32);
+        assert!(Scale::Full.keys_per_partition() > Scale::Quick.keys_per_partition());
+    }
+
+    #[test]
+    fn formatting_helpers_are_stable() {
+        assert_eq!(fmt_tput(1234.56), "1235");
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.500");
+        assert_eq!(fmt_prob(0.0), "0");
+        assert_eq!(fmt_pct(0.1234), "12.34%");
+        assert_eq!(fmt_f(1.23456), "1.235");
+        assert!(fmt_prob(0.01).contains('e'));
+    }
+
+    #[test]
+    fn point_builder_produces_paper_like_defaults() {
+        let cfg = point(Scale::Quick, ProtocolKind::Pocc)
+            .clients_per_partition(2)
+            .mix(get_put(4))
+            .build();
+        assert_eq!(cfg.deployment.num_replicas, 3);
+        assert_eq!(cfg.deployment.num_partitions, 8);
+        assert_eq!(cfg.think_time, Duration::from_millis(25));
+        assert_eq!(cfg.zipf_theta, 0.99);
+    }
+
+    #[test]
+    fn quick_point_runs_end_to_end() {
+        let report = run(point(Scale::Quick, ProtocolKind::Pocc)
+            .partitions(2)
+            .clients_per_partition(1)
+            .keys_per_partition(100)
+            .warmup(Duration::from_millis(50))
+            .duration(Duration::from_millis(200))
+            .drain(Duration::from_millis(100))
+            .mix(get_put(4)));
+        assert!(report.operations_completed > 0);
+    }
+}

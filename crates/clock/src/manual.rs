@@ -1,0 +1,87 @@
+//! A manually driven clock for tests and the discrete-event simulator.
+
+use crate::Clock;
+use parking_lot::Mutex;
+use pocc_types::Timestamp;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A clock whose time only moves when explicitly told to.
+///
+/// The discrete-event simulator owns one `ManualClock` per simulated server and sets it to
+/// the (skew-adjusted) simulation time before invoking the protocol state machine, so that
+/// the protocol code sees exactly the same `Clock` interface it sees in production.
+///
+/// Clones share the same underlying time.
+#[derive(Clone, Debug)]
+pub struct ManualClock {
+    now: Arc<Mutex<Timestamp>>,
+}
+
+impl ManualClock {
+    /// Creates a clock stopped at `start`.
+    pub fn new(start: Timestamp) -> Self {
+        ManualClock {
+            now: Arc::new(Mutex::new(start)),
+        }
+    }
+
+    /// Creates a clock stopped at time zero.
+    pub fn at_zero() -> Self {
+        ManualClock::new(Timestamp::ZERO)
+    }
+
+    /// Sets the current time. Setting the clock backwards is allowed (the simulator uses
+    /// this to model skew), but [`crate::MonotonicClock`] should be layered on top when the
+    /// consumer requires monotonicity.
+    pub fn set(&self, now: Timestamp) {
+        *self.now.lock() = now;
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        let mut t = self.now.lock();
+        *t = *t + delta;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Timestamp {
+        *self.now.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_the_given_time() {
+        assert_eq!(ManualClock::new(Timestamp(7)).now(), Timestamp(7));
+        assert_eq!(ManualClock::at_zero().now(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn set_and_advance_move_time() {
+        let c = ManualClock::at_zero();
+        c.set(Timestamp(100));
+        assert_eq!(c.now(), Timestamp(100));
+        c.advance(Duration::from_micros(50));
+        assert_eq!(c.now(), Timestamp(150));
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = ManualClock::at_zero();
+        let b = a.clone();
+        a.set(Timestamp(42));
+        assert_eq!(b.now(), Timestamp(42));
+    }
+
+    #[test]
+    fn can_move_backwards() {
+        let c = ManualClock::new(Timestamp(100));
+        c.set(Timestamp(10));
+        assert_eq!(c.now(), Timestamp(10));
+    }
+}

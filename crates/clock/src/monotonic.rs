@@ -1,0 +1,115 @@
+//! A clock decorator that enforces strictly increasing readings.
+
+use crate::Clock;
+use parking_lot::Mutex;
+use pocc_types::Timestamp;
+use std::sync::Arc;
+
+/// Wraps another clock and guarantees that successive readings are strictly increasing.
+///
+/// POCC servers use their clock both to timestamp updates and to advance their version
+/// vector (Algorithm 2 lines 7–8). Two updates created by the same server must never carry
+/// the same timestamp, or the last-writer-wins rule would have to break a tie between two
+/// versions from the same replica. `MonotonicClock` returns `max(inner.now(), last + 1)`,
+/// which is exactly the standard hybrid-clock trick: the clock never goes backwards and
+/// never repeats, even if the underlying physical clock is stepped backwards by NTP.
+///
+/// Clones share the same monotonic state.
+#[derive(Clone, Debug)]
+pub struct MonotonicClock<C> {
+    inner: C,
+    last: Arc<Mutex<Timestamp>>,
+}
+
+impl<C: Clock> MonotonicClock<C> {
+    /// Wraps `inner`.
+    pub fn new(inner: C) -> Self {
+        MonotonicClock {
+            inner,
+            last: Arc::new(Mutex::new(Timestamp::ZERO)),
+        }
+    }
+
+    /// The last timestamp handed out (zero if none yet).
+    pub fn last_issued(&self) -> Timestamp {
+        *self.last.lock()
+    }
+
+    /// A reference to the wrapped clock.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+}
+
+impl<C: Clock> Clock for MonotonicClock<C> {
+    fn now(&self) -> Timestamp {
+        let physical = self.inner.now();
+        let mut last = self.last.lock();
+        let next = if physical > *last {
+            physical
+        } else {
+            last.tick()
+        };
+        *last = next;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManualClock;
+
+    #[test]
+    fn follows_the_inner_clock_when_it_advances() {
+        let base = ManualClock::new(Timestamp(10));
+        let mono = MonotonicClock::new(base.clone());
+        assert_eq!(mono.now(), Timestamp(10));
+        base.set(Timestamp(20));
+        assert_eq!(mono.now(), Timestamp(20));
+        assert_eq!(mono.last_issued(), Timestamp(20));
+    }
+
+    #[test]
+    fn never_repeats_when_the_inner_clock_stalls() {
+        let base = ManualClock::new(Timestamp(10));
+        let mono = MonotonicClock::new(base);
+        let a = mono.now();
+        let b = mono.now();
+        let c = mono.now();
+        assert!(a < b && b < c);
+        assert_eq!(c, Timestamp(12));
+    }
+
+    #[test]
+    fn never_goes_backwards_when_the_inner_clock_is_stepped_back() {
+        let base = ManualClock::new(Timestamp(100));
+        let mono = MonotonicClock::new(base.clone());
+        assert_eq!(mono.now(), Timestamp(100));
+        base.set(Timestamp(50));
+        assert!(mono.now() > Timestamp(100));
+    }
+
+    #[test]
+    fn clones_share_monotonic_state() {
+        let base = ManualClock::new(Timestamp(10));
+        let a = MonotonicClock::new(base);
+        let b = a.clone();
+        let ta = a.now();
+        let tb = b.now();
+        assert!(tb > ta);
+        assert_eq!(a.inner().now(), Timestamp(10));
+    }
+
+    #[test]
+    fn many_calls_yield_strictly_increasing_sequence() {
+        let base = ManualClock::new(Timestamp(1));
+        let mono = MonotonicClock::new(base);
+        let mut prev = Timestamp::ZERO;
+        for _ in 0..1_000 {
+            let t = mono.now();
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The real wall clock.
+
+use crate::Clock;
+use pocc_types::Timestamp;
+use std::time::Instant;
+
+/// A wall clock backed by [`Instant`], anchored at the moment it was created (or at an
+/// explicit epoch shared by several clocks).
+///
+/// The threaded runtime (`pocc-runtime`) gives every in-process "server" a `SystemClock`
+/// sharing a common epoch, which models perfectly synchronised clocks; wrap it in
+/// [`crate::SkewedClock`] to reintroduce NTP-like offsets.
+#[derive(Clone, Debug)]
+pub struct SystemClock {
+    epoch: Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock whose time zero is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Creates a clock measuring time since the given epoch. Several servers constructed
+    /// with the same epoch observe mutually consistent timestamps.
+    pub fn with_epoch(epoch: Instant) -> Self {
+        SystemClock { epoch }
+    }
+
+    /// The epoch this clock measures from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Timestamp {
+        Timestamp::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn time_moves_forward() {
+        let c = SystemClock::new();
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn clocks_with_shared_epoch_agree() {
+        let epoch = Instant::now();
+        let a = SystemClock::with_epoch(epoch);
+        let b = SystemClock::with_epoch(epoch);
+        let ta = a.now();
+        let tb = b.now();
+        // Both read the same underlying instant; they can differ only by the time between
+        // the two calls, which is far below a millisecond.
+        assert!(tb.saturating_since(ta) < Duration::from_millis(5));
+        assert_eq!(a.epoch(), b.epoch());
+    }
+
+    #[test]
+    fn default_is_fresh_epoch() {
+        let c = SystemClock::default();
+        assert!(c.now() < Timestamp::from_secs(1));
+    }
+}

@@ -1,0 +1,1064 @@
+//! The Cure\* server state machine.
+
+use pocc_clock::Clock;
+use pocc_proto::{
+    ClientReply, ClientRequest, GetResponse, MetricsSnapshot, ProtocolServer, ServerMessage,
+    ServerOutput, TxId, TxItem,
+};
+use pocc_storage::{partition_for_key, PartitionStore};
+use pocc_types::{
+    ClientId, Config, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Timestamp, Version,
+    VersionVector,
+};
+use std::collections::HashMap;
+
+/// State of a read-only transaction coordinated by this server.
+#[derive(Clone, Debug)]
+struct TxState {
+    client: ClientId,
+    outstanding_slices: usize,
+    items: Vec<TxItem>,
+    started: Timestamp,
+}
+
+/// A parked transactional slice read (the only operation that can wait in Cure\*, and only
+/// for the client-session part of the snapshot — see the module documentation).
+#[derive(Clone, Debug)]
+struct ParkedSlice {
+    origin: Option<ServerId>,
+    tx: TxId,
+    keys: Vec<Key>,
+    snapshot: DependencyVector,
+    since: Timestamp,
+}
+
+/// An observability snapshot of a Cure\* server.
+#[derive(Clone, Debug)]
+pub struct CureStatus {
+    /// The server's version vector.
+    pub version_vector: VersionVector,
+    /// The server's current view of the Globally Stable Snapshot.
+    pub gss: DependencyVector,
+    /// Number of parked transactional slice reads.
+    pub pending_slices: usize,
+    /// Read-only transactions currently being coordinated.
+    pub active_transactions: usize,
+    /// Storage statistics.
+    pub store: pocc_storage::StoreStats,
+}
+
+/// A Cure\* server `p^m_n`.
+///
+/// Implements the same [`ProtocolServer`] interface as [`pocc_protocol::PoccServer`], so
+/// the simulator and the threaded runtime can run either protocol over identical
+/// workloads, deployments and network conditions.
+pub struct CureServer<C> {
+    id: ServerId,
+    config: Config,
+    clock: C,
+    store: PartitionStore,
+    /// The version vector `VV^m_n`.
+    vv: VersionVector,
+    /// The latest version vector received from each local partition (including this one),
+    /// used to compute the GSS.
+    local_vvs: HashMap<PartitionId, VersionVector>,
+    /// The Globally Stable Snapshot: the entry-wise minimum over `local_vvs`, refreshed by
+    /// the stabilization protocol.
+    gss: DependencyVector,
+    /// When the last stabilization round was initiated.
+    last_stabilization: Timestamp,
+    /// When garbage was last collected.
+    last_gc: Timestamp,
+    /// Parked transactional slice reads.
+    parked: Vec<ParkedSlice>,
+    /// Read-only transactions this server coordinates.
+    transactions: HashMap<TxId, TxState>,
+    next_tx: TxId,
+    metrics: MetricsSnapshot,
+    extra_work: u64,
+}
+
+impl<C: Clock> CureServer<C> {
+    /// Creates a Cure\* server for `id` with the given deployment configuration and clock.
+    pub fn new(id: ServerId, config: Config, clock: C) -> Self {
+        let m = config.num_replicas;
+        CureServer {
+            store: PartitionStore::new(id.partition, config.num_partitions),
+            vv: VersionVector::zero(m),
+            local_vvs: HashMap::new(),
+            gss: DependencyVector::zero(m),
+            last_stabilization: Timestamp::ZERO,
+            last_gc: Timestamp::ZERO,
+            parked: Vec::new(),
+            transactions: HashMap::new(),
+            next_tx: TxId(0),
+            metrics: MetricsSnapshot::default(),
+            extra_work: 0,
+            id,
+            config,
+            clock,
+        }
+    }
+
+    /// The server's current version vector.
+    pub fn version_vector(&self) -> &VersionVector {
+        &self.vv
+    }
+
+    /// The server's current view of the Globally Stable Snapshot.
+    pub fn gss(&self) -> &DependencyVector {
+        &self.gss
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &PartitionStore {
+        &self.store
+    }
+
+    /// An observability snapshot of the server's state.
+    pub fn status(&self) -> CureStatus {
+        CureStatus {
+            version_vector: self.vv.clone(),
+            gss: self.gss.clone(),
+            pending_slices: self.parked.len(),
+            active_transactions: self.transactions.len(),
+            store: self.store.stats(),
+        }
+    }
+
+    fn send(&mut self, to: ServerId, message: ServerMessage) -> ServerOutput {
+        self.metrics.bytes_sent += message.wire_size() as u64;
+        match &message {
+            ServerMessage::Replicate { .. } => self.metrics.replicate_sent += 1,
+            ServerMessage::Heartbeat { .. } => self.metrics.heartbeats_sent += 1,
+            ServerMessage::StabilizationVector { .. } => self.metrics.stabilization_messages += 1,
+            ServerMessage::GcVector { .. } => self.metrics.gc_messages += 1,
+            _ => {}
+        }
+        ServerOutput::send(to, message)
+    }
+
+    fn siblings(&self) -> Vec<ServerId> {
+        self.config
+            .replicas()
+            .filter(|r| *r != self.id.replica)
+            .map(|r| self.id.sibling(r))
+            .collect()
+    }
+
+    fn local_peers(&self) -> Vec<ServerId> {
+        self.config
+            .partitions()
+            .filter(|p| *p != self.id.partition)
+            .map(|p| self.id.local_peer(p))
+            .collect()
+    }
+
+    // -----------------------------------------------------------------------------------
+    // GET: freshest *stable* version, never blocks
+    // -----------------------------------------------------------------------------------
+
+    fn serve_get(&mut self, client: ClientId, key: Key) -> ServerOutput {
+        let local = self.id.replica;
+        let outcome = self.store.latest_stable(key, &self.gss, local);
+        // Walking past unstable versions is the CPU cost of pessimism the paper calls out.
+        self.extra_work += outcome.stats.traversed.saturating_sub(1) as u64;
+        self.metrics.gets_served += 1;
+        if outcome.is_old() {
+            self.metrics.old_gets += 1;
+            self.metrics.fresher_versions_sum += outcome.stats.fresher_than_returned as u64;
+        }
+        let unmerged = self.store.unmerged_count(key, &self.gss, local);
+        if unmerged > 0 {
+            self.metrics.unmerged_gets += 1;
+            self.metrics.unmerged_versions_sum += unmerged as u64;
+        }
+        let response = match outcome.version {
+            Some(v) => GetResponse {
+                value: Some(v.value.clone()),
+                update_time: v.update_time,
+                deps: v.deps.clone(),
+                source_replica: v.source_replica,
+            },
+            None => GetResponse {
+                value: None,
+                update_time: Timestamp::ZERO,
+                deps: DependencyVector::zero(self.config.num_replicas),
+                source_replica: local,
+            },
+        };
+        ServerOutput::reply(client, ClientReply::Get(response))
+    }
+
+    // -----------------------------------------------------------------------------------
+    // PUT: identical to POCC's, minus the optional dependency wait
+    // -----------------------------------------------------------------------------------
+
+    fn serve_put(
+        &mut self,
+        client: ClientId,
+        key: Key,
+        value: pocc_types::Value,
+        dv: DependencyVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        let now = self.clock.now();
+        let max_dep = dv.max_entry();
+        let update_time = if now > max_dep {
+            now
+        } else {
+            self.metrics.clock_wait_time +=
+                max_dep.saturating_since(now) + std::time::Duration::from_micros(1);
+            max_dep.tick()
+        };
+        self.vv.advance(self.id.replica, update_time);
+        let version = Version::new(key, value, self.id.replica, update_time, dv);
+        self.store
+            .insert(version.clone())
+            .expect("PUT routed to the wrong partition");
+        for sibling in self.siblings() {
+            let msg = ServerMessage::Replicate {
+                version: version.clone(),
+            };
+            outputs.push(self.send(sibling, msg));
+        }
+        self.metrics.puts_served += 1;
+        outputs.push(ServerOutput::reply(
+            client,
+            ClientReply::Put { update_time },
+        ));
+    }
+
+    // -----------------------------------------------------------------------------------
+    // RO-TX: snapshot bounded by the GSS
+    // -----------------------------------------------------------------------------------
+
+    fn handle_ro_tx(
+        &mut self,
+        client: ClientId,
+        keys: Vec<Key>,
+        rdv: DependencyVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        if keys.is_empty() {
+            self.metrics.rotx_served += 1;
+            outputs.push(ServerOutput::reply(
+                client,
+                ClientReply::RoTx { items: Vec::new() },
+            ));
+            return;
+        }
+
+        // The snapshot visible to a Cure* transaction is bounded by the items *stable* at
+        // the coordinator (the GSS), extended with the client's own causal history so that
+        // session guarantees hold. The local entry is taken from the coordinator's version
+        // vector because locally originated items are always visible in Cure.
+        let mut snapshot = self.gss.joined(&rdv);
+        snapshot.advance(self.id.replica, self.vv.get(self.id.replica));
+
+        let mut by_partition: HashMap<PartitionId, Vec<Key>> = HashMap::new();
+        for key in keys {
+            by_partition
+                .entry(partition_for_key(key, self.config.num_partitions))
+                .or_default()
+                .push(key);
+        }
+
+        let tx = self.next_tx;
+        self.next_tx = self.next_tx.next();
+        self.transactions.insert(
+            tx,
+            TxState {
+                client,
+                outstanding_slices: by_partition.len(),
+                items: Vec::new(),
+                started: self.clock.now(),
+            },
+        );
+
+        // Deterministic fan-out order (HashMap iteration order is randomised per process).
+        let mut groups: Vec<_> = by_partition.into_iter().collect();
+        groups.sort_by_key(|(partition, _)| *partition);
+        let mut local_keys = None;
+        for (partition, keys) in groups {
+            if partition == self.id.partition {
+                local_keys = Some(keys);
+            } else {
+                let msg = ServerMessage::SliceRequest {
+                    tx,
+                    client,
+                    keys,
+                    snapshot: snapshot.clone(),
+                };
+                let to = self.id.local_peer(partition);
+                outputs.push(self.send(to, msg));
+            }
+        }
+        if let Some(keys) = local_keys {
+            self.serve_or_park_slice(None, tx, keys, snapshot, outputs);
+        }
+    }
+
+    fn complete_slice(&mut self, tx: TxId, items: Vec<TxItem>, outputs: &mut Vec<ServerOutput>) {
+        let finished = {
+            let Some(state) = self.transactions.get_mut(&tx) else {
+                return;
+            };
+            state.items.extend(items);
+            state.outstanding_slices = state.outstanding_slices.saturating_sub(1);
+            state.outstanding_slices == 0
+        };
+        if finished {
+            let state = self.transactions.remove(&tx).expect("tx present");
+            self.metrics.rotx_served += 1;
+            outputs.push(ServerOutput::reply(
+                state.client,
+                ClientReply::RoTx { items: state.items },
+            ));
+        }
+    }
+
+    fn serve_or_park_slice(
+        &mut self,
+        origin: Option<ServerId>,
+        tx: TxId,
+        keys: Vec<Key>,
+        snapshot: DependencyVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        // The GSS part of the snapshot is below every local version vector by construction;
+        // only the client-session part (and the coordinator's local clock entry) can be
+        // ahead of this partition's vector, and only by a clock skew's worth of time.
+        if self.vv.covers(&snapshot) {
+            let items = self.read_slice(&keys, &snapshot);
+            self.metrics.slices_served += 1;
+            match origin {
+                Some(origin) => {
+                    let msg = ServerMessage::SliceResponse { tx, items };
+                    outputs.push(self.send(origin, msg));
+                }
+                None => self.complete_slice(tx, items, outputs),
+            }
+        } else {
+            self.metrics.blocked_operations += 1;
+            self.parked.push(ParkedSlice {
+                origin,
+                tx,
+                keys,
+                snapshot,
+                since: self.clock.now(),
+            });
+        }
+    }
+
+    fn read_slice(&mut self, keys: &[Key], snapshot: &DependencyVector) -> Vec<TxItem> {
+        let local = self.id.replica;
+        let mut items = Vec::with_capacity(keys.len());
+        for &key in keys {
+            let outcome = self.store.latest_in_snapshot(key, snapshot);
+            self.extra_work += outcome.stats.traversed.saturating_sub(1) as u64;
+            self.metrics.tx_items_returned += 1;
+            if outcome.is_old() {
+                self.metrics.old_tx_items += 1;
+            }
+            if self.store.has_unmerged_versions(key, &self.gss, local) {
+                self.metrics.unmerged_tx_items += 1;
+            }
+            let response = match outcome.version {
+                Some(v) => GetResponse {
+                    value: Some(v.value.clone()),
+                    update_time: v.update_time,
+                    deps: v.deps.clone(),
+                    source_replica: v.source_replica,
+                },
+                None => GetResponse {
+                    value: None,
+                    update_time: Timestamp::ZERO,
+                    deps: DependencyVector::zero(self.config.num_replicas),
+                    source_replica: local,
+                },
+            };
+            items.push(TxItem { key, response });
+        }
+        items
+    }
+
+    fn unpark(&mut self, outputs: &mut Vec<ServerOutput>) {
+        if self.parked.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.parked);
+        let now = self.clock.now();
+        for slice in parked {
+            if !self.vv.covers(&slice.snapshot) {
+                self.parked.push(slice);
+                continue;
+            }
+            self.metrics.total_block_time += now.saturating_since(slice.since);
+            let items = self.read_slice(&slice.keys, &slice.snapshot);
+            self.metrics.slices_served += 1;
+            match slice.origin {
+                Some(origin) => {
+                    let msg = ServerMessage::SliceResponse {
+                        tx: slice.tx,
+                        items,
+                    };
+                    let out = self.send(origin, msg);
+                    outputs.push(out);
+                }
+                None => self.complete_slice(slice.tx, items, outputs),
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Stabilization protocol (GSS computation)
+    // -----------------------------------------------------------------------------------
+
+    /// Recomputes the GSS as the entry-wise minimum of the latest known version vectors of
+    /// every partition in the local data center (including this one). The GSS only moves
+    /// forward.
+    fn recompute_gss(&mut self) {
+        if self.local_vvs.len() < self.config.num_partitions.saturating_sub(1) {
+            // Not every peer has reported yet: the GSS cannot safely advance.
+            return;
+        }
+        let mut gss = DependencyVector::from_entries(self.vv.as_slice().to_vec());
+        for vv in self.local_vvs.values() {
+            gss.meet(&DependencyVector::from_entries(vv.as_slice().to_vec()));
+            self.extra_work += 1;
+        }
+        // Monotonic advance.
+        self.gss.join(&gss);
+    }
+
+    /// One stabilization round: broadcast this server's version vector to the local peers
+    /// and refresh the GSS from what is known so far.
+    fn stabilization_round(&mut self, outputs: &mut Vec<ServerOutput>) {
+        let vv = self.vv.clone();
+        for peer in self.local_peers() {
+            let msg = ServerMessage::StabilizationVector { vv: vv.clone() };
+            outputs.push(self.send(peer, msg));
+        }
+        self.recompute_gss();
+    }
+}
+
+impl<C: Clock> ProtocolServer for CureServer<C> {
+    fn server_id(&self) -> ServerId {
+        self.id
+    }
+
+    fn handle_client_request(
+        &mut self,
+        client: ClientId,
+        request: ClientRequest,
+    ) -> Vec<ServerOutput> {
+        let mut outputs = Vec::new();
+        match request {
+            ClientRequest::Get { key, .. } => {
+                // Pessimistic GET: the client's read dependency vector is *not* checked —
+                // the GSS guarantees that every visible version's dependencies are already
+                // installed everywhere in the data center, so no wait is ever needed.
+                let out = self.serve_get(client, key);
+                outputs.push(out);
+            }
+            ClientRequest::Put { key, value, dv } => {
+                self.serve_put(client, key, value, dv, &mut outputs);
+                self.unpark(&mut outputs);
+            }
+            ClientRequest::RoTx { keys, rdv } => self.handle_ro_tx(client, keys, rdv, &mut outputs),
+        }
+        outputs
+    }
+
+    fn handle_server_message(&mut self, from: ServerId, message: ServerMessage) -> Vec<ServerOutput> {
+        let mut outputs = Vec::new();
+        match message {
+            ServerMessage::Replicate { version } => {
+                self.metrics.replicate_received += 1;
+                self.vv.advance(from.replica, version.update_time);
+                self.store
+                    .insert(version)
+                    .expect("replicated update routed to the wrong partition");
+                self.unpark(&mut outputs);
+            }
+            ServerMessage::Heartbeat { clock } => {
+                self.metrics.heartbeats_received += 1;
+                self.vv.advance(from.replica, clock);
+                self.unpark(&mut outputs);
+            }
+            ServerMessage::SliceRequest {
+                tx, keys, snapshot, ..
+            } => {
+                self.serve_or_park_slice(Some(from), tx, keys, snapshot, &mut outputs);
+            }
+            ServerMessage::SliceResponse { tx, items } => {
+                self.complete_slice(tx, items, &mut outputs);
+            }
+            ServerMessage::StabilizationVector { vv } => {
+                self.metrics.stabilization_messages += 1;
+                self.local_vvs.insert(from.partition, vv);
+                self.recompute_gss();
+                self.unpark(&mut outputs);
+            }
+            ServerMessage::GcVector { .. } => {
+                // Cure* garbage-collects from the GSS directly; explicit GC vectors are
+                // counted but not needed.
+                self.metrics.gc_messages += 1;
+            }
+        }
+        outputs
+    }
+
+    fn tick(&mut self) -> Vec<ServerOutput> {
+        let mut outputs = Vec::new();
+        let now = self.clock.now();
+        let local = self.id.replica;
+
+        // Heartbeats, exactly as in POCC.
+        if now >= self.vv.get(local) + self.config.heartbeat_interval {
+            self.vv.set(local, now);
+            for sibling in self.siblings() {
+                let msg = ServerMessage::Heartbeat { clock: now };
+                outputs.push(self.send(sibling, msg));
+            }
+            self.unpark(&mut outputs);
+        }
+
+        // The stabilization protocol, run every `stabilization_interval` (5 ms in §V-A).
+        if now.saturating_since(self.last_stabilization) >= self.config.stabilization_interval {
+            self.last_stabilization = now;
+            self.stabilization_round(&mut outputs);
+        }
+
+        // Garbage collection from the GSS: every version below the snapshot any future
+        // transaction could use is collectable except the newest such version.
+        if now.saturating_since(self.last_gc) >= self.config.gc_interval {
+            self.last_gc = now;
+            let gss = self.gss.clone();
+            let removed = self.store.collect_garbage(&gss);
+            self.metrics.gc_versions_removed += removed as u64;
+        }
+
+        // Transactions blocked beyond the partition timeout abort the client session, as
+        // in POCC (Cure itself would not need this, but the shared harness expects the
+        // same session semantics from both systems).
+        let timeout = self.config.partition_detection_timeout;
+        let expired: Vec<TxId> = self
+            .transactions
+            .iter()
+            .filter(|(_, st)| now.saturating_since(st.started) >= timeout)
+            .map(|(tx, _)| *tx)
+            .collect();
+        for tx in expired {
+            let state = self.transactions.remove(&tx).expect("tx present");
+            self.metrics.sessions_aborted += 1;
+            outputs.push(ServerOutput::reply(
+                state.client,
+                ClientReply::SessionAborted {
+                    reason: "read-only transaction blocked beyond the partition timeout".into(),
+                },
+            ));
+        }
+        self.parked
+            .retain(|s| now.saturating_since(s.since) < timeout || s.origin.is_some());
+
+        outputs
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut m = self.metrics.clone();
+        m.currently_blocked = self.parked.len() as u64;
+        m
+    }
+
+    fn digest(&self) -> Vec<(Key, Timestamp, ReplicaId)> {
+        self.store.digest()
+    }
+
+    fn take_extra_work(&mut self) -> u64 {
+        std::mem::take(&mut self.extra_work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_clock::ManualClock;
+    use pocc_types::Value;
+    use std::time::Duration;
+
+    const MS: u64 = 1_000;
+
+    fn config(replicas: usize, partitions: usize) -> Config {
+        Config::builder()
+            .num_replicas(replicas)
+            .num_partitions(partitions)
+            .stabilization_interval(Duration::from_millis(5))
+            .build()
+            .unwrap()
+    }
+
+    fn server(replica: u16, partition: u32, cfg: &Config, clock: &ManualClock) -> CureServer<ManualClock> {
+        CureServer::new(ServerId::new(replica, partition), cfg.clone(), clock.clone())
+    }
+
+    fn key_in(partition: usize, num_partitions: usize) -> Key {
+        (0u64..)
+            .map(Key)
+            .find(|k| partition_for_key(*k, num_partitions).index() == partition)
+            .unwrap()
+    }
+
+    fn extract_reply(outputs: &[ServerOutput], client: ClientId) -> Option<ClientReply> {
+        outputs.iter().find_map(|o| match o {
+            ServerOutput::Reply { client: c, reply } if *c == client => Some(reply.clone()),
+            _ => None,
+        })
+    }
+
+    fn dv(entries: &[u64]) -> DependencyVector {
+        DependencyVector::from_entries(entries.iter().map(|&e| Timestamp(e)).collect())
+    }
+
+    #[test]
+    fn local_writes_are_immediately_visible() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 1);
+        s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Put {
+                key,
+                value: Value::from("local"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(1)) {
+            Some(ClientReply::Get(resp)) => {
+                assert_eq!(resp.value.unwrap().as_slice(), b"local");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(s.metrics().old_gets, 0);
+    }
+
+    #[test]
+    fn remote_writes_stay_invisible_until_the_gss_covers_them() {
+        // This is the pessimism the paper measures: the fresh remote version exists locally
+        // but the GET returns the older stable one until the stabilization protocol
+        // advances the GSS.
+        let cfg = config(3, 2);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 2);
+
+        // An old local version, then a fresh remote one whose stability is unknown.
+        s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Put {
+                key,
+                value: Value::from("old-local"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+        let remote = Version::new(
+            key,
+            Value::from("fresh-remote"),
+            ReplicaId(1),
+            Timestamp(20 * MS),
+            dv(&[0, 0, 0]),
+        );
+        s.handle_server_message(
+            ServerId::new(1u16, 0u32),
+            ServerMessage::Replicate { version: remote },
+        );
+
+        // GET: the remote version is not covered by the GSS (still zero), so the stale
+        // local version is returned and the staleness counters move.
+        let outputs = s.handle_client_request(
+            ClientId(2),
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(2)) {
+            Some(ClientReply::Get(resp)) => {
+                assert_eq!(resp.value.unwrap().as_slice(), b"old-local");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let m = s.metrics();
+        assert_eq!(m.old_gets, 1);
+        assert_eq!(m.unmerged_gets, 1);
+        assert_eq!(m.fresher_versions_sum, 1);
+        assert!(s.take_extra_work() >= 1, "the chain walk must be charged");
+
+        // The stabilization protocol runs: the peer partition reports a version vector
+        // covering the remote update, the GSS advances, and the fresh version becomes
+        // visible.
+        s.handle_server_message(
+            ServerId::new(0u16, 1u32),
+            ServerMessage::StabilizationVector {
+                vv: VersionVector::from_entries(vec![
+                    Timestamp(30 * MS),
+                    Timestamp(30 * MS),
+                    Timestamp(30 * MS),
+                ]),
+            },
+        );
+        // This server's own VV must also cover it (it does: the replicate advanced entry 1,
+        // and entries 0/2 advance with heartbeat/tick).
+        clock.set(Timestamp(31 * MS));
+        s.tick();
+        s.handle_server_message(
+            ServerId::new(2u16, 0u32),
+            ServerMessage::Heartbeat {
+                clock: Timestamp(30 * MS),
+            },
+        );
+        s.handle_server_message(
+            ServerId::new(0u16, 1u32),
+            ServerMessage::StabilizationVector {
+                vv: VersionVector::from_entries(vec![
+                    Timestamp(31 * MS),
+                    Timestamp(30 * MS),
+                    Timestamp(30 * MS),
+                ]),
+            },
+        );
+        let outputs = s.handle_client_request(
+            ClientId(2),
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(2)) {
+            Some(ClientReply::Get(resp)) => {
+                assert_eq!(resp.value.unwrap().as_slice(), b"fresh-remote");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gets_never_block_even_with_unsatisfied_client_dependencies() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 1);
+        // The client claims a dependency far in the future; Cure* serves the GET anyway
+        // (the visible snapshot already contains every dependency of what it returns).
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 999 * MS, 0]),
+            },
+        );
+        assert!(matches!(
+            extract_reply(&outputs, ClientId(1)),
+            Some(ClientReply::Get(_))
+        ));
+        assert_eq!(s.metrics().blocked_operations, 0);
+    }
+
+    #[test]
+    fn stabilization_round_broadcasts_version_vectors() {
+        let cfg = config(3, 4);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let outputs = s.tick();
+        let stab_msgs = outputs
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    ServerOutput::Send {
+                        message: ServerMessage::StabilizationVector { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(stab_msgs, 3, "one stabilization message per local peer");
+        // Within the same interval, no second round.
+        clock.set(Timestamp(11 * MS));
+        let outputs = s.tick();
+        assert_eq!(
+            outputs
+                .iter()
+                .filter(|o| matches!(
+                    o,
+                    ServerOutput::Send {
+                        message: ServerMessage::StabilizationVector { .. },
+                        ..
+                    }
+                ))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn gss_is_the_minimum_over_local_partitions_and_is_monotonic() {
+        let cfg = config(3, 3);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        s.tick(); // advances own VV[0] to 10ms via heartbeat logic
+
+        s.handle_server_message(
+            ServerId::new(0u16, 1u32),
+            ServerMessage::StabilizationVector {
+                vv: VersionVector::from_entries(vec![
+                    Timestamp(8 * MS),
+                    Timestamp(5 * MS),
+                    Timestamp(9 * MS),
+                ]),
+            },
+        );
+        // Only one of two peers known: the GSS must not advance yet.
+        assert_eq!(s.gss(), &dv(&[0, 0, 0]));
+
+        s.handle_server_message(
+            ServerId::new(0u16, 2u32),
+            ServerMessage::StabilizationVector {
+                vv: VersionVector::from_entries(vec![
+                    Timestamp(7 * MS),
+                    Timestamp(6 * MS),
+                    Timestamp(4 * MS),
+                ]),
+            },
+        );
+        // Own VV = [10ms, 0, 0]; peers as above. Minimum = [7ms, 0, 0].
+        assert_eq!(s.gss(), &dv(&[7 * MS, 0, 0]));
+
+        // A peer regressing (stale message) never moves the GSS backwards.
+        s.handle_server_message(
+            ServerId::new(0u16, 2u32),
+            ServerMessage::StabilizationVector {
+                vv: VersionVector::from_entries(vec![
+                    Timestamp(1 * MS),
+                    Timestamp(1 * MS),
+                    Timestamp(1 * MS),
+                ]),
+            },
+        );
+        assert!(s.gss().get(ReplicaId(0)) >= Timestamp(7 * MS));
+    }
+
+    #[test]
+    fn single_partition_deployment_advances_gss_from_its_own_vector() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        s.handle_server_message(
+            ServerId::new(1u16, 0u32),
+            ServerMessage::Heartbeat {
+                clock: Timestamp(9 * MS),
+            },
+        );
+        s.handle_server_message(
+            ServerId::new(2u16, 0u32),
+            ServerMessage::Heartbeat {
+                clock: Timestamp(8 * MS),
+            },
+        );
+        let outputs = s.tick();
+        // No peers to notify in a single-partition DC.
+        assert!(outputs.iter().all(|o| !matches!(
+            o,
+            ServerOutput::Send {
+                message: ServerMessage::StabilizationVector { .. },
+                ..
+            }
+        )));
+        assert_eq!(s.gss(), &dv(&[10 * MS, 9 * MS, 8 * MS]));
+    }
+
+    #[test]
+    fn transaction_snapshot_is_bounded_by_the_gss() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 1);
+
+        // A fresh remote version arrives but is not yet stable.
+        let remote = Version::new(
+            key,
+            Value::from("unstable"),
+            ReplicaId(1),
+            Timestamp(20 * MS),
+            dv(&[0, 0, 0]),
+        );
+        s.handle_server_message(
+            ServerId::new(1u16, 0u32),
+            ServerMessage::Replicate { version: remote },
+        );
+
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::RoTx {
+                keys: vec![key],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(1)) {
+            Some(ClientReply::RoTx { items }) => {
+                assert_eq!(items.len(), 1);
+                // Nothing stable exists for this key yet.
+                assert!(items[0].response.value.is_none());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let m = s.metrics();
+        assert_eq!(m.rotx_served, 1);
+        assert_eq!(m.unmerged_tx_items, 1);
+    }
+
+    #[test]
+    fn multi_partition_transaction_round_trip() {
+        let cfg = config(3, 2);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut coordinator = server(0, 0, &cfg, &clock);
+        let mut participant = server(0, 1, &cfg, &clock);
+        let k0 = key_in(0, 2);
+        let k1 = key_in(1, 2);
+
+        coordinator.handle_client_request(
+            ClientId(9),
+            ClientRequest::Put {
+                key: k0,
+                value: Value::from("a"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+        participant.handle_client_request(
+            ClientId(9),
+            ClientRequest::Put {
+                key: k1,
+                value: Value::from("b"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+
+        let client = ClientId(1);
+        let outputs = coordinator.handle_client_request(
+            client,
+            ClientRequest::RoTx {
+                keys: vec![k0, k1],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        let (_, req) = outputs
+            .iter()
+            .find_map(|o| match o {
+                ServerOutput::Send {
+                    to,
+                    message: m @ ServerMessage::SliceRequest { .. },
+                } => Some((*to, m.clone())),
+                _ => None,
+            })
+            .expect("slice request expected");
+        let outputs = participant.handle_server_message(coordinator.server_id(), req);
+        let resp = outputs
+            .iter()
+            .find_map(|o| match o {
+                ServerOutput::Send {
+                    message: m @ ServerMessage::SliceResponse { .. },
+                    ..
+                } => Some(m.clone()),
+                _ => None,
+            })
+            .expect("slice response expected");
+        let outputs = coordinator.handle_server_message(participant.server_id(), resp);
+        match extract_reply(&outputs, client) {
+            Some(ClientReply::RoTx { items }) => {
+                assert_eq!(items.len(), 2);
+                // The coordinator's local key is visible (local items always are); the
+                // participant's key was written locally at the participant so it is
+                // visible there too.
+                assert!(items.iter().all(|i| i.response.value.is_some()));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_collection_uses_the_gss() {
+        let cfg = Config::builder()
+            .num_replicas(1)
+            .num_partitions(1)
+            .gc_interval(Duration::from_millis(10))
+            .build()
+            .unwrap();
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 1);
+        for i in 1..=4u64 {
+            clock.set(Timestamp((10 + i) * MS));
+            s.handle_client_request(
+                ClientId(1),
+                ClientRequest::Put {
+                    key,
+                    value: Value::from(i),
+                    dv: dv(&[(10 + i - 1) * MS]),
+                },
+            );
+        }
+        assert_eq!(s.store().stats().versions, 4);
+        clock.set(Timestamp(40 * MS));
+        s.tick(); // stabilization advances the GSS (single partition: from own VV)
+        clock.set(Timestamp(60 * MS));
+        s.tick(); // GC runs with the fresh GSS
+        assert_eq!(s.store().stats().versions, 1);
+        assert!(s.metrics().gc_versions_removed >= 3);
+    }
+
+    #[test]
+    fn metrics_report_served_operations() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 1);
+        s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Put {
+                key,
+                value: Value::from("x"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+        s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        s.handle_client_request(
+            ClientId(1),
+            ClientRequest::RoTx {
+                keys: vec![],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        let m = s.metrics();
+        assert_eq!(m.puts_served, 1);
+        assert_eq!(m.gets_served, 1);
+        assert_eq!(m.rotx_served, 1);
+        assert_eq!(m.operations_served(), 3);
+        assert_eq!(m.replicate_sent, 2);
+    }
+}

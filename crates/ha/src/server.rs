@@ -1,0 +1,853 @@
+//! The HA-POCC server: POCC plus partition detection, pessimistic fall-back and recovery.
+
+use pocc_clock::Clock;
+use pocc_proto::{
+    ClientReply, ClientRequest, GetResponse, MetricsSnapshot, ProtocolServer, ServerMessage,
+    ServerOutput, TxId, TxItem,
+};
+use pocc_protocol::PoccServer;
+use pocc_storage::partition_for_key;
+use pocc_types::{
+    ClientId, Config, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Timestamp,
+    VersionVector,
+};
+use std::collections::HashMap;
+
+/// Transaction ids coordinated by the HA layer (pessimistic mode) live in a disjoint id
+/// space from the ids used by the wrapped optimistic server, so that slice responses can be
+/// routed to the right coordinator.
+const HA_TX_BIT: u64 = 1 << 63;
+
+/// The operating mode of an HA-POCC server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Normal operation: requests are served by the optimistic protocol (plain POCC).
+    Optimistic,
+    /// A network partition is suspected: reads are served pessimistically from the
+    /// Globally Stable Snapshot, writes do not wait for dependencies, transactions are
+    /// bounded by the GSS. No operation blocks in this mode.
+    Pessimistic {
+        /// When the server entered pessimistic mode (server clock).
+        since: Timestamp,
+    },
+}
+
+impl Mode {
+    /// Whether the server is currently running the pessimistic fall-back protocol.
+    pub fn is_pessimistic(&self) -> bool {
+        matches!(self, Mode::Pessimistic { .. })
+    }
+}
+
+/// State of a read-only transaction coordinated in pessimistic mode.
+#[derive(Clone, Debug)]
+struct HaTxState {
+    client: ClientId,
+    outstanding_slices: usize,
+    items: Vec<TxItem>,
+}
+
+/// A POCC server augmented with the availability-recovery machinery of §III-B:
+/// an infrequent stabilization protocol, a partition detector, a pessimistic fall-back
+/// mode and automatic promotion back to optimistic operation.
+pub struct HaPoccServer<C> {
+    inner: PoccServer<C>,
+    clock: C,
+    config: Config,
+    mode: Mode,
+    mode_switches: u64,
+
+    /// The Globally Stable Snapshot maintained by the infrequent stabilization protocol.
+    gss: DependencyVector,
+    /// Latest version vector received from each local peer partition.
+    local_vvs: HashMap<PartitionId, VersionVector>,
+    last_stabilization: Timestamp,
+
+    /// Partition detector state: the last time each remote replica's entry of the version
+    /// vector advanced.
+    last_remote_advance: Vec<Timestamp>,
+    prev_vv: VersionVector,
+    /// `sessions_aborted` of the inner server at the last tick, to detect new aborts.
+    aborted_seen: u64,
+
+    /// Read-only transactions coordinated by the HA layer (pessimistic mode only).
+    ha_txs: HashMap<TxId, HaTxState>,
+    next_ha_tx: u64,
+    /// Clients that issued requests while the server was optimistic. Their sessions are
+    /// closed at their first request after a switch to pessimistic mode, because the
+    /// pessimistic protocol cannot honour dependencies on unstable items they may have
+    /// observed (§III-B: "it closes the session with c").
+    optimistic_clients: std::collections::HashSet<ClientId>,
+
+    /// Counters for operations served directly by the HA layer (merged into the metrics
+    /// snapshot returned by [`ProtocolServer::metrics`]).
+    overlay: MetricsSnapshot,
+    put_wait_configured: bool,
+}
+
+impl<C: Clock + Clone> HaPoccServer<C> {
+    /// Creates an HA-POCC server for `id`.
+    pub fn new(id: ServerId, config: Config, clock: C) -> Self {
+        let m = config.num_replicas;
+        let now = clock.now();
+        let put_wait_configured = config.put_waits_for_dependencies;
+        HaPoccServer {
+            inner: PoccServer::new(id, config.clone(), clock.clone()),
+            mode: Mode::Optimistic,
+            mode_switches: 0,
+            gss: DependencyVector::zero(m),
+            local_vvs: HashMap::new(),
+            last_stabilization: Timestamp::ZERO,
+            last_remote_advance: vec![now; m],
+            prev_vv: VersionVector::zero(m),
+            aborted_seen: 0,
+            ha_txs: HashMap::new(),
+            next_ha_tx: 0,
+            optimistic_clients: std::collections::HashSet::new(),
+            overlay: MetricsSnapshot::default(),
+            put_wait_configured,
+            clock,
+            config,
+        }
+    }
+
+    /// The current operating mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// How many times the server switched between optimistic and pessimistic mode.
+    pub fn mode_switches(&self) -> u64 {
+        self.mode_switches
+    }
+
+    /// The server's current view of the Globally Stable Snapshot.
+    pub fn gss(&self) -> &DependencyVector {
+        &self.gss
+    }
+
+    /// Read access to the wrapped optimistic server.
+    pub fn inner(&self) -> &PoccServer<C> {
+        &self.inner
+    }
+
+    /// Forces the server into pessimistic mode (used by tests and by operators who know a
+    /// partition is coming, e.g. planned maintenance).
+    pub fn force_pessimistic(&mut self) {
+        self.enter_pessimistic();
+    }
+
+    /// Forces the server back into optimistic mode.
+    pub fn force_optimistic(&mut self) {
+        self.enter_optimistic();
+    }
+
+    fn enter_pessimistic(&mut self) {
+        if self.mode.is_pessimistic() {
+            return;
+        }
+        self.mode = Mode::Pessimistic {
+            since: self.clock.now(),
+        };
+        self.mode_switches += 1;
+        // Writes must not block during the partition.
+        self.inner.set_put_waits_for_dependencies(false);
+    }
+
+    fn enter_optimistic(&mut self) {
+        if !self.mode.is_pessimistic() {
+            return;
+        }
+        self.mode = Mode::Optimistic;
+        self.mode_switches += 1;
+        self.inner
+            .set_put_waits_for_dependencies(self.put_wait_configured);
+    }
+
+    fn local_peers(&self) -> Vec<ServerId> {
+        let id = self.inner.server_id();
+        self.config
+            .partitions()
+            .filter(|p| *p != id.partition)
+            .map(|p| id.local_peer(p))
+            .collect()
+    }
+
+    /// Recomputes the GSS from the latest known version vectors of every local partition.
+    fn recompute_gss(&mut self) {
+        if self.local_vvs.len() < self.config.num_partitions.saturating_sub(1) {
+            return;
+        }
+        let mut gss =
+            DependencyVector::from_entries(self.inner.version_vector().as_slice().to_vec());
+        for vv in self.local_vvs.values() {
+            gss.meet(&DependencyVector::from_entries(vv.as_slice().to_vec()));
+        }
+        self.gss.join(&gss);
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Pessimistic operation handlers
+    // -----------------------------------------------------------------------------------
+
+    /// Whether a client carrying these dependencies can be served by the pessimistic
+    /// protocol without violating its session history: every *remote* dependency must be
+    /// covered by the Globally Stable Snapshot (dependencies on local items are always
+    /// satisfiable, as in Cure).
+    ///
+    /// Clients that established dependencies on unstable items while the server was still
+    /// optimistic fail this check; their session is closed, exactly as the recovery
+    /// procedure of §III-B prescribes (the client re-initialises and continues
+    /// pessimistically, possibly no longer seeing some versions it read before).
+    fn serveable_pessimistically(&self, deps: &DependencyVector) -> bool {
+        let local = self.inner.server_id().replica;
+        deps.iter()
+            .all(|(replica, ts)| replica == local || ts <= self.gss.get(replica))
+    }
+
+    /// Closes the session of a client whose optimistic-era dependencies cannot be served
+    /// by the pessimistic fall-back.
+    fn abort_session(&mut self, client: ClientId) -> ServerOutput {
+        self.overlay.sessions_aborted += 1;
+        ServerOutput::reply(
+            client,
+            ClientReply::SessionAborted {
+                reason: "optimistic dependencies cannot be served during the partition; \
+                         re-initialise the session"
+                    .into(),
+            },
+        )
+    }
+
+    /// A pessimistic GET: the freshest version visible under the GSS (local versions are
+    /// always visible, as in Cure). Never blocks.
+    fn pessimistic_get(&mut self, client: ClientId, key: Key) -> ServerOutput {
+        let id = self.inner.server_id();
+        let outcome = self.inner.store().latest_stable(key, &self.gss, id.replica);
+        self.overlay.gets_served += 1;
+        if outcome.is_old() {
+            self.overlay.old_gets += 1;
+            self.overlay.fresher_versions_sum += outcome.stats.fresher_than_returned as u64;
+        }
+        let response = match outcome.version {
+            Some(v) => GetResponse {
+                value: Some(v.value.clone()),
+                update_time: v.update_time,
+                deps: v.deps.clone(),
+                source_replica: v.source_replica,
+            },
+            None => GetResponse {
+                value: None,
+                update_time: Timestamp::ZERO,
+                deps: DependencyVector::zero(self.config.num_replicas),
+                source_replica: id.replica,
+            },
+        };
+        ServerOutput::reply(client, ClientReply::Get(response))
+    }
+
+    /// A pessimistic read-only transaction: the snapshot is bounded by the GSS (plus the
+    /// client's session history and the coordinator's local clock entry), so participant
+    /// slices never wait for remote replication.
+    fn pessimistic_ro_tx(
+        &mut self,
+        client: ClientId,
+        keys: Vec<Key>,
+        rdv: DependencyVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        if keys.is_empty() {
+            self.overlay.rotx_served += 1;
+            outputs.push(ServerOutput::reply(
+                client,
+                ClientReply::RoTx { items: Vec::new() },
+            ));
+            return;
+        }
+        let id = self.inner.server_id();
+        let mut snapshot = self.gss.joined(&rdv);
+        snapshot.advance(id.replica, self.inner.version_vector().get(id.replica));
+
+        let mut by_partition: HashMap<PartitionId, Vec<Key>> = HashMap::new();
+        for key in keys {
+            by_partition
+                .entry(partition_for_key(key, self.config.num_partitions))
+                .or_default()
+                .push(key);
+        }
+
+        let tx = TxId(HA_TX_BIT | self.next_ha_tx);
+        self.next_ha_tx += 1;
+        self.ha_txs.insert(
+            tx,
+            HaTxState {
+                client,
+                outstanding_slices: by_partition.len(),
+                items: Vec::new(),
+            },
+        );
+
+        // Deterministic fan-out order (HashMap iteration order is randomised per process).
+        let mut groups: Vec<_> = by_partition.into_iter().collect();
+        groups.sort_by_key(|(partition, _)| *partition);
+        let mut local_keys = None;
+        for (partition, keys) in groups {
+            if partition == id.partition {
+                local_keys = Some(keys);
+            } else {
+                self.overlay.bytes_sent += (keys.len() * 8 + snapshot.wire_size()) as u64;
+                outputs.push(ServerOutput::send(
+                    id.local_peer(partition),
+                    ServerMessage::SliceRequest {
+                        tx,
+                        client,
+                        keys,
+                        snapshot: snapshot.clone(),
+                    },
+                ));
+            }
+        }
+        if let Some(keys) = local_keys {
+            let items = self.read_local_slice(&keys, &snapshot);
+            self.complete_ha_slice(tx, items, outputs);
+        }
+    }
+
+    /// Reads a slice of a pessimistic transaction against the local store.
+    fn read_local_slice(&mut self, keys: &[Key], snapshot: &DependencyVector) -> Vec<TxItem> {
+        let id = self.inner.server_id();
+        let mut items = Vec::with_capacity(keys.len());
+        for &key in keys {
+            let outcome = self.inner.store().latest_in_snapshot(key, snapshot);
+            self.overlay.tx_items_returned += 1;
+            if outcome.is_old() {
+                self.overlay.old_tx_items += 1;
+            }
+            let response = match outcome.version {
+                Some(v) => GetResponse {
+                    value: Some(v.value.clone()),
+                    update_time: v.update_time,
+                    deps: v.deps.clone(),
+                    source_replica: v.source_replica,
+                },
+                None => GetResponse {
+                    value: None,
+                    update_time: Timestamp::ZERO,
+                    deps: DependencyVector::zero(self.config.num_replicas),
+                    source_replica: id.replica,
+                },
+            };
+            items.push(TxItem { key, response });
+        }
+        items
+    }
+
+    fn complete_ha_slice(&mut self, tx: TxId, items: Vec<TxItem>, outputs: &mut Vec<ServerOutput>) {
+        let finished = {
+            let Some(state) = self.ha_txs.get_mut(&tx) else {
+                return;
+            };
+            state.items.extend(items);
+            state.outstanding_slices = state.outstanding_slices.saturating_sub(1);
+            state.outstanding_slices == 0
+        };
+        if finished {
+            let state = self.ha_txs.remove(&tx).expect("tx present");
+            self.overlay.rotx_served += 1;
+            outputs.push(ServerOutput::reply(
+                state.client,
+                ClientReply::RoTx { items: state.items },
+            ));
+        }
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Detection and recovery
+    // -----------------------------------------------------------------------------------
+
+    /// Updates the partition detector, possibly switching modes.
+    fn detect_and_recover(&mut self) {
+        let now = self.clock.now();
+        let vv = self.inner.version_vector().clone();
+        let local = self.inner.server_id().replica;
+        for (replica, ts) in vv.iter() {
+            if replica != local && ts > self.prev_vv.get(replica) {
+                self.last_remote_advance[replica.index()] = now;
+            }
+        }
+        self.prev_vv = vv;
+
+        // Detection signal 1: the optimistic server aborted a blocked session.
+        let aborted = self.inner.metrics().sessions_aborted;
+        let new_aborts = aborted > self.aborted_seen;
+        self.aborted_seen = aborted;
+
+        // Detection signal 2: a remote replica has been silent (no updates, no heartbeats)
+        // for longer than the partition-detection timeout.
+        let silent_replica = self
+            .last_remote_advance
+            .iter()
+            .enumerate()
+            .any(|(i, last)| {
+                i != local.index()
+                    && now.saturating_since(*last) >= self.config.partition_detection_timeout
+            });
+
+        match self.mode {
+            Mode::Optimistic => {
+                if new_aborts || silent_replica {
+                    self.enter_pessimistic();
+                }
+            }
+            Mode::Pessimistic { since } => {
+                // Recovery: every remote replica has been heard from recently and the
+                // server has spent at least one detection period in pessimistic mode (to
+                // avoid flapping).
+                let healthy_window = self.config.heartbeat_interval * 8;
+                let all_healthy = self
+                    .last_remote_advance
+                    .iter()
+                    .enumerate()
+                    .all(|(i, last)| {
+                        i == local.index() || now.saturating_since(*last) <= healthy_window
+                    });
+                let settled = now.saturating_since(since)
+                    >= self.config.partition_detection_timeout;
+                if all_healthy && settled && !silent_replica {
+                    self.enter_optimistic();
+                }
+            }
+        }
+    }
+}
+
+impl<C: Clock + Clone> ProtocolServer for HaPoccServer<C> {
+    fn server_id(&self) -> ServerId {
+        self.inner.server_id()
+    }
+
+    fn handle_client_request(
+        &mut self,
+        client: ClientId,
+        request: ClientRequest,
+    ) -> Vec<ServerOutput> {
+        if !self.mode.is_pessimistic() {
+            self.optimistic_clients.insert(client);
+            return self.inner.handle_client_request(client, request);
+        }
+        // First contact from a client whose session predates the fall-back: close it, so
+        // the client re-initialises and continues with a dependency-free pessimistic
+        // session (phase 2 of the recovery procedure).
+        if self.optimistic_clients.remove(&client) {
+            return vec![self.abort_session(client)];
+        }
+        let mut outputs = Vec::new();
+        match request {
+            ClientRequest::Get { key, rdv } => {
+                let out = if self.serveable_pessimistically(&rdv) {
+                    self.pessimistic_get(client, key)
+                } else {
+                    self.abort_session(client)
+                };
+                outputs.push(out);
+            }
+            ClientRequest::Put { .. } => {
+                // Writes are applied by the optimistic server; the dependency wait is
+                // disabled while in pessimistic mode so the PUT cannot block.
+                outputs = self.inner.handle_client_request(client, request);
+            }
+            ClientRequest::RoTx { keys, rdv } => {
+                if self.serveable_pessimistically(&rdv) {
+                    self.pessimistic_ro_tx(client, keys, rdv, &mut outputs);
+                } else {
+                    let out = self.abort_session(client);
+                    outputs.push(out);
+                }
+            }
+        }
+        outputs
+    }
+
+    fn handle_server_message(&mut self, from: ServerId, message: ServerMessage) -> Vec<ServerOutput> {
+        match message {
+            ServerMessage::StabilizationVector { vv } => {
+                self.overlay.stabilization_messages += 1;
+                self.local_vvs.insert(from.partition, vv);
+                self.recompute_gss();
+                Vec::new()
+            }
+            ServerMessage::SliceResponse { tx, items } if tx.0 & HA_TX_BIT != 0 => {
+                let mut outputs = Vec::new();
+                self.complete_ha_slice(tx, items, &mut outputs);
+                outputs
+            }
+            other => self.inner.handle_server_message(from, other),
+        }
+    }
+
+    fn tick(&mut self) -> Vec<ServerOutput> {
+        let mut outputs = self.inner.tick();
+        let now = self.clock.now();
+
+        // The infrequent stabilization protocol: this is what makes the pessimistic
+        // fall-back possible at all, and because it runs orders of magnitude less often
+        // than Cure's it costs almost nothing during normal operation (§IV-C).
+        if now.saturating_since(self.last_stabilization) >= self.config.ha_stabilization_interval {
+            self.last_stabilization = now;
+            let vv = self.inner.version_vector().clone();
+            for peer in self.local_peers() {
+                self.overlay.stabilization_messages += 1;
+                self.overlay.bytes_sent += vv.wire_size() as u64;
+                outputs.push(ServerOutput::send(
+                    peer,
+                    ServerMessage::StabilizationVector { vv: vv.clone() },
+                ));
+            }
+            self.recompute_gss();
+        }
+
+        self.detect_and_recover();
+        outputs
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut m = self.inner.metrics();
+        m.merge(&self.overlay);
+        m
+    }
+
+    fn digest(&self) -> Vec<(Key, Timestamp, ReplicaId)> {
+        self.inner.digest()
+    }
+
+    fn take_extra_work(&mut self) -> u64 {
+        self.inner.take_extra_work()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_clock::ManualClock;
+    use pocc_types::{Value, Version};
+    use std::time::Duration;
+
+    const MS: u64 = 1_000;
+
+    fn config() -> Config {
+        Config::builder()
+            .num_replicas(3)
+            .num_partitions(1)
+            .partition_detection_timeout(Duration::from_millis(200))
+            .ha_stabilization_interval(Duration::from_millis(50))
+            .build()
+            .unwrap()
+    }
+
+    fn key_in(partition: usize, num_partitions: usize) -> Key {
+        (0u64..)
+            .map(Key)
+            .find(|k| partition_for_key(*k, num_partitions).index() == partition)
+            .unwrap()
+    }
+
+    fn dv(entries: &[u64]) -> DependencyVector {
+        DependencyVector::from_entries(entries.iter().map(|&e| Timestamp(e)).collect())
+    }
+
+    fn extract_reply(outputs: &[ServerOutput], client: ClientId) -> Option<ClientReply> {
+        outputs.iter().find_map(|o| match o {
+            ServerOutput::Reply { client: c, reply } if *c == client => Some(reply.clone()),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn optimistic_mode_delegates_to_the_inner_server() {
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = HaPoccServer::new(ServerId::new(0u16, 0u32), config(), clock.clone());
+        assert_eq!(s.mode(), Mode::Optimistic);
+        let key = key_in(0, 1);
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Put {
+                key,
+                value: Value::from("x"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+        assert!(matches!(
+            extract_reply(&outputs, ClientId(1)),
+            Some(ClientReply::Put { .. })
+        ));
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        assert!(matches!(
+            extract_reply(&outputs, ClientId(1)),
+            Some(ClientReply::Get(_))
+        ));
+        assert_eq!(s.metrics().gets_served, 1);
+        assert_eq!(s.metrics().puts_served, 1);
+    }
+
+    #[test]
+    fn silent_replica_triggers_pessimistic_mode_and_recovery_follows() {
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = HaPoccServer::new(ServerId::new(0u16, 0u32), config(), clock.clone());
+
+        // Replicas keep sending heartbeats: the server stays optimistic.
+        for step in 1..=5u64 {
+            clock.set(Timestamp((10 + step * 10) * MS));
+            for r in [1u16, 2] {
+                s.handle_server_message(
+                    ServerId::new(r, 0u32),
+                    ServerMessage::Heartbeat {
+                        clock: Timestamp((10 + step * 10) * MS),
+                    },
+                );
+            }
+            s.tick();
+            assert_eq!(s.mode(), Mode::Optimistic);
+        }
+
+        // Replica 2 goes silent for longer than the detection timeout.
+        for step in 6..=10u64 {
+            clock.set(Timestamp((10 + step * 10) * MS));
+            s.handle_server_message(
+                ServerId::new(1u16, 0u32),
+                ServerMessage::Heartbeat {
+                    clock: Timestamp((10 + step * 10) * MS),
+                },
+            );
+            s.tick();
+        }
+        clock.set(Timestamp(400 * MS));
+        s.tick();
+        assert!(s.mode().is_pessimistic(), "silence must trigger the fall-back");
+        assert_eq!(s.mode_switches(), 1);
+
+        // The partition heals: traffic from replica 2 resumes, and after the settle period
+        // the server promotes itself back to optimistic mode.
+        for step in 0..60u64 {
+            let t = Timestamp((410 + step * 10) * MS);
+            clock.set(t);
+            for r in [1u16, 2] {
+                s.handle_server_message(
+                    ServerId::new(r, 0u32),
+                    ServerMessage::Heartbeat { clock: t },
+                );
+            }
+            s.tick();
+        }
+        assert_eq!(s.mode(), Mode::Optimistic);
+        assert_eq!(s.mode_switches(), 2);
+    }
+
+    #[test]
+    fn pessimistic_get_does_not_block_and_returns_stable_data() {
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = HaPoccServer::new(ServerId::new(0u16, 0u32), config(), clock.clone());
+        let key = key_in(0, 1);
+
+        // An unstable remote version (its dependency on replica 2 never arrives).
+        s.handle_server_message(
+            ServerId::new(1u16, 0u32),
+            ServerMessage::Replicate {
+                version: Version::new(
+                    key,
+                    Value::from("unstable"),
+                    ReplicaId(1),
+                    Timestamp(9 * MS),
+                    dv(&[0, 0, 99 * MS]),
+                ),
+            },
+        );
+        s.force_pessimistic();
+
+        // A client that depends on the missing item would block under plain POCC; the
+        // pessimistic fall-back cannot honour that dependency either, so it closes the
+        // session immediately instead of blocking.
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 0, 99 * MS]),
+            },
+        );
+        assert!(matches!(
+            extract_reply(&outputs, ClientId(1)),
+            Some(ClientReply::SessionAborted { .. })
+        ));
+
+        // The re-initialised (dependency-free) session is served immediately: the unstable
+        // remote version is hidden and "not found" comes back — but nothing blocks.
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(1)) {
+            Some(ClientReply::Get(resp)) => {
+                assert!(resp.value.is_none());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(s.metrics().currently_blocked, 0);
+        assert_eq!(s.metrics().sessions_aborted, 1);
+    }
+
+    #[test]
+    fn pessimistic_put_does_not_wait_for_dependencies() {
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = HaPoccServer::new(ServerId::new(0u16, 0u32), config(), clock.clone());
+        s.force_pessimistic();
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Put {
+                key: key_in(0, 1),
+                value: Value::from("w"),
+                dv: dv(&[0, 0, 500 * MS]),
+            },
+        );
+        assert!(matches!(
+            extract_reply(&outputs, ClientId(1)),
+            Some(ClientReply::Put { .. })
+        ));
+        assert_eq!(s.metrics().currently_blocked, 0);
+
+        // Back in optimistic mode the configured wait applies again.
+        s.force_optimistic();
+        let outputs = s.handle_client_request(
+            ClientId(2),
+            ClientRequest::Put {
+                key: key_in(0, 1),
+                value: Value::from("w2"),
+                dv: dv(&[0, 900 * MS, 0]),
+            },
+        );
+        assert!(outputs.is_empty(), "the optimistic PUT must park again");
+    }
+
+    #[test]
+    fn pessimistic_transaction_completes_from_the_stable_snapshot() {
+        let cfg = Config::builder()
+            .num_replicas(3)
+            .num_partitions(1)
+            .build()
+            .unwrap();
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = HaPoccServer::new(ServerId::new(0u16, 0u32), cfg, clock.clone());
+        let key = key_in(0, 1);
+        s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Put {
+                key,
+                value: Value::from("mine"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+        s.force_pessimistic();
+        // The writer's optimistic-era session is closed on first contact after the switch;
+        // the client re-initialises (dropping its dependencies) and retries.
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::RoTx {
+                keys: vec![key],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        assert!(matches!(
+            extract_reply(&outputs, ClientId(1)),
+            Some(ClientReply::SessionAborted { .. })
+        ));
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::RoTx {
+                keys: vec![key],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(1)) {
+            Some(ClientReply::RoTx { items }) => {
+                assert_eq!(items.len(), 1);
+                // The local write is stable (it has no dependencies), so the re-initialised
+                // pessimistic session still sees it.
+                assert_eq!(items[0].response.value.as_ref().unwrap().as_slice(), b"mine");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(s.metrics().rotx_served, 1);
+    }
+
+    #[test]
+    fn infrequent_stabilization_messages_are_emitted() {
+        let cfg = Config::builder()
+            .num_replicas(3)
+            .num_partitions(4)
+            .ha_stabilization_interval(Duration::from_millis(50))
+            .build()
+            .unwrap();
+        let clock = ManualClock::new(Timestamp(100 * MS));
+        let mut s = HaPoccServer::new(ServerId::new(0u16, 0u32), cfg, clock.clone());
+        let outputs = s.tick();
+        let stab = outputs
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    ServerOutput::Send {
+                        message: ServerMessage::StabilizationVector { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(stab, 3);
+        // Not again within the (long) HA stabilization interval.
+        clock.set(Timestamp(120 * MS));
+        let outputs = s.tick();
+        assert_eq!(
+            outputs
+                .iter()
+                .filter(|o| matches!(
+                    o,
+                    ServerOutput::Send {
+                        message: ServerMessage::StabilizationVector { .. },
+                        ..
+                    }
+                ))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn stabilization_vectors_from_peers_advance_the_gss() {
+        let cfg = Config::builder()
+            .num_replicas(3)
+            .num_partitions(2)
+            .build()
+            .unwrap();
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = HaPoccServer::new(ServerId::new(0u16, 0u32), cfg, clock.clone());
+        s.tick(); // own VV[0] -> 10ms
+        s.handle_server_message(
+            ServerId::new(0u16, 1u32),
+            ServerMessage::StabilizationVector {
+                vv: VersionVector::from_entries(vec![
+                    Timestamp(8 * MS),
+                    Timestamp(7 * MS),
+                    Timestamp(6 * MS),
+                ]),
+            },
+        );
+        assert_eq!(s.gss(), &dv(&[8 * MS, 0, 0]));
+    }
+}

@@ -1,0 +1,139 @@
+//! Client-side session management for HA-POCC.
+
+use pocc_proto::{ClientReply, ClientRequest, ProtocolClient};
+use pocc_protocol::Client;
+use pocc_types::{ClientId, Key, Result, ServerId, Value};
+
+/// A client session that survives server-initiated aborts.
+///
+/// When a POCC server suspects a network partition it closes the sessions of blocked
+/// clients (§III-B). The application-visible consequence is a [`ClientReply::SessionAborted`]
+/// reply; the recovery procedure asks the client to re-initialise its session, losing the
+/// dependency history accumulated so far (and therefore possibly no longer seeing versions
+/// it previously read or wrote — an anomaly that is also possible under a plain pessimistic
+/// protocol when a client fails over to another data center).
+///
+/// `HaSession` wraps [`Client`] and performs this re-initialisation automatically, counting
+/// how often it happened so applications and benchmarks can report it.
+#[derive(Clone, Debug)]
+pub struct HaSession {
+    client: Client,
+    reinitializations: u64,
+}
+
+impl HaSession {
+    /// Creates a session for `id` attached to `home` in a deployment of `num_replicas`
+    /// data centers.
+    pub fn new(id: ClientId, home: ServerId, num_replicas: usize) -> Self {
+        HaSession {
+            client: Client::new(id, home, num_replicas),
+            reinitializations: 0,
+        }
+    }
+
+    /// The wrapped protocol client.
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// How many times the session has been re-initialised after a server-side abort.
+    pub fn reinitializations(&self) -> u64 {
+        self.reinitializations
+    }
+
+    /// Builds a GET request.
+    pub fn get(&self, key: Key) -> ClientRequest {
+        self.client.get(key)
+    }
+
+    /// Builds a PUT request.
+    pub fn put(&self, key: Key, value: Value) -> ClientRequest {
+        self.client.put(key, value)
+    }
+
+    /// Builds a RO-TX request.
+    pub fn ro_tx(&self, keys: Vec<Key>) -> ClientRequest {
+        self.client.ro_tx(keys)
+    }
+
+    /// The client id of this session.
+    pub fn client_id(&self) -> ClientId {
+        self.client.client_id()
+    }
+
+    /// Folds a reply into the session. Unlike [`Client::process_reply`], a
+    /// `SessionAborted` reply is absorbed: the session is re-initialised and `Ok(())` is
+    /// returned, with [`HaSession::reinitializations`] incremented.
+    pub fn process_reply(&mut self, reply: &ClientReply) -> Result<()> {
+        match self.client.process_reply(reply) {
+            Ok(()) => Ok(()),
+            Err(pocc_types::Error::SessionAborted { .. }) => {
+                self.client.reinitialize();
+                self.reinitializations += 1;
+                Ok(())
+            }
+            Err(other) => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_proto::GetResponse;
+    use pocc_types::{DependencyVector, ReplicaId, Timestamp};
+
+    fn session() -> HaSession {
+        HaSession::new(ClientId(1), ServerId::new(0u16, 0u32), 3)
+    }
+
+    #[test]
+    fn normal_replies_are_delegated_to_the_client() {
+        let mut s = session();
+        let resp = GetResponse {
+            value: Some(Value::from("v")),
+            update_time: Timestamp(10),
+            deps: DependencyVector::zero(3),
+            source_replica: ReplicaId(1),
+        };
+        s.process_reply(&ClientReply::Get(resp)).unwrap();
+        assert_eq!(
+            s.client().dependency_vector().get(ReplicaId(1)),
+            Timestamp(10)
+        );
+        assert_eq!(s.reinitializations(), 0);
+    }
+
+    #[test]
+    fn aborts_reinitialize_the_session_and_drop_dependencies() {
+        let mut s = session();
+        s.process_reply(&ClientReply::Put {
+            update_time: Timestamp(99),
+        })
+        .unwrap();
+        assert_eq!(
+            s.client().dependency_vector().get(ReplicaId(0)),
+            Timestamp(99)
+        );
+        s.process_reply(&ClientReply::SessionAborted {
+            reason: "partition".into(),
+        })
+        .unwrap();
+        assert_eq!(s.reinitializations(), 1);
+        assert_eq!(
+            s.client().dependency_vector().get(ReplicaId(0)),
+            Timestamp::ZERO
+        );
+        // The session keeps working after re-initialisation.
+        let req = s.get(Key(1));
+        assert!(matches!(req, ClientRequest::Get { .. }));
+        assert_eq!(s.client_id(), ClientId(1));
+    }
+
+    #[test]
+    fn request_builders_delegate() {
+        let s = session();
+        assert!(matches!(s.put(Key(1), Value::from("x")), ClientRequest::Put { .. }));
+        assert!(matches!(s.ro_tx(vec![Key(1)]), ClientRequest::RoTx { .. }));
+    }
+}

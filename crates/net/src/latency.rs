@@ -1,0 +1,116 @@
+//! Per-link latency model.
+
+use pocc_types::{LatencyMatrix, ServerId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Computes the one-way delay of a message between two servers.
+///
+/// The base delay comes from the deployment's [`LatencyMatrix`] (intra-DC for servers in
+/// the same data center, the WAN entry otherwise); an optional uniform jitter of up to
+/// `jitter_fraction` of the base delay is added on top, drawn from a seeded RNG so runs
+/// stay reproducible.
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    matrix: LatencyMatrix,
+    jitter_fraction: f64,
+    rng: StdRng,
+}
+
+impl LatencyModel {
+    /// Creates a latency model with no jitter.
+    pub fn new(matrix: LatencyMatrix) -> Self {
+        LatencyModel {
+            matrix,
+            jitter_fraction: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Creates a latency model adding up to `jitter_fraction` (e.g. `0.1` for 10 %) of
+    /// uniform random jitter to every delay.
+    pub fn with_jitter(matrix: LatencyMatrix, jitter_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&jitter_fraction),
+            "jitter fraction must be within [0, 1]"
+        );
+        LatencyModel {
+            matrix,
+            jitter_fraction,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying latency matrix.
+    pub fn matrix(&self) -> &LatencyMatrix {
+        &self.matrix
+    }
+
+    /// The one-way delay for a message from `from` to `to`.
+    pub fn delay(&mut self, from: ServerId, to: ServerId) -> Duration {
+        let base = self.matrix.between(from.replica, to.replica);
+        if self.jitter_fraction == 0.0 || base.is_zero() {
+            return base;
+        }
+        let jitter_max = base.as_nanos() as f64 * self.jitter_fraction;
+        let jitter = self.rng.gen_range(0.0..=jitter_max);
+        base + Duration::from_nanos(jitter as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_types::ReplicaId;
+
+    fn servers() -> (ServerId, ServerId, ServerId) {
+        (
+            ServerId::new(0u16, 0u32),
+            ServerId::new(0u16, 1u32),
+            ServerId::new(2u16, 0u32),
+        )
+    }
+
+    #[test]
+    fn no_jitter_returns_the_matrix_entries() {
+        let (a, b, c) = servers();
+        let matrix = LatencyMatrix::aws_three_dc();
+        let mut model = LatencyModel::new(matrix.clone());
+        assert_eq!(model.delay(a, b), matrix.intra_dc);
+        assert_eq!(
+            model.delay(a, c),
+            matrix.between(ReplicaId(0), ReplicaId(2))
+        );
+    }
+
+    #[test]
+    fn jitter_stays_within_the_configured_fraction() {
+        let (a, _, c) = servers();
+        let matrix = LatencyMatrix::aws_three_dc();
+        let base = matrix.between(ReplicaId(0), ReplicaId(2));
+        let mut model = LatencyModel::with_jitter(matrix, 0.1, 7);
+        for _ in 0..1_000 {
+            let d = model.delay(a, c);
+            assert!(d >= base);
+            assert!(d <= base + base.mul_f64(0.11));
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let (a, _, c) = servers();
+        let matrix = LatencyMatrix::aws_three_dc();
+        let mut m1 = LatencyModel::with_jitter(matrix.clone(), 0.2, 9);
+        let mut m2 = LatencyModel::with_jitter(matrix, 0.2, 9);
+        for _ in 0..100 {
+            assert_eq!(m1.delay(a, c), m2.delay(a, c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter fraction")]
+    fn out_of_range_jitter_is_rejected() {
+        LatencyModel::with_jitter(LatencyMatrix::aws_three_dc(), 1.5, 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! The simulated geo-replicated network substrate.
+//!
+//! The paper's system model (§II-C) assumes point-to-point **lossless FIFO channels**
+//! between nodes; the evaluation runs on three AWS regions connected by wide-area links.
+//! This crate models that substrate for the discrete-event simulator:
+//!
+//! * [`LatencyModel`] — per-link one-way delays (LAN within a data center, WAN between
+//!   data centers) with optional bounded random jitter,
+//! * [`SimNetwork`] — computes delivery times for messages while preserving per-link FIFO
+//!   order, holds traffic for partitioned link pairs and releases it (still in order) when
+//!   the partition heals. Messages are never dropped, matching the lossless-channel
+//!   assumption.
+//!
+//! The network does not own an event queue: the simulator asks it *when* each message
+//! should be delivered and schedules the delivery itself. This keeps the network model
+//! independently testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod network;
+
+pub use latency::LatencyModel;
+pub use network::{NetworkStats, SimNetwork};

@@ -1,0 +1,215 @@
+//! The simulated network: FIFO lossless links with partition injection.
+
+use crate::LatencyModel;
+use pocc_proto::Envelope;
+use pocc_types::{ReplicaId, ServerId, Timestamp};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Aggregate statistics of the simulated network.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages accepted for delivery.
+    pub messages_sent: u64,
+    /// Messages that crossed a data-center boundary.
+    pub wan_messages: u64,
+    /// Total bytes (wire-size estimate) accepted for delivery.
+    pub bytes_sent: u64,
+    /// Messages currently held because their link is partitioned.
+    pub held_messages: u64,
+}
+
+/// The simulated network.
+///
+/// Responsibilities:
+/// * compute a delivery timestamp for every message, honouring the latency model,
+/// * guarantee per-link FIFO: a message never overtakes an earlier message on the same
+///   `(from, to)` link, even when jitter would reorder them,
+/// * hold (never drop) traffic between partitioned data-center pairs and release it in
+///   order when the partition heals.
+#[derive(Debug)]
+pub struct SimNetwork {
+    latency: LatencyModel,
+    /// Last delivery time scheduled per directed link, to enforce FIFO.
+    last_delivery: HashMap<(ServerId, ServerId), Timestamp>,
+    /// Pairs of data centers currently partitioned from each other (stored with both
+    /// orderings for O(1) lookup).
+    partitions: std::collections::HashSet<(ReplicaId, ReplicaId)>,
+    /// Messages held because their link is partitioned, per directed DC pair, in send
+    /// order.
+    held: HashMap<(ReplicaId, ReplicaId), VecDeque<Envelope>>,
+    stats: NetworkStats,
+}
+
+impl SimNetwork {
+    /// Creates a network with the given latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        SimNetwork {
+            latency,
+            last_delivery: HashMap::new(),
+            partitions: std::collections::HashSet::new(),
+            held: HashMap::new(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> NetworkStats {
+        let mut s = self.stats;
+        s.held_messages = self.held.values().map(|q| q.len() as u64).sum();
+        s
+    }
+
+    /// Whether traffic between the two data centers is currently blocked.
+    pub fn is_partitioned(&self, a: ReplicaId, b: ReplicaId) -> bool {
+        self.partitions.contains(&(a, b))
+    }
+
+    /// Injects a network partition between data centers `a` and `b` (both directions).
+    /// Intra-DC traffic and traffic to other data centers is unaffected.
+    pub fn partition(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.partitions.insert((a, b));
+        self.partitions.insert((b, a));
+    }
+
+    /// Accepts a message and returns its scheduled delivery, or `None` if the link is
+    /// partitioned (the message is held, not dropped).
+    pub fn send(&mut self, envelope: Envelope, now: Timestamp) -> Option<(Timestamp, Envelope)> {
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += envelope.message.wire_size() as u64;
+        if envelope.crosses_dc() {
+            self.stats.wan_messages += 1;
+        }
+        let pair = (envelope.from.replica, envelope.to.replica);
+        if self.partitions.contains(&pair) {
+            self.held.entry(pair).or_default().push_back(envelope);
+            return None;
+        }
+        Some(self.schedule(envelope, now))
+    }
+
+    /// Heals the partition between `a` and `b`, returning the held traffic with fresh
+    /// delivery times (per-link FIFO order preserved).
+    pub fn heal(&mut self, a: ReplicaId, b: ReplicaId, now: Timestamp) -> Vec<(Timestamp, Envelope)> {
+        self.partitions.remove(&(a, b));
+        self.partitions.remove(&(b, a));
+        let mut released = Vec::new();
+        for pair in [(a, b), (b, a)] {
+            if let Some(queue) = self.held.remove(&pair) {
+                for envelope in queue {
+                    released.push(self.schedule(envelope, now));
+                }
+            }
+        }
+        released
+    }
+
+    /// Computes the delivery time for a message on a healthy link.
+    fn schedule(&mut self, envelope: Envelope, now: Timestamp) -> (Timestamp, Envelope) {
+        let delay = self.latency.delay(envelope.from, envelope.to);
+        let mut at = now + delay;
+        let link = (envelope.from, envelope.to);
+        if let Some(last) = self.last_delivery.get(&link) {
+            if at <= *last {
+                at = *last + Duration::from_nanos(1_000);
+            }
+        }
+        self.last_delivery.insert(link, at);
+        (at, envelope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_proto::ServerMessage;
+    use pocc_types::LatencyMatrix;
+
+    fn network(jitter: f64) -> SimNetwork {
+        let model = if jitter == 0.0 {
+            LatencyModel::new(LatencyMatrix::aws_three_dc())
+        } else {
+            LatencyModel::with_jitter(LatencyMatrix::aws_three_dc(), jitter, 3)
+        };
+        SimNetwork::new(model)
+    }
+
+    fn envelope(from_dc: u16, to_dc: u16, clock: u64) -> Envelope {
+        Envelope::new(
+            ServerId::new(from_dc, 0u32),
+            ServerId::new(to_dc, 0u32),
+            Timestamp(clock),
+            ServerMessage::Heartbeat {
+                clock: Timestamp(clock),
+            },
+        )
+    }
+
+    #[test]
+    fn delivery_time_reflects_the_latency_matrix() {
+        let mut net = network(0.0);
+        let (at, _) = net.send(envelope(0, 2, 1), Timestamp::ZERO).unwrap();
+        assert_eq!(at, Timestamp::from_millis(70));
+        let (at, _) = net.send(envelope(0, 0, 1), Timestamp::ZERO).unwrap();
+        assert_eq!(at, Timestamp(250));
+    }
+
+    #[test]
+    fn fifo_is_preserved_even_with_jitter() {
+        let mut net = network(0.5);
+        let mut last = Timestamp::ZERO;
+        for i in 0..200u64 {
+            let (at, _) = net.send(envelope(0, 1, i), Timestamp(i)).unwrap();
+            assert!(at > last, "message {i} delivered at {at} before {last}");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn partitioned_links_hold_traffic_and_heal_releases_it_in_order() {
+        let mut net = network(0.0);
+        net.partition(ReplicaId(0), ReplicaId(1));
+        assert!(net.is_partitioned(ReplicaId(0), ReplicaId(1)));
+        assert!(net.is_partitioned(ReplicaId(1), ReplicaId(0)));
+
+        for i in 0..5u64 {
+            assert!(net.send(envelope(0, 1, i), Timestamp(i)).is_none());
+        }
+        // Other links keep working.
+        assert!(net.send(envelope(0, 2, 9), Timestamp(9)).is_some());
+        assert_eq!(net.stats().held_messages, 5);
+
+        let released = net.heal(ReplicaId(0), ReplicaId(1), Timestamp::from_millis(500));
+        assert_eq!(released.len(), 5);
+        // Released messages keep their original order and deliver after the heal time.
+        let mut last = Timestamp::ZERO;
+        for (i, (at, env)) in released.iter().enumerate() {
+            assert!(*at >= Timestamp::from_millis(500));
+            assert!(*at > last);
+            last = *at;
+            match env.message {
+                ServerMessage::Heartbeat { clock } => assert_eq!(clock, Timestamp(i as u64)),
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(net.stats().held_messages, 0);
+        assert!(!net.is_partitioned(ReplicaId(0), ReplicaId(1)));
+    }
+
+    #[test]
+    fn stats_count_wan_and_bytes() {
+        let mut net = network(0.0);
+        net.send(envelope(0, 1, 1), Timestamp::ZERO);
+        net.send(envelope(0, 0, 2), Timestamp::ZERO);
+        let stats = net.stats();
+        assert_eq!(stats.messages_sent, 2);
+        assert_eq!(stats.wan_messages, 1);
+        assert!(stats.bytes_sent > 0);
+    }
+
+    #[test]
+    fn healing_an_unpartitioned_pair_is_a_noop() {
+        let mut net = network(0.0);
+        assert!(net.heal(ReplicaId(0), ReplicaId(1), Timestamp::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Bookkeeping for parked (blocked) operations.
+//!
+//! The optimism of POCC means a server can receive a request whose causal dependencies it
+//! has not installed yet. Instead of returning stale data (the pessimistic choice) the
+//! server *parks* the request and serves it as soon as the missing replication traffic or
+//! heartbeat arrives (§III-A, "client-assisted lazy dependency resolution").
+//!
+//! This module holds the internal representation of parked operations and the public,
+//! read-only view exposed for observability and for the partition detector of HA-POCC.
+
+use pocc_proto::TxId;
+use pocc_types::{ClientId, DependencyVector, Key, ServerId, Timestamp, Value};
+
+/// Why an operation is parked.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockReason {
+    /// A GET is waiting for the server's version vector to cover the client's read
+    /// dependency vector (Algorithm 2 line 2).
+    MissingReadDependency,
+    /// A PUT is waiting for the server's version vector to cover the client's dependency
+    /// vector (Algorithm 2 line 6, optional but enabled in the paper's evaluation).
+    MissingWriteDependency,
+    /// A transactional slice read is waiting for the server's version vector to reach the
+    /// transaction snapshot vector (Algorithm 2 line 40).
+    SnapshotNotInstalled,
+}
+
+impl std::fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BlockReason::MissingReadDependency => "missing read dependency",
+            BlockReason::MissingWriteDependency => "missing write dependency",
+            BlockReason::SnapshotNotInstalled => "transaction snapshot not installed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A read-only view of one parked operation, for observability.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PendingOp {
+    /// The client on whose behalf the operation runs.
+    pub client: ClientId,
+    /// Why the operation is blocked.
+    pub reason: BlockReason,
+    /// When the operation was parked (server clock).
+    pub since: Timestamp,
+}
+
+/// The internal representation of a parked operation.
+#[derive(Clone, Debug)]
+pub(crate) enum Parked {
+    /// A GET waiting for the client's read dependencies.
+    Get {
+        client: ClientId,
+        key: Key,
+        rdv: DependencyVector,
+        since: Timestamp,
+    },
+    /// A PUT waiting for the client's dependencies.
+    Put {
+        client: ClientId,
+        key: Key,
+        value: Value,
+        dv: DependencyVector,
+        since: Timestamp,
+    },
+    /// A transactional slice read waiting for the snapshot to be installed locally.
+    /// `origin` is the coordinating server, or `None` when this server coordinates the
+    /// transaction itself (a "self slice").
+    Slice {
+        origin: Option<ServerId>,
+        tx: TxId,
+        client: ClientId,
+        keys: Vec<Key>,
+        snapshot: DependencyVector,
+        since: Timestamp,
+    },
+}
+
+impl Parked {
+    /// The time the operation was parked.
+    pub(crate) fn since(&self) -> Timestamp {
+        match self {
+            Parked::Get { since, .. } | Parked::Put { since, .. } | Parked::Slice { since, .. } => {
+                *since
+            }
+        }
+    }
+
+    /// The client on whose behalf the operation runs.
+    pub(crate) fn client(&self) -> ClientId {
+        match self {
+            Parked::Get { client, .. }
+            | Parked::Put { client, .. }
+            | Parked::Slice { client, .. } => *client,
+        }
+    }
+
+    /// The public view of this parked operation.
+    pub(crate) fn view(&self) -> PendingOp {
+        PendingOp {
+            client: self.client(),
+            reason: self.reason(),
+            since: self.since(),
+        }
+    }
+
+    /// Why the operation is parked.
+    pub(crate) fn reason(&self) -> BlockReason {
+        match self {
+            Parked::Get { .. } => BlockReason::MissingReadDependency,
+            Parked::Put { .. } => BlockReason::MissingWriteDependency,
+            Parked::Slice { .. } => BlockReason::SnapshotNotInstalled,
+        }
+    }
+
+    /// Whether the operation directly blocks a client request (as opposed to an internal
+    /// slice read on behalf of a remote coordinator).
+    pub(crate) fn is_client_facing(&self) -> bool {
+        !matches!(
+            self,
+            Parked::Slice {
+                origin: Some(_),
+                ..
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_report_reason_client_and_since() {
+        let get = Parked::Get {
+            client: ClientId(1),
+            key: Key(2),
+            rdv: DependencyVector::zero(3),
+            since: Timestamp(10),
+        };
+        let put = Parked::Put {
+            client: ClientId(2),
+            key: Key(2),
+            value: Value::from("x"),
+            dv: DependencyVector::zero(3),
+            since: Timestamp(20),
+        };
+        let slice = Parked::Slice {
+            origin: Some(ServerId::new(0u16, 1u32)),
+            tx: TxId(1),
+            client: ClientId(3),
+            keys: vec![Key(1)],
+            snapshot: DependencyVector::zero(3),
+            since: Timestamp(30),
+        };
+        assert_eq!(
+            get.view(),
+            PendingOp {
+                client: ClientId(1),
+                reason: BlockReason::MissingReadDependency,
+                since: Timestamp(10)
+            }
+        );
+        assert_eq!(put.view().reason, BlockReason::MissingWriteDependency);
+        assert_eq!(slice.view().reason, BlockReason::SnapshotNotInstalled);
+        assert_eq!(slice.since(), Timestamp(30));
+        assert_eq!(slice.client(), ClientId(3));
+    }
+
+    #[test]
+    fn client_facing_classification() {
+        let self_slice = Parked::Slice {
+            origin: None,
+            tx: TxId(1),
+            client: ClientId(3),
+            keys: vec![],
+            snapshot: DependencyVector::zero(1),
+            since: Timestamp(0),
+        };
+        let remote_slice = Parked::Slice {
+            origin: Some(ServerId::new(0u16, 1u32)),
+            tx: TxId(1),
+            client: ClientId(3),
+            keys: vec![],
+            snapshot: DependencyVector::zero(1),
+            since: Timestamp(0),
+        };
+        let get = Parked::Get {
+            client: ClientId(1),
+            key: Key(2),
+            rdv: DependencyVector::zero(1),
+            since: Timestamp(0),
+        };
+        assert!(self_slice.is_client_facing());
+        assert!(!remote_slice.is_client_facing());
+        assert!(get.is_client_facing());
+    }
+
+    #[test]
+    fn block_reasons_render_human_readable() {
+        assert_eq!(
+            BlockReason::MissingReadDependency.to_string(),
+            "missing read dependency"
+        );
+        assert_eq!(
+            BlockReason::MissingWriteDependency.to_string(),
+            "missing write dependency"
+        );
+        assert_eq!(
+            BlockReason::SnapshotNotInstalled.to_string(),
+            "transaction snapshot not installed"
+        );
+    }
+}

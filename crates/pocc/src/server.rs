@@ -1,0 +1,1484 @@
+//! The POCC server state machine (Algorithm 2 of the paper).
+
+use crate::pending::{Parked, PendingOp};
+use pocc_clock::Clock;
+use pocc_proto::{
+    ClientReply, ClientRequest, GetResponse, MetricsSnapshot, ProtocolServer, ServerMessage,
+    ServerOutput, TxId, TxItem,
+};
+use pocc_storage::{partition_for_key, PartitionStore};
+use pocc_types::{
+    ClientId, Config, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Timestamp, Version,
+    VersionVector,
+};
+use std::collections::HashMap;
+
+/// State of a read-only transaction this server coordinates.
+#[derive(Clone, Debug)]
+struct TxState {
+    client: ClientId,
+    /// Number of slice responses still expected (including the local slice, if parked).
+    outstanding_slices: usize,
+    /// Items collected so far.
+    items: Vec<TxItem>,
+    /// The transaction snapshot vector `TV` (contributes to the GC lower bound).
+    snapshot: DependencyVector,
+    /// When the transaction started (server clock), for the partition detector.
+    started: Timestamp,
+}
+
+/// An observability snapshot of a POCC server's internal state.
+#[derive(Clone, Debug)]
+pub struct ServerStatus {
+    /// The server's version vector.
+    pub version_vector: VersionVector,
+    /// Currently parked operations.
+    pub pending: Vec<PendingOp>,
+    /// Read-only transactions currently being coordinated.
+    pub active_transactions: usize,
+    /// Storage statistics.
+    pub store: pocc_storage::StoreStats,
+}
+
+/// A POCC server `p^m_n`: one replica (data center `m`) of one partition (`n`).
+///
+/// The server is a sans-IO state machine: feed it client requests, server messages and
+/// periodic ticks; it returns the replies and messages to deliver. See the crate-level
+/// documentation for an end-to-end example.
+pub struct PoccServer<C> {
+    id: ServerId,
+    config: Config,
+    clock: C,
+    store: PartitionStore,
+    /// The version vector `VV^m_n`.
+    vv: VersionVector,
+    /// Parked operations, in arrival order.
+    parked: Vec<Parked>,
+    /// Read-only transactions this server coordinates.
+    transactions: HashMap<TxId, TxState>,
+    next_tx: TxId,
+    /// Latest garbage-collection contribution received from each local peer partition.
+    gc_contributions: HashMap<PartitionId, DependencyVector>,
+    /// When the last garbage-collection exchange was initiated.
+    last_gc_exchange: Timestamp,
+    metrics: MetricsSnapshot,
+    /// Extra CPU work units (chain elements traversed beyond the head) since the last
+    /// [`ProtocolServer::take_extra_work`] call.
+    extra_work: u64,
+}
+
+impl<C: Clock> PoccServer<C> {
+    /// Creates a POCC server for `id` with the given deployment configuration and clock.
+    pub fn new(id: ServerId, config: Config, clock: C) -> Self {
+        let m = config.num_replicas;
+        PoccServer {
+            store: PartitionStore::new(id.partition, config.num_partitions),
+            vv: VersionVector::zero(m),
+            parked: Vec::new(),
+            transactions: HashMap::new(),
+            next_tx: TxId(0),
+            gc_contributions: HashMap::new(),
+            last_gc_exchange: Timestamp::ZERO,
+            metrics: MetricsSnapshot::default(),
+            extra_work: 0,
+            id,
+            config,
+            clock,
+        }
+    }
+
+    /// The replica (data center) this server belongs to.
+    pub fn replica(&self) -> ReplicaId {
+        self.id.replica
+    }
+
+    /// The partition this server is responsible for.
+    pub fn partition(&self) -> PartitionId {
+        self.id.partition
+    }
+
+    /// The server's current version vector.
+    pub fn version_vector(&self) -> &VersionVector {
+        &self.vv
+    }
+
+    /// Read access to the underlying store (used by tests and the convergence checker).
+    pub fn store(&self) -> &PartitionStore {
+        &self.store
+    }
+
+    /// Enables or disables the PUT-side dependency wait (Algorithm 2 line 6) at runtime.
+    ///
+    /// HA-POCC (`pocc-ha`) turns the wait off while a session operates in pessimistic mode
+    /// during a network partition, so writes never block on dependencies that may be stuck
+    /// behind the partition.
+    pub fn set_put_waits_for_dependencies(&mut self, yes: bool) {
+        self.config.put_waits_for_dependencies = yes;
+    }
+
+    /// An observability snapshot of the server's state.
+    pub fn status(&self) -> ServerStatus {
+        ServerStatus {
+            version_vector: self.vv.clone(),
+            pending: self.parked.iter().map(Parked::view).collect(),
+            active_transactions: self.transactions.len(),
+            store: self.store.stats(),
+        }
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Helpers
+    // -----------------------------------------------------------------------------------
+
+    /// Builds a `Send` output while accounting for the traffic in the metrics.
+    fn send(&mut self, to: ServerId, message: ServerMessage) -> ServerOutput {
+        self.metrics.bytes_sent += message.wire_size() as u64;
+        match &message {
+            ServerMessage::Replicate { .. } => self.metrics.replicate_sent += 1,
+            ServerMessage::Heartbeat { .. } => self.metrics.heartbeats_sent += 1,
+            ServerMessage::StabilizationVector { .. } => self.metrics.stabilization_messages += 1,
+            ServerMessage::GcVector { .. } => self.metrics.gc_messages += 1,
+            _ => {}
+        }
+        ServerOutput::send(to, message)
+    }
+
+    /// The sibling replicas of this server: same partition, every other data center.
+    fn siblings(&self) -> Vec<ServerId> {
+        self.config
+            .replicas()
+            .filter(|r| *r != self.id.replica)
+            .map(|r| self.id.sibling(r))
+            .collect()
+    }
+
+    /// The local peers of this server: same data center, every other partition.
+    fn local_peers(&self) -> Vec<ServerId> {
+        self.config
+            .partitions()
+            .filter(|p| *p != self.id.partition)
+            .map(|p| self.id.local_peer(p))
+            .collect()
+    }
+
+    /// Whether the server has installed every dependency in `deps` originated at a remote
+    /// data center (the wait condition of Algorithm 2 lines 2 and 6).
+    fn covers_remote_deps(&self, deps: &DependencyVector) -> bool {
+        self.vv
+            .covers_dependencies_except_local(deps, self.id.replica)
+    }
+
+    /// Builds the reply payload for a read of `key` at the head of its version chain.
+    fn freshest_response(&self, key: Key) -> GetResponse {
+        match self.store.latest(key) {
+            Some(v) => GetResponse {
+                value: Some(v.value.clone()),
+                update_time: v.update_time,
+                deps: v.deps.clone(),
+                source_replica: v.source_replica,
+            },
+            None => GetResponse {
+                value: None,
+                update_time: Timestamp::ZERO,
+                deps: DependencyVector::zero(self.config.num_replicas),
+                source_replica: self.id.replica,
+            },
+        }
+    }
+
+    // -----------------------------------------------------------------------------------
+    // GET
+    // -----------------------------------------------------------------------------------
+
+    fn handle_get(
+        &mut self,
+        client: ClientId,
+        key: Key,
+        rdv: DependencyVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        if self.covers_remote_deps(&rdv) {
+            outputs.push(self.serve_get(client, key));
+        } else {
+            self.metrics.blocked_operations += 1;
+            self.parked.push(Parked::Get {
+                client,
+                key,
+                rdv,
+                since: self.clock.now(),
+            });
+        }
+    }
+
+    /// Serves a GET whose wait condition holds: return the freshest version
+    /// (Algorithm 2 lines 3–4).
+    fn serve_get(&mut self, client: ClientId, key: Key) -> ServerOutput {
+        self.metrics.gets_served += 1;
+        let resp = self.freshest_response(key);
+        ServerOutput::reply(client, ClientReply::Get(resp))
+    }
+
+    // -----------------------------------------------------------------------------------
+    // PUT
+    // -----------------------------------------------------------------------------------
+
+    fn handle_put(
+        &mut self,
+        client: ClientId,
+        key: Key,
+        value: pocc_types::Value,
+        dv: DependencyVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        if !self.config.put_waits_for_dependencies || self.covers_remote_deps(&dv) {
+            self.serve_put(client, key, value, dv, outputs);
+        } else {
+            self.metrics.blocked_operations += 1;
+            self.parked.push(Parked::Put {
+                client,
+                key,
+                value,
+                dv,
+                since: self.clock.now(),
+            });
+        }
+    }
+
+    /// Serves a PUT whose (optional) dependency wait condition holds
+    /// (Algorithm 2 lines 7–15).
+    fn serve_put(
+        &mut self,
+        client: ClientId,
+        key: Key,
+        value: pocc_types::Value,
+        dv: DependencyVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        // Line 7: wait until the local clock exceeds every dependency timestamp, so the new
+        // version's update time is strictly larger than anything it depends on. The wait is
+        // bounded by the clock skew (microseconds); we account for it and jump the
+        // timestamp forward instead of parking the request.
+        let now = self.clock.now();
+        let max_dep = dv.max_entry();
+        let update_time = if now > max_dep {
+            now
+        } else {
+            self.metrics.clock_wait_time += max_dep.saturating_since(now)
+                + std::time::Duration::from_micros(1);
+            max_dep.tick()
+        };
+
+        // Line 8: advance the local entry of the version vector.
+        self.vv.advance(self.id.replica, update_time);
+
+        // Lines 9–11: create the version and insert it into the chain.
+        let version = Version::new(key, value, self.id.replica, update_time, dv);
+        self.store
+            .insert(version.clone())
+            .expect("PUT routed to the wrong partition");
+
+        // Lines 12–14: asynchronously replicate to the sibling replicas, in timestamp order
+        // (guaranteed because PUTs are processed in clock order and channels are FIFO).
+        for sibling in self.siblings() {
+            let msg = ServerMessage::Replicate {
+                version: version.clone(),
+            };
+            outputs.push(self.send(sibling, msg));
+        }
+
+        // Line 15: reply with the new update time.
+        self.metrics.puts_served += 1;
+        outputs.push(ServerOutput::reply(
+            client,
+            ClientReply::Put { update_time },
+        ));
+    }
+
+    // -----------------------------------------------------------------------------------
+    // RO-TX (coordinator side)
+    // -----------------------------------------------------------------------------------
+
+    fn handle_ro_tx(
+        &mut self,
+        client: ClientId,
+        keys: Vec<Key>,
+        rdv: DependencyVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        if keys.is_empty() {
+            self.metrics.rotx_served += 1;
+            outputs.push(ServerOutput::reply(
+                client,
+                ClientReply::RoTx { items: Vec::new() },
+            ));
+            return;
+        }
+
+        // Algorithm 2 line 32: the snapshot visible to the transaction is the entry-wise
+        // maximum of the coordinator's version vector and the client's read dependencies.
+        let snapshot = self.vv.snapshot_with(&rdv);
+
+        // Group the requested keys by owning partition (line 30).
+        let mut by_partition: HashMap<PartitionId, Vec<Key>> = HashMap::new();
+        for key in keys {
+            by_partition
+                .entry(partition_for_key(key, self.config.num_partitions))
+                .or_default()
+                .push(key);
+        }
+
+        let tx = self.next_tx;
+        self.next_tx = self.next_tx.next();
+        self.transactions.insert(
+            tx,
+            TxState {
+                client,
+                outstanding_slices: by_partition.len(),
+                items: Vec::new(),
+                snapshot: snapshot.clone(),
+                started: self.clock.now(),
+            },
+        );
+
+        // Lines 33–37: ask every involved partition for its slice of the snapshot. The
+        // local partition is served in-process (possibly parking until the snapshot is
+        // installed locally).
+        // Deterministic fan-out order (HashMap iteration order is randomised per process).
+        let mut groups: Vec<_> = by_partition.into_iter().collect();
+        groups.sort_by_key(|(partition, _)| *partition);
+        let mut local_keys = None;
+        for (partition, keys) in groups {
+            if partition == self.id.partition {
+                local_keys = Some(keys);
+            } else {
+                let msg = ServerMessage::SliceRequest {
+                    tx,
+                    client,
+                    keys,
+                    snapshot: snapshot.clone(),
+                };
+                let to = self.id.local_peer(partition);
+                outputs.push(self.send(to, msg));
+            }
+        }
+        if let Some(keys) = local_keys {
+            self.serve_or_park_slice(None, tx, client, keys, snapshot, outputs);
+        }
+    }
+
+    /// Folds a completed slice into the transaction state and replies to the client when
+    /// every slice has arrived.
+    fn complete_slice(&mut self, tx: TxId, items: Vec<TxItem>, outputs: &mut Vec<ServerOutput>) {
+        let finished = {
+            let Some(state) = self.transactions.get_mut(&tx) else {
+                // The transaction was aborted by the partition detector; drop the late slice.
+                return;
+            };
+            state.items.extend(items);
+            state.outstanding_slices = state.outstanding_slices.saturating_sub(1);
+            state.outstanding_slices == 0
+        };
+        if finished {
+            let state = self
+                .transactions
+                .remove(&tx)
+                .expect("transaction present while completing");
+            self.metrics.rotx_served += 1;
+            outputs.push(ServerOutput::reply(
+                state.client,
+                ClientReply::RoTx { items: state.items },
+            ));
+        }
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Slice reads (participant side)
+    // -----------------------------------------------------------------------------------
+
+    /// Serves a transactional slice read if the snapshot is installed locally, parks it
+    /// otherwise (Algorithm 2 lines 39–47).
+    fn serve_or_park_slice(
+        &mut self,
+        origin: Option<ServerId>,
+        tx: TxId,
+        client: ClientId,
+        keys: Vec<Key>,
+        snapshot: DependencyVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        if self.vv.covers(&snapshot) {
+            let items = self.read_slice(&keys, &snapshot);
+            self.metrics.slices_served += 1;
+            match origin {
+                Some(origin) => {
+                    let msg = ServerMessage::SliceResponse { tx, items };
+                    outputs.push(self.send(origin, msg));
+                }
+                None => self.complete_slice(tx, items, outputs),
+            }
+        } else {
+            self.metrics.blocked_operations += 1;
+            self.parked.push(Parked::Slice {
+                origin,
+                tx,
+                client,
+                keys,
+                snapshot,
+                since: self.clock.now(),
+            });
+        }
+    }
+
+    /// Reads every key of a slice within the snapshot, collecting staleness statistics
+    /// (Algorithm 2 lines 41–46).
+    fn read_slice(&mut self, keys: &[Key], snapshot: &DependencyVector) -> Vec<TxItem> {
+        let mut items = Vec::with_capacity(keys.len());
+        for &key in keys {
+            let outcome = self.store.latest_in_snapshot(key, snapshot);
+            self.extra_work += outcome.stats.traversed.saturating_sub(1) as u64;
+            self.metrics.tx_items_returned += 1;
+            if outcome.is_old() {
+                self.metrics.old_tx_items += 1;
+                // In POCC every version older than the returned one is already merged, so
+                // "old" and "unmerged" coincide for transactional reads (§V-C).
+                self.metrics.unmerged_tx_items += 1;
+            }
+            let response = match outcome.version {
+                Some(v) => GetResponse {
+                    value: Some(v.value.clone()),
+                    update_time: v.update_time,
+                    deps: v.deps.clone(),
+                    source_replica: v.source_replica,
+                },
+                None => GetResponse {
+                    value: None,
+                    update_time: Timestamp::ZERO,
+                    deps: DependencyVector::zero(self.config.num_replicas),
+                    source_replica: self.id.replica,
+                },
+            };
+            items.push(TxItem { key, response });
+        }
+        items
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Unparking and timeouts
+    // -----------------------------------------------------------------------------------
+
+    /// Re-evaluates every parked operation after the version vector advanced, serving the
+    /// ones whose wait condition now holds.
+    fn unpark(&mut self, outputs: &mut Vec<ServerOutput>) {
+        if self.parked.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.parked);
+        let now = self.clock.now();
+        for op in parked {
+            let ready = match &op {
+                Parked::Get { rdv, .. } => self.covers_remote_deps(rdv),
+                Parked::Put { dv, .. } => self.covers_remote_deps(dv),
+                Parked::Slice { snapshot, .. } => self.vv.covers(snapshot),
+            };
+            if !ready {
+                self.parked.push(op);
+                continue;
+            }
+            self.metrics.total_block_time += now.saturating_since(op.since());
+            match op {
+                Parked::Get { client, key, .. } => {
+                    let out = self.serve_get(client, key);
+                    outputs.push(out);
+                }
+                Parked::Put {
+                    client, key, value, dv, ..
+                } => self.serve_put(client, key, value, dv, outputs),
+                Parked::Slice {
+                    origin,
+                    tx,
+                    client,
+                    keys,
+                    snapshot,
+                    ..
+                } => {
+                    // Serve directly: the wait condition has just been checked.
+                    let items = self.read_slice(&keys, &snapshot);
+                    self.metrics.slices_served += 1;
+                    match origin {
+                        Some(origin) => {
+                            let msg = ServerMessage::SliceResponse { tx, items };
+                            let out = self.send(origin, msg);
+                            outputs.push(out);
+                        }
+                        None => {
+                            let _ = client;
+                            self.complete_slice(tx, items, outputs);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Aborts parked client-facing operations and coordinated transactions that exceeded
+    /// the partition-detection timeout (§III-B phase 1: the server closes the session).
+    fn enforce_partition_timeouts(&mut self, outputs: &mut Vec<ServerOutput>) {
+        let timeout = self.config.partition_detection_timeout;
+        let now = self.clock.now();
+
+        let parked = std::mem::take(&mut self.parked);
+        for op in parked {
+            let expired = now.saturating_since(op.since()) >= timeout;
+            if expired && op.is_client_facing() {
+                self.metrics.sessions_aborted += 1;
+                outputs.push(ServerOutput::reply(
+                    op.client(),
+                    ClientReply::SessionAborted {
+                        reason: format!("blocked on {} beyond the partition timeout", op.reason()),
+                    },
+                ));
+            } else if expired {
+                // A slice read on behalf of a remote coordinator: the coordinator's own
+                // timeout aborts the client session; the parked slice is simply dropped.
+            } else {
+                self.parked.push(op);
+            }
+        }
+
+        let expired_txs: Vec<TxId> = self
+            .transactions
+            .iter()
+            .filter(|(_, st)| now.saturating_since(st.started) >= timeout)
+            .map(|(tx, _)| *tx)
+            .collect();
+        for tx in expired_txs {
+            let state = self.transactions.remove(&tx).expect("tx present");
+            self.metrics.sessions_aborted += 1;
+            outputs.push(ServerOutput::reply(
+                state.client,
+                ClientReply::SessionAborted {
+                    reason: "read-only transaction blocked beyond the partition timeout".into(),
+                },
+            ));
+        }
+    }
+
+    // -----------------------------------------------------------------------------------
+    // Garbage collection (§IV-B)
+    // -----------------------------------------------------------------------------------
+
+    /// This server's contribution to the garbage-collection vector: the entry-wise minimum
+    /// of the snapshot vectors of its active transactions, or its version vector when it
+    /// coordinates none.
+    ///
+    /// The paper exchanges the aggregate *maximum* of the active snapshot vectors; we use
+    /// the minimum, which is never less conservative and guarantees that no version
+    /// readable by an active transaction is ever collected (see DESIGN.md).
+    fn gc_contribution(&self) -> DependencyVector {
+        let mut contribution = DependencyVector::from_entries(self.vv.as_slice().to_vec());
+        for tx in self.transactions.values() {
+            contribution.meet(&tx.snapshot);
+        }
+        contribution
+    }
+
+    /// Runs one garbage-collection exchange round and collects garbage if contributions
+    /// from every local peer are known.
+    fn gc_round(&mut self, outputs: &mut Vec<ServerOutput>) {
+        let contribution = self.gc_contribution();
+        for peer in self.local_peers() {
+            let msg = ServerMessage::GcVector {
+                vector: contribution.clone(),
+            };
+            outputs.push(self.send(peer, msg));
+        }
+        self.gc_contributions
+            .insert(self.id.partition, contribution);
+
+        if self.gc_contributions.len() == self.config.num_partitions {
+            let mut gv = self
+                .gc_contributions
+                .values()
+                .next()
+                .expect("at least the local contribution")
+                .clone();
+            for v in self.gc_contributions.values() {
+                gv.meet(v);
+            }
+            let removed = self.store.collect_garbage(&gv);
+            self.metrics.gc_versions_removed += removed as u64;
+        }
+    }
+}
+
+impl<C: Clock> ProtocolServer for PoccServer<C> {
+    fn server_id(&self) -> ServerId {
+        self.id
+    }
+
+    fn handle_client_request(
+        &mut self,
+        client: ClientId,
+        request: ClientRequest,
+    ) -> Vec<ServerOutput> {
+        let mut outputs = Vec::new();
+        match request {
+            ClientRequest::Get { key, rdv } => self.handle_get(client, key, rdv, &mut outputs),
+            ClientRequest::Put { key, value, dv } => {
+                self.handle_put(client, key, value, dv, &mut outputs);
+                // A PUT advances the local clock entry, which can unblock parked slices.
+                self.unpark(&mut outputs);
+            }
+            ClientRequest::RoTx { keys, rdv } => self.handle_ro_tx(client, keys, rdv, &mut outputs),
+        }
+        outputs
+    }
+
+    fn handle_server_message(&mut self, from: ServerId, message: ServerMessage) -> Vec<ServerOutput> {
+        let mut outputs = Vec::new();
+        match message {
+            ServerMessage::Replicate { version } => {
+                // Algorithm 2 lines 16–18.
+                self.metrics.replicate_received += 1;
+                self.vv.advance(from.replica, version.update_time);
+                self.store
+                    .insert(version)
+                    .expect("replicated update routed to the wrong partition");
+                self.unpark(&mut outputs);
+            }
+            ServerMessage::Heartbeat { clock } => {
+                // Algorithm 2 lines 27–28.
+                self.metrics.heartbeats_received += 1;
+                self.vv.advance(from.replica, clock);
+                self.unpark(&mut outputs);
+            }
+            ServerMessage::SliceRequest {
+                tx,
+                client,
+                keys,
+                snapshot,
+            } => {
+                self.serve_or_park_slice(Some(from), tx, client, keys, snapshot, &mut outputs);
+            }
+            ServerMessage::SliceResponse { tx, items } => {
+                self.complete_slice(tx, items, &mut outputs);
+            }
+            ServerMessage::StabilizationVector { .. } => {
+                // Plain POCC does not run the stabilization protocol; HA-POCC (pocc-ha)
+                // consumes these. Count it so misconfigurations are visible in metrics.
+                self.metrics.stabilization_messages += 1;
+            }
+            ServerMessage::GcVector { vector } => {
+                self.metrics.gc_messages += 1;
+                self.gc_contributions.insert(from.partition, vector);
+            }
+        }
+        outputs
+    }
+
+    fn tick(&mut self) -> Vec<ServerOutput> {
+        let mut outputs = Vec::new();
+        let now = self.clock.now();
+
+        // Heartbeats (Algorithm 2 lines 19–26): if no local update advanced VV[m] for the
+        // last ∆, broadcast the clock so sibling replicas can advance their vectors.
+        let local = self.id.replica;
+        if now >= self.vv.get(local) + self.config.heartbeat_interval {
+            self.vv.set(local, now);
+            for sibling in self.siblings() {
+                let msg = ServerMessage::Heartbeat { clock: now };
+                outputs.push(self.send(sibling, msg));
+            }
+            // The local entry advanced: parked slices constrained by it may now proceed.
+            self.unpark(&mut outputs);
+        }
+
+        // Garbage collection exchange (§IV-B).
+        if now.saturating_since(self.last_gc_exchange) >= self.config.gc_interval {
+            self.last_gc_exchange = now;
+            self.gc_round(&mut outputs);
+        }
+
+        // Partition detection (§III-B).
+        self.enforce_partition_timeouts(&mut outputs);
+
+        outputs
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut m = self.metrics.clone();
+        m.currently_blocked = self.parked.len() as u64;
+        m
+    }
+
+    fn digest(&self) -> Vec<(Key, Timestamp, ReplicaId)> {
+        self.store.digest()
+    }
+
+    fn take_extra_work(&mut self) -> u64 {
+        std::mem::take(&mut self.extra_work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Client;
+    use pocc_clock::ManualClock;
+    use pocc_proto::ProtocolClient;
+    use pocc_types::Value;
+    use std::time::Duration;
+
+    const MS: u64 = 1_000;
+
+    fn config(replicas: usize, partitions: usize) -> Config {
+        Config::builder()
+            .num_replicas(replicas)
+            .num_partitions(partitions)
+            .partition_detection_timeout(Duration::from_millis(500))
+            .build()
+            .unwrap()
+    }
+
+    fn server(replica: u16, partition: u32, cfg: &Config, clock: &ManualClock) -> PoccServer<ManualClock> {
+        PoccServer::new(ServerId::new(replica, partition), cfg.clone(), clock.clone())
+    }
+
+    /// A key owned by `partition` in a deployment of `num_partitions`.
+    fn key_in(partition: usize, num_partitions: usize) -> Key {
+        (0u64..)
+            .map(Key)
+            .find(|k| partition_for_key(*k, num_partitions).index() == partition)
+            .unwrap()
+    }
+
+    fn extract_reply(outputs: &[ServerOutput], client: ClientId) -> Option<ClientReply> {
+        outputs.iter().find_map(|o| match o {
+            ServerOutput::Reply { client: c, reply } if *c == client => Some(reply.clone()),
+            _ => None,
+        })
+    }
+
+    fn dv(entries: &[u64]) -> DependencyVector {
+        DependencyVector::from_entries(entries.iter().map(|&e| Timestamp(e)).collect())
+    }
+
+    #[test]
+    fn put_then_get_round_trip_with_replication_output() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let c = ClientId(1);
+        let key = key_in(0, 1);
+
+        let outputs = s.handle_client_request(
+            c,
+            ClientRequest::Put {
+                key,
+                value: Value::from("v1"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+        // One replication message per sibling replica plus the client reply.
+        assert_eq!(outputs.len(), 3);
+        let replicas: Vec<_> = outputs
+            .iter()
+            .filter(|o| matches!(o, ServerOutput::Send { .. }))
+            .collect();
+        assert_eq!(replicas.len(), 2);
+        let ut = match extract_reply(&outputs, c) {
+            Some(ClientReply::Put { update_time }) => update_time,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(ut, Timestamp(10 * MS));
+        assert_eq!(s.version_vector().get(ReplicaId(0)), ut);
+
+        let outputs = s.handle_client_request(
+            c,
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, c) {
+            Some(ClientReply::Get(resp)) => {
+                assert_eq!(resp.value.unwrap().as_slice(), b"v1");
+                assert_eq!(resp.update_time, ut);
+                assert_eq!(resp.source_replica, ReplicaId(0));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let m = s.metrics();
+        assert_eq!(m.puts_served, 1);
+        assert_eq!(m.gets_served, 1);
+        assert_eq!(m.replicate_sent, 2);
+        assert_eq!(m.blocked_operations, 0);
+    }
+
+    #[test]
+    fn get_of_missing_key_returns_empty_response() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Get {
+                key: key_in(0, 1),
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(1)) {
+            Some(ClientReply::Get(resp)) => {
+                assert!(resp.value.is_none());
+                assert_eq!(resp.update_time, Timestamp::ZERO);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn get_blocks_until_the_missing_dependency_arrives() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let c = ClientId(7);
+        let key = key_in(0, 1);
+
+        // The client depends on an item from replica 1 with timestamp 20ms that this
+        // server has not received yet.
+        let outputs = s.handle_client_request(
+            c,
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 20 * MS, 0]),
+            },
+        );
+        assert!(outputs.is_empty(), "the GET must be parked");
+        assert_eq!(s.metrics().blocked_operations, 1);
+        assert_eq!(s.metrics().currently_blocked, 1);
+        assert_eq!(s.status().pending.len(), 1);
+
+        // A heartbeat from replica 1 with a lower clock does not unblock it.
+        clock.set(Timestamp(15 * MS));
+        let outputs = s.handle_server_message(
+            ServerId::new(1u16, 0u32),
+            ServerMessage::Heartbeat {
+                clock: Timestamp(15 * MS),
+            },
+        );
+        assert!(outputs.is_empty());
+
+        // The missing update arrives: the GET is served and returns the fresh value.
+        clock.set(Timestamp(21 * MS));
+        let version = Version::new(
+            key,
+            Value::from("fresh"),
+            ReplicaId(1),
+            Timestamp(20 * MS),
+            dv(&[0, 0, 0]),
+        );
+        let outputs =
+            s.handle_server_message(ServerId::new(1u16, 0u32), ServerMessage::Replicate { version });
+        match extract_reply(&outputs, c) {
+            Some(ClientReply::Get(resp)) => {
+                assert_eq!(resp.value.unwrap().as_slice(), b"fresh");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let m = s.metrics();
+        assert_eq!(m.gets_served, 1);
+        assert_eq!(m.currently_blocked, 0);
+        assert!(m.total_block_time >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn heartbeat_unblocks_get_without_delivering_data() {
+        // The dependency is on a key of *another* partition: a heartbeat proving that
+        // everything up to the dependency timestamp has been sent is enough to unblock.
+        let cfg = config(3, 2);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let c = ClientId(7);
+        let key = key_in(0, 2);
+
+        let outputs = s.handle_client_request(
+            c,
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 20 * MS, 0]),
+            },
+        );
+        assert!(outputs.is_empty());
+
+        let outputs = s.handle_server_message(
+            ServerId::new(1u16, 0u32),
+            ServerMessage::Heartbeat {
+                clock: Timestamp(25 * MS),
+            },
+        );
+        assert!(matches!(
+            extract_reply(&outputs, c),
+            Some(ClientReply::Get(_))
+        ));
+    }
+
+    #[test]
+    fn put_blocks_on_missing_dependencies_when_configured() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let c = ClientId(2);
+        let key = key_in(0, 1);
+
+        let outputs = s.handle_client_request(
+            c,
+            ClientRequest::Put {
+                key,
+                value: Value::from("w"),
+                dv: dv(&[0, 0, 30 * MS]),
+            },
+        );
+        assert!(outputs.is_empty(), "the PUT must be parked");
+
+        // Once replica 2's heartbeat covers the dependency the PUT is applied and
+        // replicated.
+        let outputs = s.handle_server_message(
+            ServerId::new(2u16, 0u32),
+            ServerMessage::Heartbeat {
+                clock: Timestamp(31 * MS),
+            },
+        );
+        let ut = match extract_reply(&outputs, c) {
+            Some(ClientReply::Put { update_time }) => update_time,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        // The new version's timestamp must exceed all its dependencies (Proposition 2).
+        assert!(ut > Timestamp(30 * MS));
+        assert_eq!(
+            outputs
+                .iter()
+                .filter(|o| matches!(o, ServerOutput::Send { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn put_does_not_block_when_dependency_wait_is_disabled() {
+        let cfg = Config::builder()
+            .num_replicas(3)
+            .num_partitions(1)
+            .put_waits_for_dependencies(false)
+            .build()
+            .unwrap();
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let outputs = s.handle_client_request(
+            ClientId(2),
+            ClientRequest::Put {
+                key: key_in(0, 1),
+                value: Value::from("w"),
+                dv: dv(&[0, 0, 30 * MS]),
+            },
+        );
+        assert!(matches!(
+            extract_reply(&outputs, ClientId(2)),
+            Some(ClientReply::Put { .. })
+        ));
+        assert_eq!(s.metrics().blocked_operations, 0);
+    }
+
+    #[test]
+    fn put_timestamp_exceeds_dependencies_even_with_a_lagging_clock() {
+        let cfg = config(3, 1);
+        // The local clock lags behind the dependency timestamps.
+        let clock = ManualClock::new(Timestamp(5 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        // Dependencies are local-only so the PUT does not park.
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Put {
+                key: key_in(0, 1),
+                value: Value::from("w"),
+                dv: dv(&[8 * MS, 0, 0]),
+            },
+        );
+        let ut = match extract_reply(&outputs, ClientId(1)) {
+            Some(ClientReply::Put { update_time }) => update_time,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert!(ut > Timestamp(8 * MS));
+        assert!(s.metrics().clock_wait_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn replication_applies_remote_updates_and_advances_the_vector() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 1);
+        let version = Version::new(
+            key,
+            Value::from("remote"),
+            ReplicaId(2),
+            Timestamp(9 * MS),
+            dv(&[0, 0, 0]),
+        );
+        let outputs = s.handle_server_message(
+            ServerId::new(2u16, 0u32),
+            ServerMessage::Replicate { version },
+        );
+        assert!(outputs.is_empty());
+        assert_eq!(s.version_vector().get(ReplicaId(2)), Timestamp(9 * MS));
+        assert_eq!(
+            s.store().latest(key).unwrap().value.as_slice(),
+            b"remote"
+        );
+        assert_eq!(s.metrics().replicate_received, 1);
+    }
+
+    #[test]
+    fn optimistic_get_returns_unstable_remote_version() {
+        // The defining behaviour of OCC: a remote version whose dependencies are missing
+        // locally is still returned to a client with no matching dependency.
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 1);
+        // The replicated version depends on something from replica 2 this server lacks.
+        let version = Version::new(
+            key,
+            Value::from("unstable"),
+            ReplicaId(1),
+            Timestamp(9 * MS),
+            dv(&[0, 0, 50 * MS]),
+        );
+        s.handle_server_message(
+            ServerId::new(1u16, 0u32),
+            ServerMessage::Replicate { version },
+        );
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Get {
+                key,
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(1)) {
+            Some(ClientReply::Get(resp)) => {
+                assert_eq!(resp.value.unwrap().as_slice(), b"unstable");
+                // The client inherits the unresolved dependency through the metadata.
+                assert_eq!(resp.deps, dv(&[0, 0, 50 * MS]));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tick_emits_heartbeats_when_idle() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let outputs = s.tick();
+        let heartbeats: Vec<_> = outputs
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    ServerOutput::Send {
+                        message: ServerMessage::Heartbeat { .. },
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(heartbeats.len(), 2);
+        assert_eq!(s.version_vector().get(ReplicaId(0)), Timestamp(10 * MS));
+
+        // Within the same heartbeat interval no further heartbeat is sent.
+        clock.set(Timestamp(10 * MS + 500));
+        let outputs = s.tick();
+        assert!(outputs
+            .iter()
+            .all(|o| !matches!(o, ServerOutput::Send { message: ServerMessage::Heartbeat { .. }, .. })));
+    }
+
+    #[test]
+    fn single_partition_transaction_completes_inline() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 1);
+        s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Put {
+                key,
+                value: Value::from("t"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::RoTx {
+                keys: vec![key],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(1)) {
+            Some(ClientReply::RoTx { items }) => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(items[0].key, key);
+                assert_eq!(items[0].response.value.as_ref().unwrap().as_slice(), b"t");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(s.metrics().rotx_served, 1);
+        assert_eq!(s.metrics().slices_served, 1);
+    }
+
+    #[test]
+    fn empty_transaction_returns_immediately() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let outputs = s.handle_client_request(
+            ClientId(1),
+            ClientRequest::RoTx {
+                keys: vec![],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        assert!(matches!(
+            extract_reply(&outputs, ClientId(1)),
+            Some(ClientReply::RoTx { items }) if items.is_empty()
+        ));
+    }
+
+    #[test]
+    fn multi_partition_transaction_uses_slice_requests() {
+        let cfg = config(3, 4);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut coordinator = server(0, 0, &cfg, &clock);
+        let mut participant = server(0, 1, &cfg, &clock);
+
+        let local_key = key_in(0, 4);
+        let remote_key = key_in(1, 4);
+
+        // Seed both partitions.
+        coordinator.handle_client_request(
+            ClientId(9),
+            ClientRequest::Put {
+                key: local_key,
+                value: Value::from("local"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+        participant.handle_client_request(
+            ClientId(9),
+            ClientRequest::Put {
+                key: remote_key,
+                value: Value::from("remote"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+
+        // The client asks the coordinator for both keys.
+        let client = ClientId(1);
+        let outputs = coordinator.handle_client_request(
+            client,
+            ClientRequest::RoTx {
+                keys: vec![local_key, remote_key],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        // No reply yet: the remote slice is outstanding.
+        assert!(extract_reply(&outputs, client).is_none());
+        let (to, slice_req) = outputs
+            .iter()
+            .find_map(|o| match o {
+                ServerOutput::Send {
+                    to,
+                    message: m @ ServerMessage::SliceRequest { .. },
+                } => Some((*to, m.clone())),
+                _ => None,
+            })
+            .expect("a slice request must be sent to the peer partition");
+        assert_eq!(to, ServerId::new(0u16, 1u32));
+
+        // The participant serves the slice...
+        let outputs = participant.handle_server_message(coordinator.server_id(), slice_req);
+        let (back_to, slice_resp) = outputs
+            .iter()
+            .find_map(|o| match o {
+                ServerOutput::Send {
+                    to,
+                    message: m @ ServerMessage::SliceResponse { .. },
+                } => Some((*to, m.clone())),
+                _ => None,
+            })
+            .expect("a slice response must be produced");
+        assert_eq!(back_to, coordinator.server_id());
+
+        // ... and the coordinator assembles the final reply.
+        let outputs = coordinator.handle_server_message(participant.server_id(), slice_resp);
+        match extract_reply(&outputs, client) {
+            Some(ClientReply::RoTx { items }) => {
+                assert_eq!(items.len(), 2);
+                let mut values: Vec<_> = items
+                    .iter()
+                    .map(|i| i.response.value.as_ref().unwrap().as_slice().to_vec())
+                    .collect();
+                values.sort();
+                assert_eq!(values, vec![b"local".to_vec(), b"remote".to_vec()]);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(coordinator.metrics().rotx_served, 1);
+    }
+
+    #[test]
+    fn slice_request_blocks_until_snapshot_is_installed() {
+        let cfg = config(3, 2);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut participant = server(0, 1, &cfg, &clock);
+        let coordinator_id = ServerId::new(0u16, 0u32);
+        let key = key_in(1, 2);
+
+        // Snapshot requires replica 1 up to 20 ms; the participant has seen nothing.
+        let outputs = participant.handle_server_message(
+            coordinator_id,
+            ServerMessage::SliceRequest {
+                tx: TxId(1),
+                client: ClientId(5),
+                keys: vec![key],
+                snapshot: dv(&[0, 20 * MS, 0]),
+            },
+        );
+        assert!(outputs.is_empty());
+        assert_eq!(participant.metrics().blocked_operations, 1);
+
+        // A heartbeat from replica 1 covering the snapshot unblocks the slice. The local
+        // entry of the snapshot is zero so the local clock needs no advance.
+        let outputs = participant.handle_server_message(
+            ServerId::new(1u16, 1u32),
+            ServerMessage::Heartbeat {
+                clock: Timestamp(25 * MS),
+            },
+        );
+        assert!(outputs.iter().any(|o| matches!(
+            o,
+            ServerOutput::Send {
+                to,
+                message: ServerMessage::SliceResponse { .. },
+            } if *to == coordinator_id
+        )));
+    }
+
+    #[test]
+    fn transaction_snapshot_excludes_versions_beyond_the_snapshot() {
+        // A fresher version arriving after the snapshot was fixed must not be returned by
+        // the slice read, even though a plain GET would return it.
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 1);
+        s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Put {
+                key,
+                value: Value::from("old"),
+                dv: dv(&[0, 0, 0]),
+            },
+        );
+        // Fix the snapshot now (VV[0] = 10ms).
+        let outputs = s.handle_client_request(
+            ClientId(2),
+            ClientRequest::RoTx {
+                keys: vec![key],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(2)) {
+            Some(ClientReply::RoTx { items }) => {
+                assert_eq!(items[0].response.value.as_ref().unwrap().as_slice(), b"old");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+
+        // Now a newer write lands and a *new* transaction sees it.
+        clock.set(Timestamp(20 * MS));
+        s.handle_client_request(
+            ClientId(1),
+            ClientRequest::Put {
+                key,
+                value: Value::from("new"),
+                dv: dv(&[10 * MS, 0, 0]),
+            },
+        );
+        let outputs = s.handle_client_request(
+            ClientId(2),
+            ClientRequest::RoTx {
+                keys: vec![key],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        match extract_reply(&outputs, ClientId(2)) {
+            Some(ClientReply::RoTx { items }) => {
+                assert_eq!(items[0].response.value.as_ref().unwrap().as_slice(), b"new");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocked_get_times_out_into_a_session_abort() {
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let c = ClientId(3);
+        let outputs = s.handle_client_request(
+            c,
+            ClientRequest::Get {
+                key: key_in(0, 1),
+                rdv: dv(&[0, 999 * MS, 0]),
+            },
+        );
+        assert!(outputs.is_empty());
+
+        // Before the timeout nothing happens.
+        clock.set(Timestamp(100 * MS));
+        let outputs = s.tick();
+        assert!(extract_reply(&outputs, c).is_none());
+
+        // After the partition-detection timeout the session is closed.
+        clock.set(Timestamp(600 * MS));
+        let outputs = s.tick();
+        match extract_reply(&outputs, c) {
+            Some(ClientReply::SessionAborted { reason }) => {
+                assert!(reason.contains("missing read dependency"));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(s.metrics().sessions_aborted, 1);
+        assert_eq!(s.metrics().currently_blocked, 0);
+    }
+
+    #[test]
+    fn coordinated_transaction_times_out_into_a_session_abort() {
+        let cfg = config(3, 2);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let c = ClientId(3);
+        // The transaction involves the peer partition, whose response never arrives.
+        let outputs = s.handle_client_request(
+            c,
+            ClientRequest::RoTx {
+                keys: vec![key_in(1, 2)],
+                rdv: dv(&[0, 0, 0]),
+            },
+        );
+        assert!(extract_reply(&outputs, c).is_none());
+        clock.set(Timestamp(600 * MS));
+        let outputs = s.tick();
+        assert!(matches!(
+            extract_reply(&outputs, c),
+            Some(ClientReply::SessionAborted { .. })
+        ));
+        // A late slice response is ignored without panicking.
+        let outputs = s.handle_server_message(
+            ServerId::new(0u16, 1u32),
+            ServerMessage::SliceResponse {
+                tx: TxId(0),
+                items: vec![],
+            },
+        );
+        assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn gc_round_exchanges_vectors_and_collects_old_versions() {
+        let cfg = Config::builder()
+            .num_replicas(1)
+            .num_partitions(2)
+            .gc_interval(Duration::from_millis(10))
+            .build()
+            .unwrap();
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let key = key_in(0, 2);
+        for i in 1..=5u64 {
+            clock.set(Timestamp((10 + i) * MS));
+            s.handle_client_request(
+                ClientId(1),
+                ClientRequest::Put {
+                    key,
+                    value: Value::from(i),
+                    dv: dv(&[(10 + i - 1) * MS]),
+                },
+            );
+        }
+        assert_eq!(s.store().stats().versions, 5);
+
+        // First tick initiates the GC exchange and sends the contribution to the peer.
+        clock.set(Timestamp(30 * MS));
+        let outputs = s.tick();
+        assert!(outputs.iter().any(|o| matches!(
+            o,
+            ServerOutput::Send {
+                message: ServerMessage::GcVector { .. },
+                ..
+            }
+        )));
+
+        // The peer's contribution arrives, covering everything.
+        s.handle_server_message(
+            ServerId::new(0u16, 1u32),
+            ServerMessage::GcVector {
+                vector: dv(&[100 * MS]),
+            },
+        );
+        clock.set(Timestamp(50 * MS));
+        s.tick();
+        // Only the newest version survives (it is the first one covered by the GC vector).
+        assert_eq!(s.store().stats().versions, 1);
+        assert!(s.metrics().gc_versions_removed >= 4);
+    }
+
+    #[test]
+    fn end_to_end_client_server_session_maintains_causality_metadata() {
+        // Drive a Client (Algorithm 1) against a server and check Propositions 1 and 2.
+        let cfg = config(3, 1);
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(0, 0, &cfg, &clock);
+        let mut client = Client::new(ClientId(1), s.server_id(), 3);
+        let key = key_in(0, 1);
+
+        // PUT X.
+        let outputs = s.handle_client_request(client.client_id(), client.put(key, Value::from("x")));
+        let reply = extract_reply(&outputs, client.client_id()).unwrap();
+        client.process_reply(&reply).unwrap();
+        let x_ut = match reply {
+            ClientReply::Put { update_time } => update_time,
+            _ => unreachable!(),
+        };
+
+        // GET X back, establishing a read dependency.
+        clock.set(Timestamp(20 * MS));
+        let outputs = s.handle_client_request(client.client_id(), client.get(key));
+        let reply = extract_reply(&outputs, client.client_id()).unwrap();
+        client.process_reply(&reply).unwrap();
+
+        // PUT Y: its dependency vector must cover X (Proposition 1) and its timestamp must
+        // exceed X's (Proposition 2).
+        let outputs = s.handle_client_request(client.client_id(), client.put(key, Value::from("y")));
+        let reply = extract_reply(&outputs, client.client_id()).unwrap();
+        let y_ut = match &reply {
+            ClientReply::Put { update_time } => *update_time,
+            _ => unreachable!(),
+        };
+        client.process_reply(&reply).unwrap();
+        assert!(y_ut > x_ut);
+        let stored_y = s.store().latest(key).unwrap();
+        assert!(stored_y.deps.get(ReplicaId(0)) >= x_ut);
+    }
+}

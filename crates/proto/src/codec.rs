@@ -1,0 +1,731 @@
+//! A compact binary codec for the wire messages.
+//!
+//! The threaded runtime serialises messages with this codec when crossing thread
+//! boundaries, and the metadata-overhead benchmark uses it to measure the exact on-wire
+//! cost of POCC's client-assisted dependency tracking (which the paper argues is only
+//! linear in the number of data centers).
+//!
+//! The format is deliberately simple: little-endian fixed-width integers, length-prefixed
+//! byte strings and vectors, one tag byte per enum variant. It is not self-describing and
+//! both ends must agree on the number of data centers only implicitly (vectors carry their
+//! own length).
+
+use crate::{ClientReply, ClientRequest, GetResponse, ServerMessage, TxId, TxItem};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pocc_types::{
+    ClientId, DependencyVector, Error, Key, ReplicaId, Result, Timestamp, Value, Version,
+    VersionVector,
+};
+
+// ---------------------------------------------------------------------------------------
+// Primitive helpers
+// ---------------------------------------------------------------------------------------
+
+fn put_timestamp(buf: &mut BytesMut, ts: Timestamp) {
+    buf.put_u64_le(ts.as_micros());
+}
+
+fn get_timestamp(buf: &mut Bytes) -> Result<Timestamp> {
+    ensure(buf, 8)?;
+    Ok(Timestamp::from_micros(buf.get_u64_le()))
+}
+
+fn put_key(buf: &mut BytesMut, key: Key) {
+    buf.put_u64_le(key.raw());
+}
+
+fn get_key(buf: &mut Bytes) -> Result<Key> {
+    ensure(buf, 8)?;
+    Ok(Key::new(buf.get_u64_le()))
+}
+
+fn put_replica(buf: &mut BytesMut, r: ReplicaId) {
+    buf.put_u16_le(r.0);
+}
+
+fn get_replica(buf: &mut Bytes) -> Result<ReplicaId> {
+    ensure(buf, 2)?;
+    Ok(ReplicaId(buf.get_u16_le()))
+}
+
+fn put_vector_entries(buf: &mut BytesMut, entries: &[Timestamp]) {
+    buf.put_u16_le(entries.len() as u16);
+    for e in entries {
+        put_timestamp(buf, *e);
+    }
+}
+
+fn get_vector_entries(buf: &mut Bytes) -> Result<Vec<Timestamp>> {
+    ensure(buf, 2)?;
+    let len = buf.get_u16_le() as usize;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(get_timestamp(buf)?);
+    }
+    Ok(out)
+}
+
+fn put_dep_vector(buf: &mut BytesMut, dv: &DependencyVector) {
+    put_vector_entries(buf, dv.as_slice());
+}
+
+fn get_dep_vector(buf: &mut Bytes) -> Result<DependencyVector> {
+    Ok(DependencyVector::from_entries(get_vector_entries(buf)?))
+}
+
+fn put_version_vector(buf: &mut BytesMut, vv: &VersionVector) {
+    put_vector_entries(buf, vv.as_slice());
+}
+
+fn get_version_vector(buf: &mut Bytes) -> Result<VersionVector> {
+    Ok(VersionVector::from_entries(get_vector_entries(buf)?))
+}
+
+fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+fn get_bytes(buf: &mut Bytes) -> Result<Bytes> {
+    ensure(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    ensure(buf, len)?;
+    Ok(buf.split_to(len))
+}
+
+fn put_opt_value(buf: &mut BytesMut, value: &Option<Value>) {
+    match value {
+        Some(v) => {
+            buf.put_u8(1);
+            put_bytes(buf, v.as_slice());
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_value(buf: &mut Bytes) -> Result<Option<Value>> {
+    ensure(buf, 1)?;
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => Ok(Some(Value(get_bytes(buf)?))),
+        other => Err(Error::Codec {
+            reason: format!("invalid Option<Value> tag {other}"),
+        }),
+    }
+}
+
+fn put_keys(buf: &mut BytesMut, keys: &[Key]) {
+    buf.put_u32_le(keys.len() as u32);
+    for k in keys {
+        put_key(buf, *k);
+    }
+}
+
+fn get_keys(buf: &mut Bytes) -> Result<Vec<Key>> {
+    ensure(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        out.push(get_key(buf)?);
+    }
+    Ok(out)
+}
+
+fn put_version(buf: &mut BytesMut, v: &Version) {
+    put_key(buf, v.key);
+    put_bytes(buf, v.value.as_slice());
+    put_replica(buf, v.source_replica);
+    put_timestamp(buf, v.update_time);
+    put_dep_vector(buf, &v.deps);
+}
+
+fn get_version(buf: &mut Bytes) -> Result<Version> {
+    let key = get_key(buf)?;
+    let value = Value(get_bytes(buf)?);
+    let source_replica = get_replica(buf)?;
+    let update_time = get_timestamp(buf)?;
+    let deps = get_dep_vector(buf)?;
+    Ok(Version::new(key, value, source_replica, update_time, deps))
+}
+
+fn put_get_response(buf: &mut BytesMut, g: &GetResponse) {
+    put_opt_value(buf, &g.value);
+    put_timestamp(buf, g.update_time);
+    put_dep_vector(buf, &g.deps);
+    put_replica(buf, g.source_replica);
+}
+
+fn get_get_response(buf: &mut Bytes) -> Result<GetResponse> {
+    Ok(GetResponse {
+        value: get_opt_value(buf)?,
+        update_time: get_timestamp(buf)?,
+        deps: get_dep_vector(buf)?,
+        source_replica: get_replica(buf)?,
+    })
+}
+
+fn put_tx_items(buf: &mut BytesMut, items: &[TxItem]) {
+    buf.put_u32_le(items.len() as u32);
+    for item in items {
+        put_key(buf, item.key);
+        put_get_response(buf, &item.response);
+    }
+}
+
+fn get_tx_items(buf: &mut Bytes) -> Result<Vec<TxItem>> {
+    ensure(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        out.push(TxItem {
+            key: get_key(buf)?,
+            response: get_get_response(buf)?,
+        });
+    }
+    Ok(out)
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> Result<String> {
+    let raw = get_bytes(buf)?;
+    String::from_utf8(raw.to_vec()).map_err(|e| Error::Codec {
+        reason: format!("invalid utf-8 string: {e}"),
+    })
+}
+
+fn ensure(buf: &Bytes, needed: usize) -> Result<()> {
+    if buf.remaining() < needed {
+        Err(Error::Codec {
+            reason: format!(
+                "truncated message: needed {needed} more bytes, only {} available",
+                buf.remaining()
+            ),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// ClientRequest
+// ---------------------------------------------------------------------------------------
+
+const REQ_GET: u8 = 1;
+const REQ_PUT: u8 = 2;
+const REQ_ROTX: u8 = 3;
+
+/// Encodes a [`ClientRequest`].
+pub fn encode_request(req: &ClientRequest) -> Bytes {
+    let mut buf = BytesMut::with_capacity(req.wire_size() + 16);
+    match req {
+        ClientRequest::Get { key, rdv } => {
+            buf.put_u8(REQ_GET);
+            put_key(&mut buf, *key);
+            put_dep_vector(&mut buf, rdv);
+        }
+        ClientRequest::Put { key, value, dv } => {
+            buf.put_u8(REQ_PUT);
+            put_key(&mut buf, *key);
+            put_bytes(&mut buf, value.as_slice());
+            put_dep_vector(&mut buf, dv);
+        }
+        ClientRequest::RoTx { keys, rdv } => {
+            buf.put_u8(REQ_ROTX);
+            put_keys(&mut buf, keys);
+            put_dep_vector(&mut buf, rdv);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a [`ClientRequest`].
+pub fn decode_request(mut data: Bytes) -> Result<ClientRequest> {
+    ensure(&data, 1)?;
+    let tag = data.get_u8();
+    let req = match tag {
+        REQ_GET => ClientRequest::Get {
+            key: get_key(&mut data)?,
+            rdv: get_dep_vector(&mut data)?,
+        },
+        REQ_PUT => ClientRequest::Put {
+            key: get_key(&mut data)?,
+            value: Value(get_bytes(&mut data)?),
+            dv: get_dep_vector(&mut data)?,
+        },
+        REQ_ROTX => ClientRequest::RoTx {
+            keys: get_keys(&mut data)?,
+            rdv: get_dep_vector(&mut data)?,
+        },
+        other => {
+            return Err(Error::Codec {
+                reason: format!("unknown ClientRequest tag {other}"),
+            })
+        }
+    };
+    expect_exhausted(&data)?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------------------
+// ClientReply
+// ---------------------------------------------------------------------------------------
+
+const REP_GET: u8 = 1;
+const REP_PUT: u8 = 2;
+const REP_ROTX: u8 = 3;
+const REP_ABORT: u8 = 4;
+
+/// Encodes a [`ClientReply`].
+pub fn encode_reply(reply: &ClientReply) -> Bytes {
+    let mut buf = BytesMut::with_capacity(reply.wire_size() + 16);
+    match reply {
+        ClientReply::Get(g) => {
+            buf.put_u8(REP_GET);
+            put_get_response(&mut buf, g);
+        }
+        ClientReply::Put { update_time } => {
+            buf.put_u8(REP_PUT);
+            put_timestamp(&mut buf, *update_time);
+        }
+        ClientReply::RoTx { items } => {
+            buf.put_u8(REP_ROTX);
+            put_tx_items(&mut buf, items);
+        }
+        ClientReply::SessionAborted { reason } => {
+            buf.put_u8(REP_ABORT);
+            put_string(&mut buf, reason);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a [`ClientReply`].
+pub fn decode_reply(mut data: Bytes) -> Result<ClientReply> {
+    ensure(&data, 1)?;
+    let tag = data.get_u8();
+    let reply = match tag {
+        REP_GET => ClientReply::Get(get_get_response(&mut data)?),
+        REP_PUT => ClientReply::Put {
+            update_time: get_timestamp(&mut data)?,
+        },
+        REP_ROTX => ClientReply::RoTx {
+            items: get_tx_items(&mut data)?,
+        },
+        REP_ABORT => ClientReply::SessionAborted {
+            reason: get_string(&mut data)?,
+        },
+        other => {
+            return Err(Error::Codec {
+                reason: format!("unknown ClientReply tag {other}"),
+            })
+        }
+    };
+    expect_exhausted(&data)?;
+    Ok(reply)
+}
+
+// ---------------------------------------------------------------------------------------
+// ServerMessage
+// ---------------------------------------------------------------------------------------
+
+const MSG_REPLICATE: u8 = 1;
+const MSG_HEARTBEAT: u8 = 2;
+const MSG_SLICE_REQ: u8 = 3;
+const MSG_SLICE_RESP: u8 = 4;
+const MSG_STABILIZATION: u8 = 5;
+const MSG_GC: u8 = 6;
+
+/// Encodes a [`ServerMessage`].
+pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(msg.wire_size() + 16);
+    match msg {
+        ServerMessage::Replicate { version } => {
+            buf.put_u8(MSG_REPLICATE);
+            put_version(&mut buf, version);
+        }
+        ServerMessage::Heartbeat { clock } => {
+            buf.put_u8(MSG_HEARTBEAT);
+            put_timestamp(&mut buf, *clock);
+        }
+        ServerMessage::SliceRequest {
+            tx,
+            client,
+            keys,
+            snapshot,
+        } => {
+            buf.put_u8(MSG_SLICE_REQ);
+            buf.put_u64_le(tx.0);
+            buf.put_u64_le(client.raw());
+            put_keys(&mut buf, keys);
+            put_dep_vector(&mut buf, snapshot);
+        }
+        ServerMessage::SliceResponse { tx, items } => {
+            buf.put_u8(MSG_SLICE_RESP);
+            buf.put_u64_le(tx.0);
+            put_tx_items(&mut buf, items);
+        }
+        ServerMessage::StabilizationVector { vv } => {
+            buf.put_u8(MSG_STABILIZATION);
+            put_version_vector(&mut buf, vv);
+        }
+        ServerMessage::GcVector { vector } => {
+            buf.put_u8(MSG_GC);
+            put_dep_vector(&mut buf, vector);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a [`ServerMessage`].
+pub fn decode_server_message(mut data: Bytes) -> Result<ServerMessage> {
+    ensure(&data, 1)?;
+    let tag = data.get_u8();
+    let msg = match tag {
+        MSG_REPLICATE => ServerMessage::Replicate {
+            version: get_version(&mut data)?,
+        },
+        MSG_HEARTBEAT => ServerMessage::Heartbeat {
+            clock: get_timestamp(&mut data)?,
+        },
+        MSG_SLICE_REQ => {
+            ensure(&data, 16)?;
+            let tx = TxId(data.get_u64_le());
+            let client = ClientId(data.get_u64_le());
+            ServerMessage::SliceRequest {
+                tx,
+                client,
+                keys: get_keys(&mut data)?,
+                snapshot: get_dep_vector(&mut data)?,
+            }
+        }
+        MSG_SLICE_RESP => {
+            ensure(&data, 8)?;
+            let tx = TxId(data.get_u64_le());
+            ServerMessage::SliceResponse {
+                tx,
+                items: get_tx_items(&mut data)?,
+            }
+        }
+        MSG_STABILIZATION => ServerMessage::StabilizationVector {
+            vv: get_version_vector(&mut data)?,
+        },
+        MSG_GC => ServerMessage::GcVector {
+            vector: get_dep_vector(&mut data)?,
+        },
+        other => {
+            return Err(Error::Codec {
+                reason: format!("unknown ServerMessage tag {other}"),
+            })
+        }
+    };
+    expect_exhausted(&data)?;
+    Ok(msg)
+}
+
+fn expect_exhausted(data: &Bytes) -> Result<()> {
+    if data.has_remaining() {
+        Err(Error::Codec {
+            reason: format!("{} trailing bytes after message", data.remaining()),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dv(entries: &[u64]) -> DependencyVector {
+        DependencyVector::from_entries(entries.iter().map(|&e| Timestamp(e)).collect())
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = vec![
+            ClientRequest::Get {
+                key: Key(7),
+                rdv: dv(&[1, 2, 3]),
+            },
+            ClientRequest::Put {
+                key: Key(9),
+                value: Value::from("hello"),
+                dv: dv(&[4, 0, 6]),
+            },
+            ClientRequest::RoTx {
+                keys: vec![Key(1), Key(2), Key(3)],
+                rdv: dv(&[0, 0, 0]),
+            },
+            ClientRequest::RoTx {
+                keys: vec![],
+                rdv: dv(&[]),
+            },
+        ];
+        for req in reqs {
+            let encoded = encode_request(&req);
+            assert_eq!(decode_request(encoded).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn reply_round_trips() {
+        let replies = vec![
+            ClientReply::Get(GetResponse {
+                value: Some(Value::from("v")),
+                update_time: Timestamp(9),
+                deps: dv(&[1, 2, 3]),
+                source_replica: ReplicaId(2),
+            }),
+            ClientReply::Get(GetResponse {
+                value: None,
+                update_time: Timestamp::ZERO,
+                deps: dv(&[0, 0, 0]),
+                source_replica: ReplicaId(0),
+            }),
+            ClientReply::Put {
+                update_time: Timestamp(77),
+            },
+            ClientReply::RoTx {
+                items: vec![TxItem {
+                    key: Key(5),
+                    response: GetResponse {
+                        value: Some(Value::from("x")),
+                        update_time: Timestamp(3),
+                        deps: dv(&[1, 1, 1]),
+                        source_replica: ReplicaId(1),
+                    },
+                }],
+            },
+            ClientReply::SessionAborted {
+                reason: "partition suspected".into(),
+            },
+        ];
+        for reply in replies {
+            let encoded = encode_reply(&reply);
+            assert_eq!(decode_reply(encoded).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn server_message_round_trips() {
+        let msgs = vec![
+            ServerMessage::Replicate {
+                version: Version::new(
+                    Key(1),
+                    Value::from("abc"),
+                    ReplicaId(2),
+                    Timestamp(11),
+                    dv(&[1, 2, 3]),
+                ),
+            },
+            ServerMessage::Heartbeat {
+                clock: Timestamp(123),
+            },
+            ServerMessage::SliceRequest {
+                tx: TxId(5),
+                client: ClientId(8),
+                keys: vec![Key(1), Key(9)],
+                snapshot: dv(&[4, 5, 6]),
+            },
+            ServerMessage::SliceResponse {
+                tx: TxId(5),
+                items: vec![],
+            },
+            ServerMessage::StabilizationVector {
+                vv: VersionVector::from_entries(vec![Timestamp(1), Timestamp(2)]),
+            },
+            ServerMessage::GcVector {
+                vector: dv(&[9, 9, 9]),
+            },
+        ];
+        for msg in msgs {
+            let encoded = encode_server_message(&msg);
+            assert_eq!(decode_server_message(encoded).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_are_rejected() {
+        let req = ClientRequest::Put {
+            key: Key(9),
+            value: Value::from("hello"),
+            dv: dv(&[4, 0, 6]),
+        };
+        let encoded = encode_request(&req);
+        for cut in 0..encoded.len() {
+            let truncated = encoded.slice(0..cut);
+            assert!(
+                decode_request(truncated).is_err(),
+                "truncation at {cut} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let msg = ServerMessage::Heartbeat {
+            clock: Timestamp(1),
+        };
+        let mut raw = BytesMut::from(&encode_server_message(&msg)[..]);
+        raw.put_u8(0xFF);
+        assert!(decode_server_message(raw.freeze()).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut raw = BytesMut::new();
+        raw.put_u8(0xEE);
+        assert!(decode_request(raw.clone().freeze()).is_err());
+        assert!(decode_reply(raw.clone().freeze()).is_err());
+        assert!(decode_server_message(raw.freeze()).is_err());
+        assert!(decode_request(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn encoded_size_tracks_wire_size_estimate() {
+        let req = ClientRequest::Get {
+            key: Key(7),
+            rdv: dv(&[1, 2, 3]),
+        };
+        // The estimate does not count the 2-byte vector length prefix.
+        assert_eq!(encode_request(&req).len(), req.wire_size() + 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_dv() -> impl Strategy<Value = DependencyVector> {
+        proptest::collection::vec(0u64..u64::MAX / 2, 0..6)
+            .prop_map(|v| DependencyVector::from_entries(v.into_iter().map(Timestamp).collect()))
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::from)
+    }
+
+    fn arb_request() -> impl Strategy<Value = ClientRequest> {
+        prop_oneof![
+            (any::<u64>(), arb_dv()).prop_map(|(k, rdv)| ClientRequest::Get { key: Key(k), rdv }),
+            (any::<u64>(), arb_value(), arb_dv())
+                .prop_map(|(k, value, dv)| ClientRequest::Put { key: Key(k), value, dv }),
+            (proptest::collection::vec(any::<u64>(), 0..10), arb_dv()).prop_map(|(ks, rdv)| {
+                ClientRequest::RoTx {
+                    keys: ks.into_iter().map(Key).collect(),
+                    rdv,
+                }
+            }),
+        ]
+    }
+
+    fn arb_get_response() -> impl Strategy<Value = GetResponse> {
+        (
+            proptest::option::of(arb_value()),
+            any::<u64>(),
+            arb_dv(),
+            0u16..8,
+        )
+            .prop_map(|(value, ut, deps, sr)| GetResponse {
+                value,
+                update_time: Timestamp(ut),
+                deps,
+                source_replica: ReplicaId(sr),
+            })
+    }
+
+    fn arb_reply() -> impl Strategy<Value = ClientReply> {
+        prop_oneof![
+            arb_get_response().prop_map(ClientReply::Get),
+            any::<u64>().prop_map(|t| ClientReply::Put {
+                update_time: Timestamp(t)
+            }),
+            proptest::collection::vec((any::<u64>(), arb_get_response()), 0..8).prop_map(|items| {
+                ClientReply::RoTx {
+                    items: items
+                        .into_iter()
+                        .map(|(k, response)| TxItem {
+                            key: Key(k),
+                            response,
+                        })
+                        .collect(),
+                }
+            }),
+            "[ -~]{0,40}".prop_map(|reason| ClientReply::SessionAborted { reason }),
+        ]
+    }
+
+    fn arb_server_message() -> impl Strategy<Value = ServerMessage> {
+        prop_oneof![
+            (any::<u64>(), arb_value(), 0u16..8, any::<u64>(), arb_dv()).prop_map(
+                |(k, v, sr, ut, deps)| ServerMessage::Replicate {
+                    version: Version::new(Key(k), v, ReplicaId(sr), Timestamp(ut), deps),
+                }
+            ),
+            any::<u64>().prop_map(|c| ServerMessage::Heartbeat {
+                clock: Timestamp(c)
+            }),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                proptest::collection::vec(any::<u64>(), 0..10),
+                arb_dv()
+            )
+                .prop_map(|(tx, client, keys, snapshot)| ServerMessage::SliceRequest {
+                    tx: TxId(tx),
+                    client: ClientId(client),
+                    keys: keys.into_iter().map(Key).collect(),
+                    snapshot,
+                }),
+            (
+                any::<u64>(),
+                proptest::collection::vec((any::<u64>(), arb_get_response()), 0..6)
+            )
+                .prop_map(|(tx, items)| ServerMessage::SliceResponse {
+                    tx: TxId(tx),
+                    items: items
+                        .into_iter()
+                        .map(|(k, response)| TxItem {
+                            key: Key(k),
+                            response,
+                        })
+                        .collect(),
+                }),
+            proptest::collection::vec(0u64..u64::MAX / 2, 0..6).prop_map(|v| {
+                ServerMessage::StabilizationVector {
+                    vv: VersionVector::from_entries(v.into_iter().map(Timestamp).collect()),
+                }
+            }),
+            arb_dv().prop_map(|vector| ServerMessage::GcVector { vector }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_request_round_trip(req in arb_request()) {
+            prop_assert_eq!(decode_request(encode_request(&req)).unwrap(), req);
+        }
+
+        #[test]
+        fn prop_reply_round_trip(reply in arb_reply()) {
+            prop_assert_eq!(decode_reply(encode_reply(&reply)).unwrap(), reply);
+        }
+
+        #[test]
+        fn prop_server_message_round_trip(msg in arb_server_message()) {
+            prop_assert_eq!(decode_server_message(encode_server_message(&msg)).unwrap(), msg);
+        }
+
+        #[test]
+        fn prop_decoder_never_panics_on_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let bytes = Bytes::from(data);
+            let _ = decode_request(bytes.clone());
+            let _ = decode_reply(bytes.clone());
+            let _ = decode_server_message(bytes);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Wire messages and sans-IO plumbing shared by the POCC and Cure\* protocol crates.
+//!
+//! The protocol implementations in `pocc-protocol` and `pocc-cure` are *sans-IO* state
+//! machines: they consume [`ClientRequest`]s and [`ServerMessage`]s and produce
+//! [`ServerOutput`]s, without performing any network or timer calls themselves. Both the
+//! discrete-event simulator (`pocc-sim`) and the threaded runtime (`pocc-runtime`) drive
+//! the same state machines through these types.
+//!
+//! The crate also contains a compact hand-rolled binary [`codec`], used by the threaded
+//! runtime to serialise messages across channel boundaries and by the benchmarks to
+//! measure the exact metadata overhead of each message type — one of the claims of the
+//! paper is that POCC's client-supplied metadata is only linear in the number of data
+//! centers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod codec;
+mod messages;
+mod output;
+
+pub use api::{MetricsSnapshot, ProtocolClient, ProtocolServer};
+pub use messages::{ClientReply, ClientRequest, GetResponse, ServerMessage, TxId, TxItem};
+pub use output::{ClientEvent, Envelope, ServerOutput};

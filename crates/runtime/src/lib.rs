@@ -1,0 +1,50 @@
+//! An in-process, multi-threaded cluster runtime.
+//!
+//! `pocc-runtime` runs the very same protocol state machines as the discrete-event
+//! simulator, but on real operating-system threads connected by channels: one thread per
+//! server (`M` data centers × `N` partitions), a network thread that injects configurable
+//! wide-area delays between data centers, and synchronous client handles that applications
+//! call like an ordinary key-value store client library.
+//!
+//! This is the "local multi-node emulation" deployment mode: it demonstrates the system
+//! end-to-end in real time (the examples use it), provides a second, independent driver
+//! for the protocol code (the integration tests run the same workloads through it), and is
+//! the natural seam where real TCP transport could be attached.
+//!
+//! # Example
+//!
+//! ```
+//! use pocc_runtime::{Cluster, RuntimeProtocol};
+//! use pocc_types::{Config, Key, ReplicaId, Value};
+//! use std::time::Duration;
+//!
+//! let config = Config::builder()
+//!     .num_replicas(2)
+//!     .num_partitions(2)
+//!     .latency(pocc_types::LatencyMatrix::uniform(
+//!         2,
+//!         Duration::from_micros(100),
+//!         Duration::from_millis(5),
+//!     ))
+//!     .build()
+//!     .unwrap();
+//! let cluster = Cluster::start(config, RuntimeProtocol::Pocc);
+//! let mut client = cluster.client(ReplicaId(0));
+//! client.put(Key(1), Value::from("hello")).unwrap();
+//! assert_eq!(
+//!     client.get(Key(1)).unwrap().unwrap().as_slice(),
+//!     b"hello"
+//! );
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod cluster;
+mod router;
+
+pub use client::ClusterClient;
+pub use cluster::{Cluster, RuntimeProtocol};
+pub use router::Router;

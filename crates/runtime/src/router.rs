@@ -1,0 +1,250 @@
+//! Message routing between server threads, client handles and the delay-injecting
+//! network thread.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use pocc_proto::{ClientReply, ClientRequest, ServerMessage};
+use pocc_types::{ClientId, Config, ServerId};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An event delivered to a server thread's inbox.
+#[derive(Debug)]
+pub(crate) enum Inbound {
+    /// A request from a client.
+    FromClient {
+        /// The issuing client.
+        client: ClientId,
+        /// The request.
+        request: ClientRequest,
+    },
+    /// A message from another server.
+    FromServer {
+        /// The sending server.
+        from: ServerId,
+        /// The message.
+        message: ServerMessage,
+    },
+    /// Ask the server thread to exit.
+    Shutdown,
+}
+
+/// A message waiting in the network thread for its delivery deadline.
+pub(crate) struct Delayed {
+    pub deliver_at: Instant,
+    pub from: ServerId,
+    pub to: ServerId,
+    pub message: ServerMessage,
+}
+
+/// The shared routing fabric of a [`crate::Cluster`]: per-server inboxes, per-client reply
+/// channels and the channel into the delay-injecting network thread.
+///
+/// Cloning a `Router` is cheap (everything is behind `Arc`s); server threads, client
+/// handles and the network thread all hold one.
+#[derive(Clone)]
+pub struct Router {
+    config: Config,
+    server_inboxes: Arc<HashMap<ServerId, Sender<Inbound>>>,
+    client_replies: Arc<RwLock<HashMap<ClientId, Sender<ClientReply>>>>,
+    network: Sender<Delayed>,
+    epoch: Instant,
+}
+
+impl Router {
+    /// Builds the router plus the receiving halves the cluster needs to wire up threads.
+    pub(crate) fn new(
+        config: Config,
+    ) -> (Router, HashMap<ServerId, Receiver<Inbound>>, Receiver<Delayed>) {
+        let mut inboxes = HashMap::new();
+        let mut receivers = HashMap::new();
+        for id in config.servers() {
+            let (tx, rx) = unbounded();
+            inboxes.insert(id, tx);
+            receivers.insert(id, rx);
+        }
+        let (net_tx, net_rx) = unbounded();
+        let router = Router {
+            config,
+            server_inboxes: Arc::new(inboxes),
+            client_replies: Arc::new(RwLock::new(HashMap::new())),
+            network: net_tx,
+            epoch: Instant::now(),
+        };
+        (router, receivers, net_rx)
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The instant the cluster started; server clocks measure from this epoch so that
+    /// their physical timestamps are mutually consistent.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Registers the reply channel of a client session.
+    pub(crate) fn register_client(&self, client: ClientId, tx: Sender<ClientReply>) {
+        self.client_replies.write().insert(client, tx);
+    }
+
+    /// Removes a client session.
+    pub(crate) fn unregister_client(&self, client: ClientId) {
+        self.client_replies.write().remove(&client);
+    }
+
+    /// Sends a client request to a server's inbox.
+    pub(crate) fn submit(&self, to: ServerId, client: ClientId, request: ClientRequest) {
+        if let Some(tx) = self.server_inboxes.get(&to) {
+            let _ = tx.send(Inbound::FromClient { client, request });
+        }
+    }
+
+    /// Delivers a reply to a client, dropping it silently if the session is gone.
+    pub(crate) fn reply(&self, client: ClientId, reply: ClientReply) {
+        if let Some(tx) = self.client_replies.read().get(&client) {
+            let _ = tx.send(reply);
+        }
+    }
+
+    /// Routes a server-to-server message, going through the network thread (which injects
+    /// the configured inter-DC delay) for messages that cross data centers and delivering
+    /// intra-DC traffic directly.
+    pub(crate) fn send_server(&self, from: ServerId, to: ServerId, message: ServerMessage) {
+        let delay = self.config.latency.between(from.replica, to.replica);
+        if delay <= Duration::from_micros(500) {
+            self.deliver_server(from, to, message);
+        } else {
+            let _ = self.network.send(Delayed {
+                deliver_at: Instant::now() + delay,
+                from,
+                to,
+                message,
+            });
+        }
+    }
+
+    /// Delivers a server-to-server message immediately.
+    pub(crate) fn deliver_server(&self, from: ServerId, to: ServerId, message: ServerMessage) {
+        if let Some(tx) = self.server_inboxes.get(&to) {
+            let _ = tx.send(Inbound::FromServer { from, message });
+        }
+    }
+
+    /// Asks every server thread to shut down.
+    pub(crate) fn broadcast_shutdown(&self) {
+        for tx in self.server_inboxes.values() {
+            let _ = tx.send(Inbound::Shutdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_types::{LatencyMatrix, Timestamp};
+
+    fn config() -> Config {
+        Config::builder()
+            .num_replicas(2)
+            .num_partitions(2)
+            .latency(LatencyMatrix::uniform(
+                2,
+                Duration::from_micros(10),
+                Duration::from_millis(20),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn client_replies_route_to_registered_sessions_only() {
+        let (router, _inboxes, _net) = Router::new(config());
+        let (tx, rx) = unbounded();
+        router.register_client(ClientId(1), tx);
+        router.reply(
+            ClientId(1),
+            ClientReply::Put {
+                update_time: Timestamp(1),
+            },
+        );
+        assert!(rx.try_recv().is_ok());
+        // Unknown clients are dropped silently.
+        router.reply(
+            ClientId(2),
+            ClientReply::Put {
+                update_time: Timestamp(1),
+            },
+        );
+        router.unregister_client(ClientId(1));
+        router.reply(
+            ClientId(1),
+            ClientReply::Put {
+                update_time: Timestamp(2),
+            },
+        );
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn intra_dc_messages_bypass_the_network_thread() {
+        let (router, inboxes, net_rx) = Router::new(config());
+        let a = ServerId::new(0u16, 0u32);
+        let b = ServerId::new(0u16, 1u32);
+        router.send_server(
+            a,
+            b,
+            ServerMessage::Heartbeat {
+                clock: Timestamp(1),
+            },
+        );
+        assert!(matches!(
+            inboxes[&b].try_recv().unwrap(),
+            Inbound::FromServer { .. }
+        ));
+        assert!(net_rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn cross_dc_messages_go_through_the_network_thread() {
+        let (router, inboxes, net_rx) = Router::new(config());
+        let a = ServerId::new(0u16, 0u32);
+        let b = ServerId::new(1u16, 0u32);
+        router.send_server(
+            a,
+            b,
+            ServerMessage::Heartbeat {
+                clock: Timestamp(1),
+            },
+        );
+        assert!(inboxes[&b].try_recv().is_err());
+        let delayed = net_rx.try_recv().unwrap();
+        assert_eq!(delayed.to, b);
+        assert!(delayed.deliver_at > Instant::now());
+    }
+
+    #[test]
+    fn submit_and_shutdown_reach_server_inboxes() {
+        let (router, inboxes, _net) = Router::new(config());
+        let a = ServerId::new(0u16, 0u32);
+        router.submit(
+            a,
+            ClientId(3),
+            ClientRequest::Get {
+                key: pocc_types::Key(1),
+                rdv: pocc_types::DependencyVector::zero(2),
+            },
+        );
+        assert!(matches!(
+            inboxes[&a].try_recv().unwrap(),
+            Inbound::FromClient { .. }
+        ));
+        router.broadcast_shutdown();
+        for rx in inboxes.values() {
+            assert!(matches!(rx.try_recv().unwrap(), Inbound::Shutdown));
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Simulation configuration.
+
+use pocc_types::{Config, ReplicaId};
+use pocc_workload::WorkloadMix;
+use std::time::Duration;
+
+/// Which protocol implementation the simulated servers run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolKind {
+    /// The optimistic protocol (the paper's contribution).
+    Pocc,
+    /// The pessimistic baseline (Cure\*).
+    Cure,
+    /// POCC with the availability fall-back of §III-B.
+    HaPocc,
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProtocolKind::Pocc => "POCC",
+            ProtocolKind::Cure => "Cure*",
+            ProtocolKind::HaPocc => "HA-POCC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scheduled network fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultEvent {
+    /// Partition the links between two data centers at the given simulation time.
+    Partition {
+        /// When the partition starts.
+        at: Duration,
+        /// One side of the partition.
+        a: ReplicaId,
+        /// The other side.
+        b: ReplicaId,
+    },
+    /// Heal a previously injected partition.
+    Heal {
+        /// When the partition heals.
+        at: Duration,
+        /// One side of the partition.
+        a: ReplicaId,
+        /// The other side.
+        b: ReplicaId,
+    },
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The deployment (data centers, partitions, timers, latencies, service times).
+    pub deployment: Config,
+    /// Which protocol the servers run.
+    pub protocol: ProtocolKind,
+    /// Closed-loop clients attached to every (data center, partition) pair.
+    pub clients_per_partition: usize,
+    /// The workload mix each client runs.
+    pub mix: WorkloadMix,
+    /// Zipfian exponent for key popularity (0.99 in the paper).
+    pub zipf_theta: f64,
+    /// Keys per partition (one million in the paper; smaller values are fine for tests).
+    pub keys_per_partition: u64,
+    /// Client think time between operations (25 ms in the paper).
+    pub think_time: Duration,
+    /// Warm-up period excluded from measurements.
+    pub warmup: Duration,
+    /// Measured run length (after warm-up).
+    pub duration: Duration,
+    /// Extra time after the measured window during which clients stop issuing operations
+    /// but the servers keep processing, so replication can drain before convergence checks.
+    pub drain: Duration,
+    /// Random jitter added to network latencies, as a fraction of the base latency.
+    pub network_jitter: f64,
+    /// RNG seed controlling workload, jitter and clock skew.
+    pub seed: u64,
+    /// Whether to run the exact causal-consistency checker (expensive; intended for the
+    /// small configurations used by tests).
+    pub check_consistency: bool,
+    /// Scheduled partitions and heals.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl SimConfig {
+    /// A builder initialised with the paper's test-bed defaults scaled down to a quick run.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// Total number of clients in the deployment.
+    pub fn total_clients(&self) -> usize {
+        self.clients_per_partition * self.deployment.num_partitions * self.deployment.num_replicas
+    }
+
+    /// Total simulated time (warm-up + measured window + drain).
+    pub fn total_time(&self) -> Duration {
+        self.warmup + self.duration + self.drain
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    deployment: Option<Config>,
+    partitions: usize,
+    replicas: usize,
+    protocol: ProtocolKind,
+    clients_per_partition: usize,
+    mix: WorkloadMix,
+    zipf_theta: f64,
+    keys_per_partition: u64,
+    think_time: Duration,
+    warmup: Duration,
+    duration: Duration,
+    drain: Duration,
+    network_jitter: f64,
+    seed: u64,
+    check_consistency: bool,
+    faults: Vec<FaultEvent>,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            deployment: None,
+            partitions: 8,
+            replicas: 3,
+            protocol: ProtocolKind::Pocc,
+            clients_per_partition: 4,
+            mix: WorkloadMix::GetPut { gets_per_put: 8 },
+            zipf_theta: 0.99,
+            keys_per_partition: 10_000,
+            think_time: Duration::from_millis(25),
+            warmup: Duration::from_millis(200),
+            duration: Duration::from_secs(1),
+            drain: Duration::from_millis(300),
+            network_jitter: 0.05,
+            seed: 1,
+            check_consistency: false,
+            faults: Vec::new(),
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Uses a fully specified deployment configuration (overrides `partitions`/`replicas`).
+    pub fn deployment(mut self, config: Config) -> Self {
+        self.deployment = Some(config);
+        self
+    }
+
+    /// Number of partitions per data center.
+    pub fn partitions(mut self, n: usize) -> Self {
+        self.partitions = n;
+        self
+    }
+
+    /// Number of data centers.
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Which protocol to run.
+    pub fn protocol(mut self, p: ProtocolKind) -> Self {
+        self.protocol = p;
+        self
+    }
+
+    /// Closed-loop clients per (data center, partition) pair.
+    pub fn clients_per_partition(mut self, n: usize) -> Self {
+        self.clients_per_partition = n;
+        self
+    }
+
+    /// The workload mix.
+    pub fn mix(mut self, mix: WorkloadMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Zipfian exponent.
+    pub fn zipf_theta(mut self, theta: f64) -> Self {
+        self.zipf_theta = theta;
+        self
+    }
+
+    /// Keys per partition.
+    pub fn keys_per_partition(mut self, n: u64) -> Self {
+        self.keys_per_partition = n;
+        self
+    }
+
+    /// Client think time.
+    pub fn think_time(mut self, d: Duration) -> Self {
+        self.think_time = d;
+        self
+    }
+
+    /// Warm-up period.
+    pub fn warmup(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Measured run length.
+    pub fn duration(mut self, d: Duration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Drain period after the measured window.
+    pub fn drain(mut self, d: Duration) -> Self {
+        self.drain = d;
+        self
+    }
+
+    /// Network latency jitter fraction.
+    pub fn network_jitter(mut self, fraction: f64) -> Self {
+        self.network_jitter = fraction;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables the exact causal-consistency checker.
+    pub fn check_consistency(mut self, yes: bool) -> Self {
+        self.check_consistency = yes;
+        self
+    }
+
+    /// Adds a scheduled fault.
+    pub fn fault(mut self, fault: FaultEvent) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Builds the configuration.
+    pub fn build(self) -> SimConfig {
+        let deployment = self.deployment.unwrap_or_else(|| {
+            Config::builder()
+                .num_replicas(self.replicas)
+                .num_partitions(self.partitions)
+                .build()
+                .expect("simulation deployment config is valid")
+        });
+        SimConfig {
+            deployment,
+            protocol: self.protocol,
+            clients_per_partition: self.clients_per_partition,
+            mix: self.mix,
+            zipf_theta: self.zipf_theta,
+            keys_per_partition: self.keys_per_partition,
+            think_time: self.think_time,
+            warmup: self.warmup,
+            duration: self.duration,
+            drain: self.drain,
+            network_jitter: self.network_jitter,
+            seed: self.seed,
+            check_consistency: self.check_consistency,
+            faults: self.faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_reasonable() {
+        let cfg = SimConfig::builder().build();
+        assert_eq!(cfg.deployment.num_replicas, 3);
+        assert_eq!(cfg.deployment.num_partitions, 8);
+        assert_eq!(cfg.protocol, ProtocolKind::Pocc);
+        assert_eq!(cfg.total_clients(), 3 * 8 * 4);
+        assert_eq!(
+            cfg.total_time(),
+            Duration::from_millis(200) + Duration::from_secs(1) + Duration::from_millis(300)
+        );
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let cfg = SimConfig::builder()
+            .partitions(2)
+            .replicas(2)
+            .protocol(ProtocolKind::Cure)
+            .clients_per_partition(1)
+            .keys_per_partition(50)
+            .seed(9)
+            .check_consistency(true)
+            .fault(FaultEvent::Partition {
+                at: Duration::from_millis(10),
+                a: ReplicaId(0),
+                b: ReplicaId(1),
+            })
+            .build();
+        assert_eq!(cfg.deployment.num_partitions, 2);
+        assert_eq!(cfg.protocol, ProtocolKind::Cure);
+        assert_eq!(cfg.total_clients(), 4);
+        assert!(cfg.check_consistency);
+        assert_eq!(cfg.faults.len(), 1);
+    }
+
+    #[test]
+    fn explicit_deployment_takes_precedence() {
+        let deployment = Config::builder()
+            .num_replicas(2)
+            .num_partitions(5)
+            .build()
+            .unwrap();
+        let cfg = SimConfig::builder()
+            .partitions(99)
+            .deployment(deployment)
+            .build();
+        assert_eq!(cfg.deployment.num_partitions, 5);
+    }
+
+    #[test]
+    fn protocol_kind_display() {
+        assert_eq!(ProtocolKind::Pocc.to_string(), "POCC");
+        assert_eq!(ProtocolKind::Cure.to_string(), "Cure*");
+        assert_eq!(ProtocolKind::HaPocc.to_string(), "HA-POCC");
+    }
+}

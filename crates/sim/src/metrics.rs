@@ -1,0 +1,151 @@
+//! Harness-side latency and throughput accounting.
+
+use std::time::Duration;
+
+/// An online latency aggregator with logarithmic buckets.
+///
+/// Latencies are recorded in microseconds into power-of-two buckets, which is plenty of
+/// resolution for the avg / p50 / p99 numbers the figures report while keeping the
+/// aggregator allocation-free and O(1) per sample.
+#[derive(Clone, Debug)]
+pub struct LatencyStats {
+    count: u64,
+    sum_micros: u64,
+    max_micros: u64,
+    /// `buckets[i]` counts samples whose latency in µs has `i` significant bits
+    /// (i.e. falls in `[2^(i-1), 2^i)`, with bucket 0 for 0 µs).
+    buckets: [u64; 64],
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            count: 0,
+            sum_micros: 0,
+            max_micros: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl LatencyStats {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        self.count += 1;
+        self.sum_micros += us;
+        self.max_micros = self.max_micros.max(us);
+        let bucket = (64 - us.leading_zeros()) as usize;
+        self.buckets[bucket.min(63)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.sum_micros / self.count)
+        }
+    }
+
+    /// Maximum latency observed.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// An upper bound of the `q`-quantile (e.g. `0.99` for p99), at bucket resolution.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                let upper = if i == 0 { 0 } else { 1u64 << i };
+                return Duration::from_micros(upper.min(self.max_micros));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another aggregator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.count += other.count;
+        self.sum_micros += other.sum_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_report_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.max(), Duration::ZERO);
+        assert_eq!(s.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_and_max_are_exact() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_micros(100));
+        s.record(Duration::from_micros(300));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), Duration::from_micros(200));
+        assert_eq!(s.max(), Duration::from_micros(300));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut s = LatencyStats::new();
+        for i in 1..=1000u64 {
+            s.record(Duration::from_micros(i));
+        }
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!(p50 >= Duration::from_micros(500 / 2) && p50 <= Duration::from_micros(1024));
+        assert!(p99 >= p50);
+        assert!(p99 <= Duration::from_micros(1000));
+        assert!(s.quantile(1.0) <= s.max());
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_micros(1000));
+        assert_eq!(a.mean(), Duration::from_micros(505));
+    }
+
+    #[test]
+    fn zero_latency_samples_are_handled() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::ZERO);
+        s.record(Duration::from_micros(8));
+        assert_eq!(s.count(), 2);
+        assert!(s.quantile(0.1) <= Duration::from_micros(8));
+    }
+}

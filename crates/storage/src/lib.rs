@@ -1,0 +1,28 @@
+//! Multi-version key-value storage for the POCC reproduction.
+//!
+//! The system model of the paper (§II-C) assumes a multiversion data store: every PUT
+//! creates a new [`Version`] of the item, versions of the same key form a *version chain*
+//! ordered by the last-writer-wins rule, and the store is periodically garbage-collected.
+//!
+//! This crate provides:
+//!
+//! * [`partition_for_key`] — the deterministic key → partition assignment,
+//! * [`VersionChain`] — the per-key chain with the lookups both protocols need:
+//!   the freshest version (POCC GET), the freshest version visible under a snapshot
+//!   vector (RO-TX slice reads, Algorithm 2 line 43), and the freshest version visible
+//!   under Cure's Globally Stable Snapshot (pessimistic GET), together with the staleness
+//!   statistics the evaluation reports (how many fresher/unmerged versions sit above the
+//!   returned one),
+//! * [`PartitionStore`] — the per-server collection of chains with garbage collection
+//!   (§IV-B) and content digests used by convergence tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod partitioning;
+mod store;
+
+pub use chain::{ChainReadStats, LookupOutcome, VersionChain};
+pub use partitioning::partition_for_key;
+pub use store::{PartitionStore, StoreStats};

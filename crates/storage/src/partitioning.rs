@@ -1,0 +1,71 @@
+//! Deterministic assignment of keys to partitions.
+
+use pocc_types::{Key, PartitionId};
+
+/// Maps a key to the partition that owns it.
+///
+/// The paper's system model (§II-C) assigns each key to a single partition with a hash
+/// function. We use the 64-bit finalizer of SplitMix64, which mixes all input bits into
+/// the output so that dense key spaces (0, 1, 2, …) spread uniformly across partitions —
+/// the workload generator allocates keys densely per partition.
+pub fn partition_for_key(key: Key, num_partitions: usize) -> PartitionId {
+    assert!(num_partitions > 0, "a deployment has at least one partition");
+    let mut z = key.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    PartitionId::from((z % num_partitions as u64) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic() {
+        for k in 0..100u64 {
+            assert_eq!(
+                partition_for_key(Key(k), 32),
+                partition_for_key(Key(k), 32)
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_within_bounds() {
+        for k in 0..10_000u64 {
+            let p = partition_for_key(Key(k), 7);
+            assert!(p.index() < 7);
+        }
+    }
+
+    #[test]
+    fn single_partition_gets_everything() {
+        for k in 0..100u64 {
+            assert_eq!(partition_for_key(Key(k), 1), PartitionId(0));
+        }
+    }
+
+    #[test]
+    fn dense_keys_spread_roughly_uniformly() {
+        let n = 32usize;
+        let total = 32_000u64;
+        let mut counts = vec![0usize; n];
+        for k in 0..total {
+            counts[partition_for_key(Key(k), n).index()] += 1;
+        }
+        let expected = total as usize / n;
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (*c as i64 - expected as i64).unsigned_abs() < (expected / 2) as u64,
+                "partition {i} got {c} keys, expected about {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_is_a_programming_error() {
+        partition_for_key(Key(1), 0);
+    }
+}

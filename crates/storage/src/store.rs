@@ -1,0 +1,311 @@
+//! The per-server partition store: a collection of version chains.
+
+use crate::chain::{LookupOutcome, VersionChain};
+use crate::partition_for_key;
+use pocc_types::{DependencyVector, Error, Key, PartitionId, ReplicaId, Result, Version};
+use std::collections::HashMap;
+
+/// Aggregate statistics of a [`PartitionStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of distinct keys with at least one version.
+    pub keys: usize,
+    /// Total number of versions retained across all chains.
+    pub versions: usize,
+    /// Length of the longest version chain.
+    pub max_chain_len: usize,
+    /// Total number of versions removed by garbage collection since the store was created.
+    pub gc_removed: usize,
+}
+
+/// The storage of one server `p^m_n`: the version chains of every key owned by partition
+/// `n`, as seen by the replica in data center `m`.
+///
+/// The store validates that inserted keys actually belong to its partition (mis-routed
+/// writes are a bug in the routing layer, reported as [`Error::WrongPartition`]).
+#[derive(Debug)]
+pub struct PartitionStore {
+    partition: PartitionId,
+    num_partitions: usize,
+    chains: HashMap<Key, VersionChain>,
+    gc_removed: usize,
+}
+
+impl PartitionStore {
+    /// Creates an empty store for `partition` in a deployment of `num_partitions`
+    /// partitions.
+    pub fn new(partition: PartitionId, num_partitions: usize) -> Self {
+        PartitionStore {
+            partition,
+            num_partitions,
+            chains: HashMap::new(),
+            gc_removed: 0,
+        }
+    }
+
+    /// The partition this store belongs to.
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// Checks that `key` is owned by this partition.
+    pub fn check_ownership(&self, key: Key) -> Result<()> {
+        let owner = partition_for_key(key, self.num_partitions);
+        if owner == self.partition {
+            Ok(())
+        } else {
+            Err(Error::WrongPartition {
+                key,
+                expected: owner,
+                actual: self.partition,
+            })
+        }
+    }
+
+    /// Inserts a version (a local PUT or a replicated update). Returns an error if the key
+    /// is not owned by this partition.
+    pub fn insert(&mut self, version: Version) -> Result<()> {
+        self.check_ownership(version.key)?;
+        self.chains.entry(version.key).or_default().insert(version);
+        Ok(())
+    }
+
+    /// The freshest version of `key`, regardless of stability (POCC GET, Algorithm 2
+    /// line 3). Returns `None` for a key that has never been written.
+    pub fn latest(&self, key: Key) -> Option<&Version> {
+        self.chains.get(&key).and_then(|c| c.latest())
+    }
+
+    /// The freshest version of `key` within snapshot `tv` (RO-TX slice read,
+    /// Algorithm 2 lines 43–44).
+    pub fn latest_in_snapshot(&self, key: Key, tv: &DependencyVector) -> LookupOutcome {
+        self.chains
+            .get(&key)
+            .map(|c| c.latest_in_snapshot(tv))
+            .unwrap_or_default()
+    }
+
+    /// The freshest version of `key` visible under Cure's pessimistic rule (local versions
+    /// always visible, remote versions only when covered by the GSS).
+    pub fn latest_stable(
+        &self,
+        key: Key,
+        gss: &DependencyVector,
+        local: ReplicaId,
+    ) -> LookupOutcome {
+        self.chains
+            .get(&key)
+            .map(|c| c.latest_stable(gss, local))
+            .unwrap_or_default()
+    }
+
+    /// Whether the chain of `key` contains at least one version that is **not** stable
+    /// under `gss` (the paper's "unmerged item" definition, §V-B: some version of the item
+    /// is not stable yet, regardless of which version is returned).
+    pub fn has_unmerged_versions(&self, key: Key, gss: &DependencyVector, local: ReplicaId) -> bool {
+        self.chains
+            .get(&key)
+            .map(|c| {
+                c.count_invisible(|v| {
+                    v.source_replica == local
+                        || (v.update_time <= gss.get(v.source_replica) && v.visible_under(gss))
+                }) > 0
+            })
+            .unwrap_or(false)
+    }
+
+    /// Number of versions of `key` that are not stable under `gss`.
+    pub fn unmerged_count(&self, key: Key, gss: &DependencyVector, local: ReplicaId) -> usize {
+        self.chains
+            .get(&key)
+            .map(|c| {
+                c.count_invisible(|v| {
+                    v.source_replica == local
+                        || (v.update_time <= gss.get(v.source_replica) && v.visible_under(gss))
+                })
+            })
+            .unwrap_or(0)
+    }
+
+    /// Runs garbage collection with vector `gv` over every chain (§IV-B). Returns the
+    /// number of versions removed in this pass.
+    pub fn collect_garbage(&mut self, gv: &DependencyVector) -> usize {
+        let mut removed = 0;
+        for chain in self.chains.values_mut() {
+            removed += chain.collect(gv);
+        }
+        self.gc_removed += removed;
+        removed
+    }
+
+    /// Aggregate statistics of the store.
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats {
+            keys: self.chains.len(),
+            gc_removed: self.gc_removed,
+            ..StoreStats::default()
+        };
+        for chain in self.chains.values() {
+            stats.versions += chain.len();
+            stats.max_chain_len = stats.max_chain_len.max(chain.len());
+        }
+        stats
+    }
+
+    /// A deterministic digest of the *latest* version of every key: `(key, update time,
+    /// source replica)` triples sorted by key. Two replicas of the same partition have
+    /// converged exactly when their digests are equal — the convergence tests rely on this.
+    pub fn digest(&self) -> Vec<(Key, pocc_types::Timestamp, ReplicaId)> {
+        let mut d: Vec<_> = self
+            .chains
+            .iter()
+            .filter_map(|(k, c)| c.latest().map(|v| (*k, v.update_time, v.source_replica)))
+            .collect();
+        d.sort();
+        d
+    }
+
+    /// Iterates over all keys with at least one version.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.chains.keys().copied()
+    }
+
+    /// Direct access to the chain of `key`, if present (used by white-box tests).
+    pub fn chain(&self, key: Key) -> Option<&VersionChain> {
+        self.chains.get(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_types::{Timestamp, Value};
+
+    fn dv(entries: &[u64]) -> DependencyVector {
+        DependencyVector::from_entries(entries.iter().map(|&d| Timestamp(d)).collect())
+    }
+
+    /// A key owned by the given partition in a `num_partitions`-way deployment.
+    fn key_in(partition: usize, num_partitions: usize) -> Key {
+        (0u64..)
+            .map(Key)
+            .find(|k| partition_for_key(*k, num_partitions).index() == partition)
+            .unwrap()
+    }
+
+    fn version(key: Key, ut: u64, sr: u16, deps: &[u64]) -> Version {
+        Version::new(key, Value::from(ut), ReplicaId(sr), Timestamp(ut), dv(deps))
+    }
+
+    #[test]
+    fn insert_and_read_back_latest() {
+        let k = key_in(0, 4);
+        let mut store = PartitionStore::new(PartitionId(0), 4);
+        store.insert(version(k, 10, 0, &[0, 0, 0])).unwrap();
+        store.insert(version(k, 30, 1, &[0, 0, 0])).unwrap();
+        assert_eq!(store.latest(k).unwrap().update_time, Timestamp(30));
+        assert_eq!(store.latest(Key(u64::MAX)), None);
+    }
+
+    #[test]
+    fn misrouted_writes_are_rejected() {
+        let num = 4;
+        let k = key_in(1, num);
+        let mut store = PartitionStore::new(PartitionId(0), num);
+        let err = store.insert(version(k, 10, 0, &[0, 0, 0])).unwrap_err();
+        match err {
+            Error::WrongPartition { expected, actual, .. } => {
+                assert_eq!(expected, PartitionId(1));
+                assert_eq!(actual, PartitionId(0));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_and_stable_lookups_delegate_to_the_chain() {
+        let k = key_in(0, 2);
+        let mut store = PartitionStore::new(PartitionId(0), 2);
+        store.insert(version(k, 10, 1, &[0, 0, 0])).unwrap();
+        store.insert(version(k, 50, 1, &[0, 40, 0])).unwrap();
+
+        let snap = store.latest_in_snapshot(k, &dv(&[100, 20, 100]));
+        assert_eq!(snap.version.unwrap().update_time, Timestamp(10));
+
+        let stable = store.latest_stable(k, &dv(&[0, 10, 0]), ReplicaId(0));
+        assert_eq!(stable.version.clone().unwrap().update_time, Timestamp(10));
+        assert!(stable.is_old());
+
+        // Unknown keys return empty outcomes rather than panicking.
+        assert!(store.latest_in_snapshot(Key(u64::MAX), &dv(&[0, 0, 0])).version.is_none());
+    }
+
+    #[test]
+    fn unmerged_accounting_matches_definition() {
+        let k = key_in(0, 2);
+        let mut store = PartitionStore::new(PartitionId(0), 2);
+        store.insert(version(k, 10, 1, &[0, 0, 0])).unwrap();
+        store.insert(version(k, 50, 1, &[0, 40, 0])).unwrap();
+        let gss = dv(&[0, 10, 0]);
+        assert!(store.has_unmerged_versions(k, &gss, ReplicaId(0)));
+        assert_eq!(store.unmerged_count(k, &gss, ReplicaId(0)), 1);
+        let gss_all = dv(&[100, 100, 100]);
+        assert!(!store.has_unmerged_versions(k, &gss_all, ReplicaId(0)));
+        assert!(!store.has_unmerged_versions(Key(u64::MAX), &gss, ReplicaId(0)));
+    }
+
+    #[test]
+    fn garbage_collection_updates_stats() {
+        let k = key_in(0, 2);
+        let mut store = PartitionStore::new(PartitionId(0), 2);
+        for i in 1..=5u64 {
+            store
+                .insert(version(k, i * 10, 0, &[(i - 1) * 10, 0, 0]))
+                .unwrap();
+        }
+        assert_eq!(store.stats().versions, 5);
+        let removed = store.collect_garbage(&dv(&[35, 0, 0]));
+        assert_eq!(removed, 2);
+        let stats = store.stats();
+        assert_eq!(stats.versions, 3);
+        assert_eq!(stats.gc_removed, 2);
+        assert_eq!(stats.keys, 1);
+        assert_eq!(stats.max_chain_len, 3);
+    }
+
+    #[test]
+    fn digest_identifies_convergence() {
+        let num = 2;
+        let k1 = key_in(0, num);
+        let k2 = (k1.raw() + 1..)
+            .map(Key)
+            .find(|k| partition_for_key(*k, num).index() == 0)
+            .unwrap();
+
+        let mut a = PartitionStore::new(PartitionId(0), num);
+        let mut b = PartitionStore::new(PartitionId(0), num);
+        for store in [&mut a, &mut b] {
+            store.insert(version(k1, 10, 0, &[0, 0, 0])).unwrap();
+            store.insert(version(k2, 20, 1, &[0, 0, 0])).unwrap();
+        }
+        assert_eq!(a.digest(), b.digest());
+
+        // Diverge b.
+        b.insert(version(k1, 30, 1, &[0, 0, 0])).unwrap();
+        assert_ne!(a.digest(), b.digest());
+
+        // Converge again by applying the same update to a (different arrival order).
+        a.insert(version(k1, 30, 1, &[0, 0, 0])).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.keys().count(), 2);
+    }
+
+    #[test]
+    fn chain_accessor_exposes_raw_chain() {
+        let k = key_in(0, 2);
+        let mut store = PartitionStore::new(PartitionId(0), 2);
+        store.insert(version(k, 10, 0, &[0, 0, 0])).unwrap();
+        assert_eq!(store.chain(k).unwrap().len(), 1);
+        assert!(store.chain(Key(u64::MAX)).is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! The common error type of the POCC reproduction.
+
+use crate::{ClientId, Key, PartitionId, ReplicaId, ServerId};
+use std::fmt;
+
+/// Convenience alias for results using the crate-wide [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the protocol, storage and runtime layers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The requested key does not exist on the partition that owns it.
+    KeyNotFound {
+        /// The missing key.
+        key: Key,
+    },
+    /// A request was routed to a server that does not own the key's partition.
+    WrongPartition {
+        /// The key that was addressed.
+        key: Key,
+        /// The partition that actually owns the key.
+        expected: PartitionId,
+        /// The partition of the server that received the request.
+        actual: PartitionId,
+    },
+    /// A message referenced a replica id outside the configured deployment.
+    UnknownReplica {
+        /// The offending replica id.
+        replica: ReplicaId,
+        /// The number of replicas in the deployment.
+        num_replicas: usize,
+    },
+    /// A message referenced a partition id outside the configured deployment.
+    UnknownPartition {
+        /// The offending partition id.
+        partition: PartitionId,
+        /// The number of partitions in the deployment.
+        num_partitions: usize,
+    },
+    /// A message or reply could not be decoded from its wire representation.
+    Codec {
+        /// Human-readable description of the decoding failure.
+        reason: String,
+    },
+    /// The deployment configuration is invalid (e.g. zero replicas or partitions).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An operation was addressed to a server that is unreachable because of an injected
+    /// or detected network partition.
+    Partitioned {
+        /// The unreachable server.
+        server: ServerId,
+    },
+    /// A blocked request exceeded the configured partition-detection timeout; the session
+    /// must be re-initialised (the availability recovery of §III-B).
+    SessionAborted {
+        /// The client whose session was closed.
+        client: ClientId,
+        /// Human-readable reason (which wait condition timed out).
+        reason: String,
+    },
+    /// A client issued an operation on a closed or unknown session.
+    UnknownSession {
+        /// The unknown client id.
+        client: ClientId,
+    },
+    /// The runtime failed to deliver a message because the destination thread terminated.
+    ChannelClosed {
+        /// Description of the endpoint whose channel closed.
+        endpoint: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::KeyNotFound { key } => write!(f, "key {key} not found"),
+            Error::WrongPartition {
+                key,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "key {key} belongs to partition {expected} but was addressed to {actual}"
+            ),
+            Error::UnknownReplica {
+                replica,
+                num_replicas,
+            } => write!(
+                f,
+                "replica {replica} outside deployment of {num_replicas} replicas"
+            ),
+            Error::UnknownPartition {
+                partition,
+                num_partitions,
+            } => write!(
+                f,
+                "partition {partition} outside deployment of {num_partitions} partitions"
+            ),
+            Error::Codec { reason } => write!(f, "codec error: {reason}"),
+            Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Error::Partitioned { server } => {
+                write!(f, "server {server} unreachable due to a network partition")
+            }
+            Error::SessionAborted { client, reason } => {
+                write!(f, "session of {client} aborted: {reason}")
+            }
+            Error::UnknownSession { client } => write!(f, "unknown session for {client}"),
+            Error::ChannelClosed { endpoint } => write!(f, "channel to {endpoint} closed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_offender() {
+        let e = Error::KeyNotFound { key: Key(7) };
+        assert!(e.to_string().contains("k7"));
+
+        let e = Error::WrongPartition {
+            key: Key(7),
+            expected: PartitionId(3),
+            actual: PartitionId(5),
+        };
+        assert!(e.to_string().contains("p3") && e.to_string().contains("p5"));
+
+        let e = Error::SessionAborted {
+            client: ClientId(9),
+            reason: "partition suspected".into(),
+        };
+        assert!(e.to_string().contains("c9"));
+        assert!(e.to_string().contains("partition suspected"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<Error>();
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::UnknownSession { client: ClientId(1) },
+            Error::UnknownSession { client: ClientId(1) }
+        );
+        assert_ne!(
+            Error::UnknownSession { client: ClientId(1) },
+            Error::UnknownSession { client: ClientId(2) }
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Core data types shared by every crate of the POCC reproduction.
+//!
+//! This crate defines the vocabulary of the system described in
+//! *"Optimistic Causal Consistency for Geo-Replicated Key-Value Stores"*
+//! (Spirovska, Didona, Zwaenepoel — ICDCS 2017):
+//!
+//! * identifiers for data centers ([`ReplicaId`]), partitions ([`PartitionId`]),
+//!   servers ([`ServerId`]) and clients ([`ClientId`]),
+//! * physical [`Timestamp`]s,
+//! * the dependency metadata of the protocol: [`VersionVector`] (server side) and
+//!   [`DependencyVector`] (item / client side),
+//! * multi-versioned item versions ([`Version`]) carrying the tuple
+//!   `⟨key, value, source-replica, update-time, dependency-vector⟩` from §IV-A of the paper,
+//! * the shared [`Config`] describing a deployment (number of DCs, partitions, timing knobs),
+//! * the common [`Error`] type.
+//!
+//! All types are plain data with no I/O; the protocol crates
+//! (`pocc-protocol`, `pocc-cure`, `pocc-ha`) and the substrates
+//! (`pocc-storage`, `pocc-net`, `pocc-sim`, `pocc-runtime`) build on top of them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod item;
+pub mod timestamp;
+pub mod vector;
+
+pub use config::{Config, ConfigBuilder, LatencyMatrix};
+pub use error::{Error, Result};
+pub use ids::{ClientId, PartitionId, ReplicaId, ServerId};
+pub use item::{Key, Value, Version};
+pub use timestamp::Timestamp;
+pub use vector::{DependencyVector, VectorOrdering, VersionVector};

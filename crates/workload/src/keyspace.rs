@@ -1,0 +1,172 @@
+//! The key space: a deterministic mapping from (partition, popularity rank) to keys.
+//!
+//! The paper's workload picks keys *within each partition* with a zipfian distribution
+//! (§V-A: one million key-value pairs per partition, zipf parameter 0.99). The generators
+//! therefore need an efficient way to obtain "the `r`-th key of partition `p`" such that
+//! the store's hash-based partitioning ([`partition_for_key`]) agrees that the key belongs
+//! to `p`.
+//!
+//! Because the partitioning hash is a bijective SplitMix64 finalizer, we can simply invert
+//! it: the `r`-th key of partition `p` is the preimage of the hash value `r * N + p`. The
+//! inverse of the finalizer is computed once from the multiplicative inverses of its two
+//! odd constants modulo 2^64.
+
+use pocc_types::{Key, PartitionId};
+
+/// Multiplicative inverse of an odd 64-bit integer modulo 2^64 (Newton–Hensel iteration).
+fn mod_inverse_u64(a: u64) -> u64 {
+    debug_assert!(a & 1 == 1, "only odd numbers are invertible modulo 2^64");
+    let mut x = a; // correct to 3 bits
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(a.wrapping_mul(x)));
+    }
+    x
+}
+
+/// Inverse of `y = x ^ (x >> shift)`.
+fn unxorshift(y: u64, shift: u32) -> u64 {
+    let mut x = y;
+    let mut s = shift;
+    while s < 64 {
+        x = y ^ (x >> shift);
+        s += shift;
+    }
+    x
+}
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+const C1: u64 = 0xBF58_476D_1CE4_E5B9;
+const C2: u64 = 0x94D0_49BB_1331_11EB;
+
+/// Inverse of the SplitMix64 finalizer used by [`partition_for_key`].
+fn unmix(hash: u64) -> u64 {
+    let c1_inv = mod_inverse_u64(C1);
+    let c2_inv = mod_inverse_u64(C2);
+    let mut z = hash;
+    z = unxorshift(z, 31);
+    z = z.wrapping_mul(c2_inv);
+    z = unxorshift(z, 27);
+    z = z.wrapping_mul(c1_inv);
+    z = unxorshift(z, 30);
+    z.wrapping_sub(GOLDEN)
+}
+
+/// A deterministic enumeration of the keys of every partition.
+///
+/// `KeySpace::key(p, r)` returns the key of popularity rank `r` (0 = most popular) within
+/// partition `p`; distinct `(p, r)` pairs map to distinct keys, and
+/// `partition_for_key(key, N) == p` always holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeySpace {
+    num_partitions: usize,
+    keys_per_partition: u64,
+}
+
+impl KeySpace {
+    /// Creates a key space of `keys_per_partition` keys for each of `num_partitions`
+    /// partitions. The paper's evaluation uses one million keys per partition; tests and
+    /// examples use smaller spaces.
+    pub fn new(num_partitions: usize, keys_per_partition: u64) -> Self {
+        assert!(num_partitions > 0, "at least one partition");
+        assert!(keys_per_partition > 0, "at least one key per partition");
+        KeySpace {
+            num_partitions,
+            keys_per_partition,
+        }
+    }
+
+    /// The number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// The number of keys per partition.
+    pub fn keys_per_partition(&self) -> u64 {
+        self.keys_per_partition
+    }
+
+    /// The total number of keys across all partitions.
+    pub fn total_keys(&self) -> u64 {
+        self.keys_per_partition * self.num_partitions as u64
+    }
+
+    /// The key of rank `rank` within `partition`.
+    pub fn key(&self, partition: PartitionId, rank: u64) -> Key {
+        assert!(rank < self.keys_per_partition, "rank out of range");
+        assert!(
+            partition.index() < self.num_partitions,
+            "partition out of range"
+        );
+        let hash = rank * self.num_partitions as u64 + partition.index() as u64;
+        Key(unmix(hash))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_storage::partition_for_key;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_belong_to_their_partition() {
+        let n = 7usize;
+        let ks = KeySpace::new(n, 100);
+        for p in 0..n {
+            for r in 0..100u64 {
+                let key = ks.key(PartitionId::from(p), r);
+                assert_eq!(partition_for_key(key, n), PartitionId::from(p));
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct_across_ranks_and_partitions() {
+        let ks = KeySpace::new(4, 250);
+        let mut seen = HashSet::new();
+        for p in 0..4usize {
+            for r in 0..250u64 {
+                assert!(seen.insert(ks.key(PartitionId::from(p), r)));
+            }
+        }
+        assert_eq!(seen.len(), 1000);
+        assert_eq!(ks.total_keys(), 1000);
+    }
+
+    #[test]
+    fn accessors_report_dimensions() {
+        let ks = KeySpace::new(32, 1_000_000);
+        assert_eq!(ks.num_partitions(), 32);
+        assert_eq!(ks.keys_per_partition(), 1_000_000);
+        // Spot-check a large-rank key still lands in the right partition.
+        let key = ks.key(PartitionId(31), 999_999);
+        assert_eq!(partition_for_key(key, 32), PartitionId(31));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn out_of_range_rank_is_rejected() {
+        KeySpace::new(2, 10).key(PartitionId(0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition out of range")]
+    fn out_of_range_partition_is_rejected() {
+        KeySpace::new(2, 10).key(PartitionId(2), 0);
+    }
+
+    #[test]
+    fn unmix_is_the_inverse_of_the_partition_hash() {
+        // partition_for_key reduces the hash modulo N; unmix inverts the full 64-bit mix,
+        // so mixing a recovered key must land exactly on the original hash value.
+        for hash in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX / 3] {
+            let key = unmix(hash);
+            // Recompute the forward mix exactly as partition_for_key does.
+            let mut z = key.wrapping_add(GOLDEN);
+            z = (z ^ (z >> 30)).wrapping_mul(C1);
+            z = (z ^ (z >> 27)).wrapping_mul(C2);
+            z ^= z >> 31;
+            assert_eq!(z, hash);
+        }
+    }
+}

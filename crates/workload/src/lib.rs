@@ -1,0 +1,25 @@
+//! Workload generation for the POCC reproduction.
+//!
+//! The paper's evaluation (§V-A/B/C) drives both systems with closed-loop clients that:
+//!
+//! * pick keys with a **zipfian** distribution (parameter 0.99) over one million keys per
+//!   partition,
+//! * use small 8-byte keys and values,
+//! * run either a **GET:PUT mix** (`N` GETs, each on a distinct partition, followed by one
+//!   PUT on a uniformly random partition) or a **transactional mix** (one RO-TX spanning
+//!   `p` distinct partitions followed by one PUT),
+//! * wait a 25 ms *think time* between operations.
+//!
+//! This crate reproduces those generators deterministically (seeded RNG), so every
+//! simulation run and benchmark is repeatable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod keyspace;
+mod mix;
+mod zipf;
+
+pub use keyspace::KeySpace;
+pub use mix::{Operation, OperationKind, WorkloadGenerator, WorkloadMix};
+pub use zipf::Zipf;

@@ -1,0 +1,293 @@
+//! Workload mixes and the per-client operation generator.
+
+use crate::{KeySpace, Zipf};
+use pocc_types::{Key, PartitionId, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// The kind of operation to issue next.
+#[derive(Clone, PartialEq, Debug)]
+pub enum OperationKind {
+    /// Read a single key.
+    Get {
+        /// The key to read.
+        key: Key,
+    },
+    /// Write a single key.
+    Put {
+        /// The key to write.
+        key: Key,
+        /// The value to write (8 bytes, as in the paper's workloads).
+        value: Value,
+    },
+    /// Read a set of keys in one causally consistent snapshot.
+    RoTx {
+        /// The keys to read; they span distinct partitions.
+        keys: Vec<Key>,
+    },
+}
+
+/// One operation produced by a [`WorkloadGenerator`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Operation {
+    /// What to do.
+    pub kind: OperationKind,
+    /// The partition the operation is routed to (the coordinator partition for RO-TX).
+    pub target_partition: PartitionId,
+}
+
+/// The two workload families of the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum WorkloadMix {
+    /// §V-B: `gets_per_put` consecutive GETs, each on a distinct partition, followed by one
+    /// PUT on a uniformly random partition. A "32:1 GET:PUT workload" is
+    /// `GetPut { gets_per_put: 32 }`.
+    GetPut {
+        /// Number of GETs per PUT.
+        gets_per_put: usize,
+    },
+    /// §V-C: one RO-TX reading one key from each of `partitions_per_tx` distinct
+    /// partitions, followed by one PUT on a uniformly random partition.
+    TxPut {
+        /// Number of distinct partitions contacted by each transaction.
+        partitions_per_tx: usize,
+    },
+}
+
+impl WorkloadMix {
+    /// The fraction of issued operations that are writes, used to sanity-check workload
+    /// configuration and to report the write intensity in benchmark output.
+    pub fn write_fraction(&self) -> f64 {
+        match self {
+            WorkloadMix::GetPut { gets_per_put } => 1.0 / (*gets_per_put as f64 + 1.0),
+            WorkloadMix::TxPut { .. } => 0.5,
+        }
+    }
+}
+
+/// A deterministic, per-client operation generator.
+///
+/// Each client owns one generator seeded from the harness seed and its client id, so runs
+/// are reproducible and clients are mutually independent.
+#[derive(Clone, Debug)]
+pub struct WorkloadGenerator {
+    keyspace: KeySpace,
+    zipf: Zipf,
+    mix: WorkloadMix,
+    rng: StdRng,
+    queue: VecDeque<Operation>,
+    ops_generated: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator over `keyspace` with zipf exponent `theta` and the given mix.
+    pub fn new(keyspace: KeySpace, theta: f64, mix: WorkloadMix, seed: u64) -> Self {
+        let zipf = Zipf::new(keyspace.keys_per_partition(), theta);
+        WorkloadGenerator {
+            keyspace,
+            zipf,
+            mix,
+            rng: StdRng::seed_from_u64(seed),
+            queue: VecDeque::new(),
+            ops_generated: 0,
+        }
+    }
+
+    /// The configured mix.
+    pub fn mix(&self) -> WorkloadMix {
+        self.mix
+    }
+
+    /// Total operations handed out so far.
+    pub fn ops_generated(&self) -> u64 {
+        self.ops_generated
+    }
+
+    /// A zipf-chosen key within `partition`.
+    fn key_in(&mut self, partition: PartitionId) -> Key {
+        let rank = self.zipf.sample(&mut self.rng);
+        self.keyspace.key(partition, rank)
+    }
+
+    /// A uniformly random partition.
+    fn random_partition(&mut self) -> PartitionId {
+        PartitionId::from(self.rng.gen_range(0..self.keyspace.num_partitions()))
+    }
+
+    /// `count` distinct partitions chosen uniformly at random (all of them when `count`
+    /// reaches the deployment size).
+    fn distinct_partitions(&mut self, count: usize) -> Vec<PartitionId> {
+        let n = self.keyspace.num_partitions();
+        let count = count.min(n);
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(&mut self.rng);
+        all.truncate(count);
+        all.into_iter().map(PartitionId::from).collect()
+    }
+
+    /// An 8-byte value derived from the operation counter (the paper uses 8-byte values).
+    fn value(&self) -> Value {
+        Value::from(self.ops_generated)
+    }
+
+    fn refill(&mut self) {
+        match self.mix {
+            WorkloadMix::GetPut { gets_per_put } => {
+                for partition in self.distinct_partitions(gets_per_put) {
+                    let key = self.key_in(partition);
+                    self.queue.push_back(Operation {
+                        kind: OperationKind::Get { key },
+                        target_partition: partition,
+                    });
+                }
+                let partition = self.random_partition();
+                let key = self.key_in(partition);
+                let value = self.value();
+                self.queue.push_back(Operation {
+                    kind: OperationKind::Put { key, value },
+                    target_partition: partition,
+                });
+            }
+            WorkloadMix::TxPut { partitions_per_tx } => {
+                let partitions = self.distinct_partitions(partitions_per_tx);
+                let coordinator = partitions[0];
+                let keys: Vec<Key> = partitions.iter().map(|p| self.key_in(*p)).collect();
+                self.queue.push_back(Operation {
+                    kind: OperationKind::RoTx { keys },
+                    target_partition: coordinator,
+                });
+                let partition = self.random_partition();
+                let key = self.key_in(partition);
+                let value = self.value();
+                self.queue.push_back(Operation {
+                    kind: OperationKind::Put { key, value },
+                    target_partition: partition,
+                });
+            }
+        }
+    }
+
+    /// The next operation of the workload.
+    pub fn next_operation(&mut self) -> Operation {
+        if self.queue.is_empty() {
+            self.refill();
+        }
+        self.ops_generated += 1;
+        self.queue.pop_front().expect("refill produced operations")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_storage::partition_for_key;
+
+    fn generator(mix: WorkloadMix) -> WorkloadGenerator {
+        WorkloadGenerator::new(KeySpace::new(8, 1_000), 0.99, mix, 42)
+    }
+
+    #[test]
+    fn get_put_cycle_has_the_right_shape() {
+        let mut g = generator(WorkloadMix::GetPut { gets_per_put: 4 });
+        let ops: Vec<Operation> = (0..10).map(|_| g.next_operation()).collect();
+        // First cycle: 4 GETs on distinct partitions, then 1 PUT.
+        let mut get_partitions = Vec::new();
+        for op in &ops[..4] {
+            match &op.kind {
+                OperationKind::Get { key } => {
+                    assert_eq!(partition_for_key(*key, 8), op.target_partition);
+                    get_partitions.push(op.target_partition);
+                }
+                other => panic!("expected GET, got {other:?}"),
+            }
+        }
+        get_partitions.sort();
+        get_partitions.dedup();
+        assert_eq!(get_partitions.len(), 4, "GETs must hit distinct partitions");
+        assert!(matches!(ops[4].kind, OperationKind::Put { .. }));
+        // Second cycle starts with GETs again.
+        assert!(matches!(ops[5].kind, OperationKind::Get { .. }));
+        assert_eq!(g.ops_generated(), 10);
+    }
+
+    #[test]
+    fn tx_put_cycle_alternates_transactions_and_puts() {
+        let mut g = generator(WorkloadMix::TxPut { partitions_per_tx: 5 });
+        let tx = g.next_operation();
+        match &tx.kind {
+            OperationKind::RoTx { keys } => {
+                assert_eq!(keys.len(), 5);
+                let mut partitions: Vec<_> =
+                    keys.iter().map(|k| partition_for_key(*k, 8)).collect();
+                partitions.sort();
+                partitions.dedup();
+                assert_eq!(partitions.len(), 5, "keys must span distinct partitions");
+                assert!(partitions.contains(&tx.target_partition));
+            }
+            other => panic!("expected RO-TX, got {other:?}"),
+        }
+        let put = g.next_operation();
+        assert!(matches!(put.kind, OperationKind::Put { .. }));
+    }
+
+    #[test]
+    fn tx_size_is_capped_at_the_number_of_partitions() {
+        let mut g = generator(WorkloadMix::TxPut { partitions_per_tx: 100 });
+        match g.next_operation().kind {
+            OperationKind::RoTx { keys } => assert_eq!(keys.len(), 8),
+            other => panic!("expected RO-TX, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = generator(WorkloadMix::GetPut { gets_per_put: 8 });
+        let mut b = generator(WorkloadMix::GetPut { gets_per_put: 8 });
+        for _ in 0..100 {
+            assert_eq!(a.next_operation(), b.next_operation());
+        }
+        let mut c = WorkloadGenerator::new(
+            KeySpace::new(8, 1_000),
+            0.99,
+            WorkloadMix::GetPut { gets_per_put: 8 },
+            43,
+        );
+        let ops_a: Vec<_> = (0..50).map(|_| a.next_operation()).collect();
+        let ops_c: Vec<_> = (0..50).map(|_| c.next_operation()).collect();
+        assert_ne!(ops_a, ops_c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn write_fractions_match_the_mix() {
+        assert!((WorkloadMix::GetPut { gets_per_put: 31 }.write_fraction() - 1.0 / 32.0).abs() < 1e-12);
+        assert!((WorkloadMix::TxPut { partitions_per_tx: 4 }.write_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn put_values_are_eight_bytes() {
+        let mut g = generator(WorkloadMix::GetPut { gets_per_put: 1 });
+        for _ in 0..10 {
+            if let OperationKind::Put { value, .. } = g.next_operation().kind {
+                assert_eq!(value.len(), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_accesses_on_few_keys() {
+        let mut g = generator(WorkloadMix::GetPut { gets_per_put: 8 });
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5_000 {
+            if let OperationKind::Get { key } = g.next_operation().kind {
+                *counts.entry(key).or_insert(0usize) += 1;
+            }
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let distinct = counts.len();
+        // With theta=0.99 the most popular key is hit far more often than average.
+        assert!(max > 10, "max key frequency {max}");
+        assert!(distinct > 50, "distinct keys {distinct}");
+    }
+}

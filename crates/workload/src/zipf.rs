@@ -1,0 +1,180 @@
+//! A zipfian rank sampler.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1 / (rank + 1)^theta`.
+///
+/// The paper's workloads use `theta = 0.99` over one million keys per partition. The
+/// sampler uses the rejection-inversion method of Hörmann and Derflinger ("Rejection-
+/// inversion to generate variates from monotone discrete distributions"), the same
+/// algorithm used by YCSB-style generators: O(1) per sample, no per-rank table, exact for
+/// any `n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    /// 1 - theta, cached.
+    q: f64,
+    /// H(x) evaluated at 1.5 ("h_integral_x1" in the original derivation).
+    h_x1: f64,
+    /// H(n + 0.5).
+    h_n: f64,
+    /// Threshold used by the rejection test.
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `theta` (must be in `(0, 1) ∪ (1, ∞)`
+    /// or exactly 1.0; `theta = 0` degenerates to uniform and is also accepted).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf over an empty domain");
+        assert!(theta >= 0.0, "negative zipf exponent");
+        let q = 1.0 - theta;
+        let h = |x: f64| -> f64 {
+            if (q).abs() < 1e-12 {
+                x.ln()
+            } else {
+                x.powf(q) / q
+            }
+        };
+        let h_x1 = h(1.5) - 1.0_f64.powf(-theta);
+        let h_n = h(n as f64 + 0.5);
+        let s = 2.0 - {
+            // h_inverse(h(2.5) - 2^-theta) ... simplified constant from the reference
+            // implementation: s = 2 - h_inv(h(2.5) - 2^-theta)
+            let hi = h(2.5) - 2f64.powf(-theta);
+            if q.abs() < 1e-12 {
+                hi.exp()
+            } else {
+                (hi * q).powf(1.0 / q)
+            }
+        };
+        Zipf {
+            n,
+            theta,
+            q,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    /// The number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        if self.q.abs() < 1e-12 {
+            x.ln()
+        } else {
+            x.powf(self.q) / self.q
+        }
+    }
+
+    fn h_inverse(&self, x: f64) -> f64 {
+        if self.q.abs() < 1e-12 {
+            x.exp()
+        } else {
+            (x * self.q).powf(1.0 / self.q)
+        }
+    }
+
+    /// Draws one rank in `0..n`, with rank 0 the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inverse(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
+            if (k - x).abs() <= self.s
+                || u >= self.h(k + 0.5) - (-(k.ln() * self.theta)).exp()
+            {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: u64, theta: f64, samples: usize, seed: u64) -> Vec<usize> {
+        let zipf = Zipf::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = vec![0usize; n as usize];
+        for _ in 0..samples {
+            h[zipf.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(1_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 1_000);
+        }
+        assert_eq!(zipf.n(), 1_000);
+        assert!((zipf.theta() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_ranks_are_far_more_popular_with_high_theta() {
+        let h = histogram(1_000, 0.99, 100_000, 42);
+        // Rank 0 should get far more hits than a mid-range rank.
+        assert!(h[0] > 20 * h[500].max(1), "h[0]={} h[500]={}", h[0], h[500]);
+        // And the head (top 10%) should take the majority of the mass for theta ~ 1.
+        let head: usize = h[..100].iter().sum();
+        assert!(head > 50_000, "head mass {head}");
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let h = histogram(100, 0.0, 100_000, 7);
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(*max < 2 * *min, "uniform histogram too skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn single_rank_domain_always_returns_zero() {
+        let zipf = Zipf::new(1, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn ranks_over_large_domain_remain_in_range() {
+        let zipf = Zipf::new(1_000_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 1_000_000);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = histogram(100, 0.99, 1_000, 5);
+        let b = histogram(100, 0.99, 1_000, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_is_rejected() {
+        Zipf::new(0, 0.99);
+    }
+}

@@ -1,0 +1,77 @@
+//! # POCC — Optimistic Causal Consistency for geo-replicated key-value stores
+//!
+//! A from-scratch Rust reproduction of *"Optimistic Causal Consistency for Geo-Replicated
+//! Key-Value Stores"* (Spirovska, Didona, Zwaenepoel — ICDCS 2017), packaged as a facade
+//! crate re-exporting the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `pocc-types` | Ids, timestamps, version/dependency vectors, item versions, configuration |
+//! | [`clock`] | `pocc-clock` | Physical clock abstractions (real, simulated, skewed, monotonic) |
+//! | [`storage`] | `pocc-storage` | Multi-version store: version chains, visibility, garbage collection |
+//! | [`proto`] | `pocc-proto` | Wire messages, binary codec, the sans-IO server/client API |
+//! | [`protocol`] | `pocc-protocol` | **POCC** — the paper's optimistic protocol (Algorithms 1 & 2) |
+//! | [`cure`] | `pocc-cure` | **Cure\*** — the pessimistic baseline (GSS stabilization) |
+//! | [`ha`] | `pocc-ha` | **HA-POCC** — partition detection, pessimistic fall-back, recovery |
+//! | [`net`] | `pocc-net` | Simulated geo network: latency model, FIFO links, partition injection |
+//! | [`workload`] | `pocc-workload` | Zipfian key choice, GET:PUT and transactional mixes |
+//! | [`sim`] | `pocc-sim` | Deterministic discrete-event simulator (regenerates the paper's figures) |
+//! | [`runtime`] | `pocc-runtime` | Threaded in-process cluster with synchronous client handles |
+//!
+//! ## Quick start
+//!
+//! Run a live, multi-threaded three-data-center cluster on your machine:
+//!
+//! ```
+//! use pocc::runtime::{Cluster, RuntimeProtocol};
+//! use pocc::types::{Config, Key, ReplicaId, Value};
+//!
+//! let cluster = Cluster::start(Config::small_test(), RuntimeProtocol::Pocc);
+//! let mut client = cluster.client(ReplicaId(0));
+//! client.put(Key(1), Value::from("hello, geo-replication")).unwrap();
+//! assert!(client.get(Key(1)).unwrap().is_some());
+//! cluster.shutdown();
+//! ```
+//!
+//! Or reproduce a point of the paper's evaluation with the simulator:
+//!
+//! ```
+//! use pocc::sim::{ProtocolKind, SimConfig, Simulation};
+//! use std::time::Duration;
+//!
+//! let report = Simulation::new(
+//!     SimConfig::builder()
+//!         .protocol(ProtocolKind::Pocc)
+//!         .partitions(4)
+//!         .clients_per_partition(2)
+//!         .duration(Duration::from_millis(300))
+//!         .build(),
+//! )
+//! .run();
+//! println!("{}", report.summary());
+//! ```
+//!
+//! See `examples/` for complete scenarios and `crates/bench` for the per-figure harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pocc_clock as clock;
+pub use pocc_cure as cure;
+pub use pocc_ha as ha;
+pub use pocc_net as net;
+pub use pocc_proto as proto;
+pub use pocc_protocol as protocol;
+pub use pocc_runtime as runtime;
+pub use pocc_sim as sim;
+pub use pocc_storage as storage;
+pub use pocc_types as types;
+pub use pocc_workload as workload;
+
+pub use pocc_cure::CureServer;
+pub use pocc_ha::{HaPoccServer, HaSession};
+pub use pocc_proto::{ProtocolClient, ProtocolServer};
+pub use pocc_protocol::{Client, PoccServer};
+pub use pocc_runtime::{Cluster, ClusterClient, RuntimeProtocol};
+pub use pocc_sim::{ProtocolKind, SimConfig, SimReport, Simulation};
+pub use pocc_types::{Config, Key, ReplicaId, Timestamp, Value};
