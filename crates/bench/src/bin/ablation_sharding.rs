@@ -1,0 +1,59 @@
+//! Ablation — storage sharding and replication batching.
+//!
+//! Sweeps the two knobs introduced by the sharded-storage refactor over a write-heavy
+//! workload (GET:PUT = 2:1, the regime where replication traffic and store-insert
+//! pressure dominate):
+//!
+//! * `shards ∈ {1, 4, 8}` — intra-partition key-hashed shards per store
+//!   (`Config::storage_shards`; `1` is the original unsharded store),
+//! * `batching ∈ {off, on}` — per-destination coalescing of replication/GC messages
+//!   into one batch per peer per tick (`Config::replication_batching`).
+//!
+//! The first row (1 shard, batching off) is the seed configuration; every other row
+//! should match or beat its throughput. Batching shows up directly in the "msgs" and
+//! "bytes" columns: the inter-DC links carry one envelope per peer per tick instead of
+//! one message per write.
+
+use pocc_bench as bench;
+use pocc_bench::Scale;
+use pocc_sim::ProtocolKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    bench::header(
+        "Ablation",
+        "storage shards x replication batching (POCC, GET:PUT = 2:1)",
+        scale,
+    );
+    bench::row(&[
+        "shards".into(),
+        "batching".into(),
+        "tput (op/s)".into(),
+        "p50 resp (ms)".into(),
+        "repl msgs".into(),
+        "batches".into(),
+        "MB sent".into(),
+    ]);
+
+    for &shards in &[1usize, 4, 8] {
+        for &batching in &[false, true] {
+            let report = bench::run(
+                bench::point(scale, ProtocolKind::Pocc)
+                    .storage_shards(shards)
+                    .replication_batching(batching)
+                    .clients_per_partition(24)
+                    .mix(bench::get_put(2)),
+            );
+            let m = &report.server_metrics;
+            bench::row(&[
+                shards.to_string(),
+                if batching { "on" } else { "off" }.into(),
+                bench::fmt_tput(report.throughput_ops_per_sec),
+                bench::fmt_ms(report.latency_all.quantile(0.50)),
+                m.replicate_sent.to_string(),
+                m.batches_sent.to_string(),
+                format!("{:.2}", m.bytes_sent as f64 / 1e6),
+            ]);
+        }
+    }
+}

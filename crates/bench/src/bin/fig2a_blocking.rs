@@ -7,7 +7,11 @@ use pocc_sim::ProtocolKind;
 
 fn main() {
     let scale = Scale::from_env();
-    bench::header("Figure 2a", "blocking probability and blocking time in POCC", scale);
+    bench::header(
+        "Figure 2a",
+        "blocking probability and blocking time in POCC",
+        scale,
+    );
     let p = scale.max_partitions();
     let client_sweep: Vec<usize> = match scale {
         Scale::Quick => vec![32, 64, 128, 192, 256, 320],

@@ -1,0 +1,108 @@
+//! Micro-benchmark — raw [`ShardedStore`] operation throughput.
+//!
+//! Times the storage hot path in isolation (no protocol, no network): version inserts,
+//! head reads, snapshot reads, and a GC pass, for `shards ∈ {1, 4, 8}`. With a single
+//! thread the shard count mostly affects hash-map sizing (smaller per-shard tables, one
+//! extra hash per access), so the figures should be within noise of each other — the
+//! sharding payoff is per-shard independence, which the ablation harness
+//! (`ablation_sharding`) measures at the system level. This bin exists to catch
+//! regressions in the storage layer itself.
+//!
+//! Environment: `POCC_MICROBENCH_KEYS` (default 100_000) keys, 4 versions per key.
+
+use pocc_storage::ShardedStore;
+use pocc_types::{DependencyVector, Key, PartitionId, ReplicaId, Timestamp, Value, Version};
+use std::time::Instant;
+
+const VERSIONS_PER_KEY: u64 = 4;
+
+fn keys_from_env() -> u64 {
+    std::env::var("POCC_MICROBENCH_KEYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000)
+}
+
+fn version(key: u64, ut: u64) -> Version {
+    Version::new(
+        Key(key),
+        Value::from(ut),
+        ReplicaId((ut % 3) as u16),
+        Timestamp(ut),
+        DependencyVector::from_entries(vec![Timestamp(ut / 2), Timestamp(0), Timestamp(0)]),
+    )
+}
+
+/// Million operations per second for `ops` operations over `elapsed`.
+fn mops(ops: u64, elapsed: std::time::Duration) -> String {
+    format!("{:.2}", ops as f64 / elapsed.as_secs_f64() / 1e6)
+}
+
+fn main() {
+    let keys = keys_from_env();
+    println!("=== Storage microbench — ShardedStore, {keys} keys x {VERSIONS_PER_KEY} versions");
+    println!("    (single-threaded; Mop/s per operation kind)\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>16} {:>12}",
+        "shards", "insert Mop/s", "latest Mop/s", "snapshot Mop/s", "gc ms"
+    );
+
+    for &shards in &[1usize, 4, 8] {
+        let mut store = ShardedStore::with_shards(PartitionId(0), 1, shards);
+
+        let start = Instant::now();
+        for round in 0..VERSIONS_PER_KEY {
+            for k in 0..keys {
+                store
+                    .insert(version(k, 10 + round * 10 + (k % 7)))
+                    .expect("single-partition deployment owns every key");
+            }
+        }
+        let insert = start.elapsed();
+
+        let start = Instant::now();
+        let mut found = 0u64;
+        for k in 0..keys {
+            if store.latest(Key(k)).is_some() {
+                found += 1;
+            }
+        }
+        let latest = start.elapsed();
+        assert_eq!(found, keys);
+
+        let snapshot_vector =
+            DependencyVector::from_entries(vec![Timestamp(25), Timestamp(25), Timestamp(25)]);
+        let start = Instant::now();
+        let mut visible = 0u64;
+        for k in 0..keys {
+            if store
+                .latest_in_snapshot(Key(k), &snapshot_vector)
+                .version
+                .is_some()
+            {
+                visible += 1;
+            }
+        }
+        let snapshot = start.elapsed();
+        assert!(visible > 0);
+
+        let gc_vector = DependencyVector::from_entries(vec![
+            Timestamp(1_000),
+            Timestamp(1_000),
+            Timestamp(1_000),
+        ]);
+        let start = Instant::now();
+        let removed = store.collect_garbage(&gc_vector);
+        let gc = start.elapsed();
+        assert!(removed as u64 >= keys * (VERSIONS_PER_KEY - 1) / 2);
+
+        println!(
+            "{:>8} {:>14} {:>14} {:>16} {:>12.2}",
+            shards,
+            mops(keys * VERSIONS_PER_KEY, insert),
+            mops(keys, latest),
+            mops(keys, snapshot),
+            gc.as_secs_f64() * 1e3,
+        );
+    }
+}

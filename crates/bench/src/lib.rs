@@ -121,9 +121,7 @@ pub fn tx_put(p: usize) -> WorkloadMix {
 /// Prints a figure header.
 pub fn header(figure: &str, caption: &str, scale: Scale) {
     println!("=== {figure} — {caption}");
-    println!(
-        "    (scale: {scale:?}; set POCC_BENCH_SCALE=full for the paper's deployment size)\n"
-    );
+    println!("    (scale: {scale:?}; set POCC_BENCH_SCALE=full for the paper's deployment size)\n");
 }
 
 /// Prints one table row of `columns` width-14 cells.

@@ -1,8 +1,8 @@
 //! Construction of per-server clock fleets with bounded random skew.
 
-use crate::{ManualClock, MonotonicClock, SkewedClock};
 #[cfg(test)]
 use crate::Clock;
+use crate::{ManualClock, MonotonicClock, SkewedClock};
 use pocc_types::{ServerId, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

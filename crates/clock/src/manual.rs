@@ -41,7 +41,7 @@ impl ManualClock {
     /// Advances the clock by `delta`.
     pub fn advance(&self, delta: Duration) {
         let mut t = self.now.lock();
-        *t = *t + delta;
+        *t += delta;
     }
 }
 

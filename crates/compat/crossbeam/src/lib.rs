@@ -1,0 +1,39 @@
+//! Offline stand-in for the `crossbeam` facade, backed by `std::sync::mpsc`.
+//!
+//! Only the `channel` module surface the workspace uses is provided. Since Rust 1.72
+//! `std::sync::mpsc` is itself implemented on top of crossbeam's channel algorithm and
+//! `Sender` is `Sync`, so the std types are drop-in for this workspace's single-consumer
+//! usage (each `Receiver` is owned by exactly one thread).
+
+pub mod channel {
+    //! MPSC channels with the `crossbeam::channel` names the workspace imports.
+
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 7);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        ));
+        drop(tx);
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+}

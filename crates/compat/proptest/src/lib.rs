@@ -1,0 +1,462 @@
+//! Offline mini stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`boxed`, integer-range and `any::<T>()`
+//! strategies, tuple/vec/option combinators, a simple `[a-b]{m,n}` string-pattern
+//! strategy, `prop_oneof!`, and the [`proptest!`] test macro with
+//! `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike the real crate there is **no shrinking**: a failing case panics with the
+//! sampled inputs in the assertion message. Sampling is deterministic — each test's RNG
+//! is seeded from its name, so failures reproduce exactly under `cargo test`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// How many cases each `proptest!` test runs.
+pub const NUM_CASES: usize = 128;
+
+/// The deterministic RNG driving a property test.
+#[derive(Clone, Debug)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator seeded from `name` (typically the test function's name), so every
+    /// test draws a distinct but reproducible stream.
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound.max(1))
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A uniform choice among type-erased alternatives (the engine behind [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union of the given alternatives. Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy, used by [`any`].
+pub trait Arbitrary {
+    /// Samples a value uniformly over the type's domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.0.gen::<u64>() as $t
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.start as i64..self.end as i64) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(*self.start() as i64..=*self.end() as i64) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, i32, i64);
+
+// `u64` and `usize` need the full-width sampler (casting through `i64` would truncate).
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.0.gen::<u64>()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.0.gen::<u64>() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.0.gen::<bool>()
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy over the whole domain of `T` (e.g. `any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A `&str` pattern as a strategy, supporting the `[a-b]{m,n}` character-class shape
+/// (e.g. `"[ -~]{0,40}"`); any other pattern falls back to printable ASCII of length
+/// 0 to 32.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi, min, max) = parse_class_pattern(self).unwrap_or((b' ', b'~', 0, 32));
+        let len = rng.0.gen_range(min..=max);
+        (0..len)
+            .map(|_| rng.0.gen_range(lo as u64..=hi as u64) as u8 as char)
+            .collect()
+    }
+}
+
+/// Parses `[a-b]{m,n}` into `(a, b, m, n)`.
+fn parse_class_pattern(pattern: &str) -> Option<(u8, u8, usize, usize)> {
+    let bytes = pattern.as_bytes();
+    let class_end = pattern.find(']')?;
+    if bytes.first() != Some(&b'[') || class_end != 4 || bytes.get(2) != Some(&b'-') {
+        return None;
+    }
+    let (lo, hi) = (bytes[1], bytes[3]);
+    let counts = pattern[class_end + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?;
+    let (min, max) = counts.split_once(',')?;
+    Some((lo, hi, min.parse().ok()?, max.parse().ok()?))
+}
+
+// ---------------------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// The number of elements a [`vec()`] strategy produces: a fixed count or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy producing `Vec`s of values drawn from `element`, with a length drawn
+    /// from `size` (a fixed `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = (self.size.min..=self.size.max).generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// A strategy producing `None` about a quarter of the time and `Some` of `inner`'s
+    /// values otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if (0usize..4).generate(rng) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------------------
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` becomes a
+/// `#[test]` running [`NUM_CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// A strategy choosing uniformly among the given alternative strategies (which may have
+/// different concrete types but must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Strategy, TestRng, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_any_stay_in_domain() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let a = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&a));
+            let b = (0u16..3).generate(&mut rng);
+            assert!(b < 3);
+            let _ = any::<u64>().generate(&mut rng);
+            let c = any::<u8>().generate(&mut rng);
+            let _ = c;
+        }
+    }
+
+    #[test]
+    fn map_tuple_vec_option_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = collection::vec((0u64..10, 0u16..3).prop_map(|(a, b)| a + b as u64), 0..5);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 5);
+            assert!(v.iter().all(|&x| x < 12));
+        }
+        let opt = option::of(1u64..2);
+        let mut nones = 0;
+        for _ in 0..200 {
+            if opt.generate(&mut rng).is_none() {
+                nones += 1;
+            }
+        }
+        assert!(nones > 10 && nones < 120, "None ratio plausible: {nones}");
+    }
+
+    #[test]
+    fn oneof_draws_every_arm() {
+        let mut rng = TestRng::deterministic("oneof");
+        let strat = prop_oneof![(0u64..1).prop_map(|_| 1u64), (0u64..1).prop_map(|_| 2u64)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn string_pattern_respects_class_and_length() {
+        let mut rng = TestRng::deterministic("pattern");
+        for _ in 0..200 {
+            let s = "[ -~]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.bytes().all(|b| (b' '..=b'~').contains(&b)));
+            let t = "[a-c]{2,2}".generate(&mut rng);
+            assert_eq!(t.len(), 2);
+            assert!(t.bytes().all(|b| (b'a'..=b'c').contains(&b)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, ys in collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len(), ys.len());
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! No-op stand-in for `serde`, used because this workspace builds fully offline.
+//!
+//! Only the `Serialize`/`Deserialize` derive names are provided (they expand to nothing);
+//! the workspace serialises wire messages with the hand-rolled binary codec in
+//! `pocc-proto` and never calls serde itself. See `crates/compat/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op stand-in for `serde_derive`, used because this workspace builds fully offline.
+//!
+//! The derives expand to nothing: the workspace serialises messages with the hand-rolled
+//! binary codec in `pocc-proto`, so the serde trait impls were never called. Keeping the
+//! derive attributes in the type definitions preserves source compatibility with the real
+//! `serde` should the workspace ever gain registry access.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate-level documentation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate-level documentation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -2,10 +2,10 @@
 
 use pocc_clock::Clock;
 use pocc_proto::{
-    ClientReply, ClientRequest, GetResponse, MetricsSnapshot, ProtocolServer, ServerMessage,
-    ServerOutput, TxId, TxItem,
+    ClientReply, ClientRequest, GetResponse, MessageBatcher, MetricsSnapshot, ProtocolServer,
+    ServerMessage, ServerOutput, TxId, TxItem,
 };
-use pocc_storage::{partition_for_key, PartitionStore};
+use pocc_storage::{partition_for_key, ShardedStore};
 use pocc_types::{
     ClientId, Config, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Timestamp, Version,
     VersionVector,
@@ -56,7 +56,7 @@ pub struct CureServer<C> {
     id: ServerId,
     config: Config,
     clock: C,
-    store: PartitionStore,
+    store: ShardedStore,
     /// The version vector `VV^m_n`.
     vv: VersionVector,
     /// The latest version vector received from each local partition (including this one),
@@ -74,6 +74,9 @@ pub struct CureServer<C> {
     /// Read-only transactions this server coordinates.
     transactions: HashMap<TxId, TxState>,
     next_tx: TxId,
+    /// Coalesces replication traffic per destination when batching is enabled
+    /// (`Config::replication_batching`); flushed at the start of every tick.
+    batcher: MessageBatcher,
     metrics: MetricsSnapshot,
     extra_work: u64,
 }
@@ -83,7 +86,11 @@ impl<C: Clock> CureServer<C> {
     pub fn new(id: ServerId, config: Config, clock: C) -> Self {
         let m = config.num_replicas;
         CureServer {
-            store: PartitionStore::new(id.partition, config.num_partitions),
+            store: ShardedStore::with_shards(
+                id.partition,
+                config.num_partitions,
+                config.storage_shards,
+            ),
             vv: VersionVector::zero(m),
             local_vvs: HashMap::new(),
             gss: DependencyVector::zero(m),
@@ -92,6 +99,7 @@ impl<C: Clock> CureServer<C> {
             parked: Vec::new(),
             transactions: HashMap::new(),
             next_tx: TxId(0),
+            batcher: MessageBatcher::new(config.replication_batching),
             metrics: MetricsSnapshot::default(),
             extra_work: 0,
             id,
@@ -111,7 +119,7 @@ impl<C: Clock> CureServer<C> {
     }
 
     /// Read access to the underlying store.
-    pub fn store(&self) -> &PartitionStore {
+    pub fn store(&self) -> &ShardedStore {
         &self.store
     }
 
@@ -136,6 +144,21 @@ impl<C: Clock> CureServer<C> {
             _ => {}
         }
         ServerOutput::send(to, message)
+    }
+
+    /// Sends a message through the replication batcher: delivered immediately when
+    /// batching is off (or the message is latency-sensitive), deferred to the next tick's
+    /// flush otherwise. Per-message metrics are accounted either way.
+    fn send_via_batcher(
+        &mut self,
+        to: ServerId,
+        message: ServerMessage,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        let out = self.send(to, message);
+        if let Some(out) = self.batcher.stage_one(out) {
+            outputs.push(out);
+        }
     }
 
     fn siblings(&self) -> Vec<ServerId> {
@@ -220,7 +243,7 @@ impl<C: Clock> CureServer<C> {
             let msg = ServerMessage::Replicate {
                 version: version.clone(),
             };
-            outputs.push(self.send(sibling, msg));
+            self.send_via_batcher(sibling, msg, outputs);
         }
         self.metrics.puts_served += 1;
         outputs.push(ServerOutput::reply(
@@ -472,7 +495,11 @@ impl<C: Clock> ProtocolServer for CureServer<C> {
         outputs
     }
 
-    fn handle_server_message(&mut self, from: ServerId, message: ServerMessage) -> Vec<ServerOutput> {
+    fn handle_server_message(
+        &mut self,
+        from: ServerId,
+        message: ServerMessage,
+    ) -> Vec<ServerOutput> {
         let mut outputs = Vec::new();
         match message {
             ServerMessage::Replicate { version } => {
@@ -507,12 +534,20 @@ impl<C: Clock> ProtocolServer for CureServer<C> {
                 // counted but not needed.
                 self.metrics.gc_messages += 1;
             }
+            ServerMessage::Batch { messages } => {
+                for inner in messages {
+                    outputs.extend(self.handle_server_message(from, inner));
+                }
+            }
         }
         outputs
     }
 
     fn tick(&mut self) -> Vec<ServerOutput> {
         let mut outputs = Vec::new();
+        // Ship the traffic coalesced since the last tick first, so heartbeats emitted
+        // below cannot overtake buffered replication on the FIFO channels.
+        self.batcher.flush_into(&mut self.metrics, &mut outputs);
         let now = self.clock.now();
         let local = self.id.replica;
 
@@ -600,8 +635,17 @@ mod tests {
             .unwrap()
     }
 
-    fn server(replica: u16, partition: u32, cfg: &Config, clock: &ManualClock) -> CureServer<ManualClock> {
-        CureServer::new(ServerId::new(replica, partition), cfg.clone(), clock.clone())
+    fn server(
+        replica: u16,
+        partition: u32,
+        cfg: &Config,
+        clock: &ManualClock,
+    ) -> CureServer<ManualClock> {
+        CureServer::new(
+            ServerId::new(replica, partition),
+            cfg.clone(),
+            clock.clone(),
+        )
     }
 
     fn key_in(partition: usize, num_partitions: usize) -> Key {
@@ -848,11 +892,7 @@ mod tests {
         s.handle_server_message(
             ServerId::new(0u16, 2u32),
             ServerMessage::StabilizationVector {
-                vv: VersionVector::from_entries(vec![
-                    Timestamp(1 * MS),
-                    Timestamp(1 * MS),
-                    Timestamp(1 * MS),
-                ]),
+                vv: VersionVector::from_entries(vec![Timestamp(MS), Timestamp(MS), Timestamp(MS)]),
             },
         );
         assert!(s.gss().get(ReplicaId(0)) >= Timestamp(7 * MS));

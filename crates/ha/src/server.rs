@@ -411,8 +411,8 @@ impl<C: Clock + Clone> HaPoccServer<C> {
                     .all(|(i, last)| {
                         i == local.index() || now.saturating_since(*last) <= healthy_window
                     });
-                let settled = now.saturating_since(since)
-                    >= self.config.partition_detection_timeout;
+                let settled =
+                    now.saturating_since(since) >= self.config.partition_detection_timeout;
                 if all_healthy && settled && !silent_replica {
                     self.enter_optimistic();
                 }
@@ -468,7 +468,11 @@ impl<C: Clock + Clone> ProtocolServer for HaPoccServer<C> {
         outputs
     }
 
-    fn handle_server_message(&mut self, from: ServerId, message: ServerMessage) -> Vec<ServerOutput> {
+    fn handle_server_message(
+        &mut self,
+        from: ServerId,
+        message: ServerMessage,
+    ) -> Vec<ServerOutput> {
         match message {
             ServerMessage::StabilizationVector { vv } => {
                 self.overlay.stabilization_messages += 1;
@@ -628,7 +632,10 @@ mod tests {
         }
         clock.set(Timestamp(400 * MS));
         s.tick();
-        assert!(s.mode().is_pessimistic(), "silence must trigger the fall-back");
+        assert!(
+            s.mode().is_pessimistic(),
+            "silence must trigger the fall-back"
+        );
         assert_eq!(s.mode_switches(), 1);
 
         // The partition heals: traffic from replica 2 resumes, and after the settle period
@@ -779,7 +786,10 @@ mod tests {
                 assert_eq!(items.len(), 1);
                 // The local write is stable (it has no dependencies), so the re-initialised
                 // pessimistic session still sees it.
-                assert_eq!(items[0].response.value.as_ref().unwrap().as_slice(), b"mine");
+                assert_eq!(
+                    items[0].response.value.as_ref().unwrap().as_slice(),
+                    b"mine"
+                );
             }
             other => panic!("unexpected reply {other:?}"),
         }

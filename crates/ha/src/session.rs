@@ -133,7 +133,10 @@ mod tests {
     #[test]
     fn request_builders_delegate() {
         let s = session();
-        assert!(matches!(s.put(Key(1), Value::from("x")), ClientRequest::Put { .. }));
+        assert!(matches!(
+            s.put(Key(1), Value::from("x")),
+            ClientRequest::Put { .. }
+        ));
         assert!(matches!(s.ro_tx(vec![Key(1)]), ClientRequest::RoTx { .. }));
     }
 }

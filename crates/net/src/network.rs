@@ -90,7 +90,12 @@ impl SimNetwork {
 
     /// Heals the partition between `a` and `b`, returning the held traffic with fresh
     /// delivery times (per-link FIFO order preserved).
-    pub fn heal(&mut self, a: ReplicaId, b: ReplicaId, now: Timestamp) -> Vec<(Timestamp, Envelope)> {
+    pub fn heal(
+        &mut self,
+        a: ReplicaId,
+        b: ReplicaId,
+        now: Timestamp,
+    ) -> Vec<(Timestamp, Envelope)> {
         self.partitions.remove(&(a, b));
         self.partitions.remove(&(b, a));
         let mut released = Vec::new();
@@ -210,6 +215,8 @@ mod tests {
     #[test]
     fn healing_an_unpartitioned_pair_is_a_noop() {
         let mut net = network(0.0);
-        assert!(net.heal(ReplicaId(0), ReplicaId(1), Timestamp::ZERO).is_empty());
+        assert!(net
+            .heal(ReplicaId(0), ReplicaId(1), Timestamp::ZERO)
+            .is_empty());
     }
 }

@@ -337,7 +337,11 @@ mod proptests {
 
     fn arb_step() -> impl Strategy<Value = Step> {
         prop_oneof![
-            (1u64..1_000, 0u16..3, proptest::collection::vec(0u64..1_000, 3))
+            (
+                1u64..1_000,
+                0u16..3,
+                proptest::collection::vec(0u64..1_000, 3)
+            )
                 .prop_map(|(ut, sr, deps)| Step::Read { ut, sr, deps }),
             (1u64..1_000).prop_map(|ut| Step::Write { ut }),
         ]

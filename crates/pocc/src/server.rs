@@ -3,10 +3,10 @@
 use crate::pending::{Parked, PendingOp};
 use pocc_clock::Clock;
 use pocc_proto::{
-    ClientReply, ClientRequest, GetResponse, MetricsSnapshot, ProtocolServer, ServerMessage,
-    ServerOutput, TxId, TxItem,
+    ClientReply, ClientRequest, GetResponse, MessageBatcher, MetricsSnapshot, ProtocolServer,
+    ServerMessage, ServerOutput, TxId, TxItem,
 };
-use pocc_storage::{partition_for_key, PartitionStore};
+use pocc_storage::{partition_for_key, ShardedStore};
 use pocc_types::{
     ClientId, Config, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Timestamp, Version,
     VersionVector,
@@ -49,7 +49,7 @@ pub struct PoccServer<C> {
     id: ServerId,
     config: Config,
     clock: C,
-    store: PartitionStore,
+    store: ShardedStore,
     /// The version vector `VV^m_n`.
     vv: VersionVector,
     /// Parked operations, in arrival order.
@@ -61,6 +61,9 @@ pub struct PoccServer<C> {
     gc_contributions: HashMap<PartitionId, DependencyVector>,
     /// When the last garbage-collection exchange was initiated.
     last_gc_exchange: Timestamp,
+    /// Coalesces replication/GC traffic per destination when batching is enabled
+    /// (`Config::replication_batching`); flushed at the start of every tick.
+    batcher: MessageBatcher,
     metrics: MetricsSnapshot,
     /// Extra CPU work units (chain elements traversed beyond the head) since the last
     /// [`ProtocolServer::take_extra_work`] call.
@@ -72,13 +75,18 @@ impl<C: Clock> PoccServer<C> {
     pub fn new(id: ServerId, config: Config, clock: C) -> Self {
         let m = config.num_replicas;
         PoccServer {
-            store: PartitionStore::new(id.partition, config.num_partitions),
+            store: ShardedStore::with_shards(
+                id.partition,
+                config.num_partitions,
+                config.storage_shards,
+            ),
             vv: VersionVector::zero(m),
             parked: Vec::new(),
             transactions: HashMap::new(),
             next_tx: TxId(0),
             gc_contributions: HashMap::new(),
             last_gc_exchange: Timestamp::ZERO,
+            batcher: MessageBatcher::new(config.replication_batching),
             metrics: MetricsSnapshot::default(),
             extra_work: 0,
             id,
@@ -103,7 +111,7 @@ impl<C: Clock> PoccServer<C> {
     }
 
     /// Read access to the underlying store (used by tests and the convergence checker).
-    pub fn store(&self) -> &PartitionStore {
+    pub fn store(&self) -> &ShardedStore {
         &self.store
     }
 
@@ -141,6 +149,21 @@ impl<C: Clock> PoccServer<C> {
             _ => {}
         }
         ServerOutput::send(to, message)
+    }
+
+    /// Sends a message through the replication batcher: delivered immediately when
+    /// batching is off (or the message is latency-sensitive), deferred to the next tick's
+    /// flush otherwise. Per-message metrics are accounted either way.
+    fn send_via_batcher(
+        &mut self,
+        to: ServerId,
+        message: ServerMessage,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        let out = self.send(to, message);
+        if let Some(out) = self.batcher.stage_one(out) {
+            outputs.push(out);
+        }
     }
 
     /// The sibling replicas of this server: same partition, every other data center.
@@ -263,8 +286,8 @@ impl<C: Clock> PoccServer<C> {
         let update_time = if now > max_dep {
             now
         } else {
-            self.metrics.clock_wait_time += max_dep.saturating_since(now)
-                + std::time::Duration::from_micros(1);
+            self.metrics.clock_wait_time +=
+                max_dep.saturating_since(now) + std::time::Duration::from_micros(1);
             max_dep.tick()
         };
 
@@ -278,12 +301,13 @@ impl<C: Clock> PoccServer<C> {
             .expect("PUT routed to the wrong partition");
 
         // Lines 12–14: asynchronously replicate to the sibling replicas, in timestamp order
-        // (guaranteed because PUTs are processed in clock order and channels are FIFO).
+        // (guaranteed because PUTs are processed in clock order and channels are FIFO;
+        // the batcher preserves buffer order, so batching keeps the guarantee).
         for sibling in self.siblings() {
             let msg = ServerMessage::Replicate {
                 version: version.clone(),
             };
-            outputs.push(self.send(sibling, msg));
+            self.send_via_batcher(sibling, msg, outputs);
         }
 
         // Line 15: reply with the new update time.
@@ -491,7 +515,11 @@ impl<C: Clock> PoccServer<C> {
                     outputs.push(out);
                 }
                 Parked::Put {
-                    client, key, value, dv, ..
+                    client,
+                    key,
+                    value,
+                    dv,
+                    ..
                 } => self.serve_put(client, key, value, dv, outputs),
                 Parked::Slice {
                     origin,
@@ -590,7 +618,7 @@ impl<C: Clock> PoccServer<C> {
             let msg = ServerMessage::GcVector {
                 vector: contribution.clone(),
             };
-            outputs.push(self.send(peer, msg));
+            self.send_via_batcher(peer, msg, outputs);
         }
         self.gc_contributions
             .insert(self.id.partition, contribution);
@@ -634,7 +662,11 @@ impl<C: Clock> ProtocolServer for PoccServer<C> {
         outputs
     }
 
-    fn handle_server_message(&mut self, from: ServerId, message: ServerMessage) -> Vec<ServerOutput> {
+    fn handle_server_message(
+        &mut self,
+        from: ServerId,
+        message: ServerMessage,
+    ) -> Vec<ServerOutput> {
         let mut outputs = Vec::new();
         match message {
             ServerMessage::Replicate { version } => {
@@ -672,12 +704,20 @@ impl<C: Clock> ProtocolServer for PoccServer<C> {
                 self.metrics.gc_messages += 1;
                 self.gc_contributions.insert(from.partition, vector);
             }
+            ServerMessage::Batch { messages } => {
+                for inner in messages {
+                    outputs.extend(self.handle_server_message(from, inner));
+                }
+            }
         }
         outputs
     }
 
     fn tick(&mut self) -> Vec<ServerOutput> {
         let mut outputs = Vec::new();
+        // Ship the traffic coalesced since the last tick first, so heartbeats emitted
+        // below cannot overtake buffered replication on the FIFO channels.
+        self.batcher.flush_into(&mut self.metrics, &mut outputs);
         let now = self.clock.now();
 
         // Heartbeats (Algorithm 2 lines 19–26): if no local update advanced VV[m] for the
@@ -740,8 +780,17 @@ mod tests {
             .unwrap()
     }
 
-    fn server(replica: u16, partition: u32, cfg: &Config, clock: &ManualClock) -> PoccServer<ManualClock> {
-        PoccServer::new(ServerId::new(replica, partition), cfg.clone(), clock.clone())
+    fn server(
+        replica: u16,
+        partition: u32,
+        cfg: &Config,
+        clock: &ManualClock,
+    ) -> PoccServer<ManualClock> {
+        PoccServer::new(
+            ServerId::new(replica, partition),
+            cfg.clone(),
+            clock.clone(),
+        )
     }
 
     /// A key owned by `partition` in a deployment of `num_partitions`.
@@ -877,8 +926,10 @@ mod tests {
             Timestamp(20 * MS),
             dv(&[0, 0, 0]),
         );
-        let outputs =
-            s.handle_server_message(ServerId::new(1u16, 0u32), ServerMessage::Replicate { version });
+        let outputs = s.handle_server_message(
+            ServerId::new(1u16, 0u32),
+            ServerMessage::Replicate { version },
+        );
         match extract_reply(&outputs, c) {
             Some(ClientReply::Get(resp)) => {
                 assert_eq!(resp.value.unwrap().as_slice(), b"fresh");
@@ -1030,10 +1081,7 @@ mod tests {
         );
         assert!(outputs.is_empty());
         assert_eq!(s.version_vector().get(ReplicaId(2)), Timestamp(9 * MS));
-        assert_eq!(
-            s.store().latest(key).unwrap().value.as_slice(),
-            b"remote"
-        );
+        assert_eq!(s.store().latest(key).unwrap().value.as_slice(), b"remote");
         assert_eq!(s.metrics().replicate_received, 1);
     }
 
@@ -1098,9 +1146,13 @@ mod tests {
         // Within the same heartbeat interval no further heartbeat is sent.
         clock.set(Timestamp(10 * MS + 500));
         let outputs = s.tick();
-        assert!(outputs
-            .iter()
-            .all(|o| !matches!(o, ServerOutput::Send { message: ServerMessage::Heartbeat { .. }, .. })));
+        assert!(outputs.iter().all(|o| !matches!(
+            o,
+            ServerOutput::Send {
+                message: ServerMessage::Heartbeat { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -1445,6 +1497,98 @@ mod tests {
     }
 
     #[test]
+    fn batched_replication_defers_to_tick_and_preserves_order() {
+        let cfg = Config::builder()
+            .num_replicas(2)
+            .num_partitions(1)
+            .replication_batching(true)
+            .build()
+            .unwrap();
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut sender = server(0, 0, &cfg, &clock);
+        let mut receiver = PoccServer::new(ServerId::new(1u16, 0u32), cfg, clock.clone());
+        let key = key_in(0, 1);
+
+        // Two PUTs: replies come back immediately, replication is buffered.
+        for (t, v) in [(10u64, "a"), (11, "b")] {
+            clock.set(Timestamp(t * MS));
+            let outputs = sender.handle_client_request(
+                ClientId(1),
+                ClientRequest::Put {
+                    key,
+                    value: Value::from(v),
+                    dv: dv(&[0, 0]),
+                },
+            );
+            assert!(matches!(
+                extract_reply(&outputs, ClientId(1)),
+                Some(ClientReply::Put { .. })
+            ));
+            assert!(
+                !outputs
+                    .iter()
+                    .any(|o| matches!(o, ServerOutput::Send { .. })),
+                "replication must be buffered, not sent inline"
+            );
+        }
+        // Per-message metrics are still counted at stage time.
+        assert_eq!(sender.metrics().replicate_sent, 2);
+        assert_eq!(sender.metrics().batches_sent, 0);
+
+        // The next tick flushes one batch (before any heartbeat) carrying both versions
+        // in timestamp order.
+        clock.set(Timestamp(12 * MS));
+        let outputs = sender.tick();
+        let (to, batch) = outputs
+            .iter()
+            .find_map(|o| match o {
+                ServerOutput::Send {
+                    to,
+                    message: m @ ServerMessage::Batch { .. },
+                } => Some((*to, m.clone())),
+                _ => None,
+            })
+            .expect("a batch must flush on tick");
+        assert_eq!(to, receiver.server_id());
+        assert_eq!(sender.metrics().batches_sent, 1);
+        let batch_pos = outputs
+            .iter()
+            .position(|o| {
+                matches!(
+                    o,
+                    ServerOutput::Send {
+                        message: ServerMessage::Batch { .. },
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        let hb_pos = outputs.iter().position(|o| {
+            matches!(
+                o,
+                ServerOutput::Send {
+                    message: ServerMessage::Heartbeat { .. },
+                    ..
+                }
+            )
+        });
+        if let Some(hb_pos) = hb_pos {
+            assert!(batch_pos < hb_pos, "the batch must precede the heartbeat");
+        }
+
+        // Applying the batch installs both versions and advances the version vector as if
+        // the messages had arrived individually.
+        receiver.handle_server_message(sender.server_id(), batch);
+        assert_eq!(receiver.metrics().replicate_received, 2);
+        assert_eq!(receiver.store().latest(key).unwrap().value.as_slice(), b"b");
+        assert_eq!(
+            receiver.version_vector().get(ReplicaId(0)),
+            Timestamp(11 * MS)
+        );
+        assert_eq!(sender.digest(), receiver.digest());
+    }
+
+    #[test]
     fn end_to_end_client_server_session_maintains_causality_metadata() {
         // Drive a Client (Algorithm 1) against a server and check Propositions 1 and 2.
         let cfg = config(3, 1);
@@ -1454,7 +1598,8 @@ mod tests {
         let key = key_in(0, 1);
 
         // PUT X.
-        let outputs = s.handle_client_request(client.client_id(), client.put(key, Value::from("x")));
+        let outputs =
+            s.handle_client_request(client.client_id(), client.put(key, Value::from("x")));
         let reply = extract_reply(&outputs, client.client_id()).unwrap();
         client.process_reply(&reply).unwrap();
         let x_ut = match reply {
@@ -1470,7 +1615,8 @@ mod tests {
 
         // PUT Y: its dependency vector must cover X (Proposition 1) and its timestamp must
         // exceed X's (Proposition 2).
-        let outputs = s.handle_client_request(client.client_id(), client.put(key, Value::from("y")));
+        let outputs =
+            s.handle_client_request(client.client_id(), client.put(key, Value::from("y")));
         let reply = extract_reply(&outputs, client.client_id()).unwrap();
         let y_ut = match &reply {
             ClientReply::Put { update_time } => *update_time,

@@ -64,6 +64,9 @@ pub struct MetricsSnapshot {
     pub heartbeats_sent: u64,
     /// Stabilization-protocol messages processed (sent + received). Cure\* and HA-POCC.
     pub stabilization_messages: u64,
+    /// Batch envelopes sent (replication batching enabled only). The batched messages
+    /// are still counted individually in `replicate_sent`/`gc_messages`.
+    pub batches_sent: u64,
     /// Garbage-collection messages processed (sent + received).
     pub gc_messages: u64,
     /// Versions removed by garbage collection.
@@ -179,6 +182,7 @@ impl MetricsSnapshot {
         self.heartbeats_received += other.heartbeats_received;
         self.heartbeats_sent += other.heartbeats_sent;
         self.stabilization_messages += other.stabilization_messages;
+        self.batches_sent += other.batches_sent;
         self.gc_messages += other.gc_messages;
         self.gc_versions_removed += other.gc_versions_removed;
         self.sessions_aborted += other.sessions_aborted;
@@ -209,6 +213,7 @@ impl MetricsSnapshot {
             heartbeats_received: self.heartbeats_received - earlier.heartbeats_received,
             heartbeats_sent: self.heartbeats_sent - earlier.heartbeats_sent,
             stabilization_messages: self.stabilization_messages - earlier.stabilization_messages,
+            batches_sent: self.batches_sent - earlier.batches_sent,
             gc_messages: self.gc_messages - earlier.gc_messages,
             gc_versions_removed: self.gc_versions_removed - earlier.gc_versions_removed,
             sessions_aborted: self.sessions_aborted - earlier.sessions_aborted,

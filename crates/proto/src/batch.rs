@@ -1,0 +1,239 @@
+//! Per-destination coalescing of latency-insensitive server traffic.
+//!
+//! With `Config::replication_batching` enabled, a server does not put every replication
+//! or garbage-collection message on the wire individually. Instead it routes them through
+//! a [`MessageBatcher`]: batchable sends are buffered per destination and flushed once
+//! per tick as a single [`ServerMessage::Batch`], so the network — and the receiving
+//! server's per-message service time — is charged once per peer per tick instead of once
+//! per write.
+//!
+//! What is batchable is deliberately narrow:
+//!
+//! * [`ServerMessage::Replicate`] — replication is asynchronous anyway; deferring it by
+//!   at most one tick (one heartbeat interval, 1 ms in the paper's test-bed) is far below
+//!   the WAN latencies it then crosses. Buffer order is preserved, so the
+//!   timestamp-order FIFO guarantee the POCC protocol relies on carries over.
+//! * [`ServerMessage::GcVector`] — garbage collection tolerates arbitrary delay.
+//!
+//! Everything else (heartbeats, slice traffic, stabilization vectors) passes through
+//! untouched: heartbeats *must not* overtake buffered replication — a heartbeat carrying
+//! clock `T` promises that everything originated locally up to `T` has been sent — which
+//! is also why servers flush the batcher at the **start** of a tick, before emitting
+//! heartbeats.
+
+use crate::{ServerMessage, ServerOutput};
+use pocc_types::ServerId;
+use std::collections::BTreeMap;
+
+/// Buffers batchable server-to-server messages per destination until the next flush.
+///
+/// A disabled batcher passes everything through, so the protocol code can route its
+/// outputs unconditionally and the `replication_batching` knob stays a pure
+/// configuration concern.
+#[derive(Debug, Default)]
+pub struct MessageBatcher {
+    enabled: bool,
+    /// Pending messages per destination. A `BTreeMap` keeps flush order deterministic.
+    pending: BTreeMap<ServerId, Vec<ServerMessage>>,
+}
+
+impl MessageBatcher {
+    /// Creates a batcher; a disabled one is a transparent pass-through.
+    pub fn new(enabled: bool) -> Self {
+        MessageBatcher {
+            enabled,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Whether batching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether this message kind may be deferred to the next tick.
+    fn is_batchable(message: &ServerMessage) -> bool {
+        matches!(
+            message,
+            ServerMessage::Replicate { .. } | ServerMessage::GcVector { .. }
+        )
+    }
+
+    /// Routes one output through the batcher: a batchable send is absorbed into its
+    /// destination's buffer (returning `None`), anything else comes back for immediate
+    /// dispatch.
+    pub fn stage_one(&mut self, output: ServerOutput) -> Option<ServerOutput> {
+        if !self.enabled {
+            return Some(output);
+        }
+        match output {
+            ServerOutput::Send { to, message } if Self::is_batchable(&message) => {
+                self.pending.entry(to).or_default().push(message);
+                None
+            }
+            other => Some(other),
+        }
+    }
+
+    /// Number of messages currently buffered across all destinations.
+    pub fn pending_messages(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Drains the buffers: one [`ServerMessage::Batch`] per destination, in destination
+    /// order. A destination with a single pending message gets it unwrapped — the batch
+    /// envelope would be pure overhead.
+    pub fn flush(&mut self) -> Vec<ServerOutput> {
+        let pending = std::mem::take(&mut self.pending);
+        pending
+            .into_iter()
+            .map(|(to, mut messages)| {
+                let message = if messages.len() == 1 {
+                    messages.pop().expect("one pending message")
+                } else {
+                    ServerMessage::Batch { messages }
+                };
+                ServerOutput::send(to, message)
+            })
+            .collect()
+    }
+
+    /// Drains the buffers into `outputs` (see [`MessageBatcher::flush`]), accounting
+    /// each batch envelope in `metrics`: one `batches_sent` tick plus the envelope's
+    /// wire overhead (the members themselves were accounted when they were staged).
+    pub fn flush_into(
+        &mut self,
+        metrics: &mut crate::MetricsSnapshot,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        for out in self.flush() {
+            if let ServerOutput::Send {
+                message: ServerMessage::Batch { .. },
+                ..
+            } = &out
+            {
+                metrics.batches_sent += 1;
+                metrics.bytes_sent += ServerMessage::BATCH_ENVELOPE_SIZE as u64;
+            }
+            outputs.push(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_types::{ClientId, DependencyVector, Key, ReplicaId, Timestamp, Value, Version};
+
+    /// Test helper: stages a batch of outputs one by one, returning the pass-throughs.
+    fn stage_all(b: &mut MessageBatcher, outputs: Vec<ServerOutput>) -> Vec<ServerOutput> {
+        outputs
+            .into_iter()
+            .filter_map(|output| b.stage_one(output))
+            .collect()
+    }
+
+    fn replicate(ut: u64) -> ServerMessage {
+        ServerMessage::Replicate {
+            version: Version::new(
+                Key(1),
+                Value::from(ut),
+                ReplicaId(0),
+                Timestamp(ut),
+                DependencyVector::zero(3),
+            ),
+        }
+    }
+
+    fn heartbeat() -> ServerMessage {
+        ServerMessage::Heartbeat {
+            clock: Timestamp(9),
+        }
+    }
+
+    #[test]
+    fn disabled_batcher_is_a_pass_through() {
+        let mut b = MessageBatcher::new(false);
+        let out = vec![ServerOutput::send(ServerId::new(1u16, 0u32), replicate(1))];
+        let staged = stage_all(&mut b, out.clone());
+        assert_eq!(staged, out);
+        assert_eq!(b.pending_messages(), 0);
+        assert!(b.flush().is_empty());
+    }
+
+    #[test]
+    fn batchable_sends_are_absorbed_and_flushed_per_destination() {
+        let mut b = MessageBatcher::new(true);
+        let s1 = ServerId::new(1u16, 0u32);
+        let s2 = ServerId::new(2u16, 0u32);
+        let immediate = stage_all(
+            &mut b,
+            vec![
+                ServerOutput::send(s1, replicate(1)),
+                ServerOutput::send(s2, replicate(1)),
+                ServerOutput::reply(
+                    ClientId(7),
+                    crate::ClientReply::Put {
+                        update_time: Timestamp(1),
+                    },
+                ),
+                ServerOutput::send(s1, replicate(2)),
+            ],
+        );
+        // The reply passes through; the three replicates are buffered.
+        assert_eq!(immediate.len(), 1);
+        assert!(immediate[0].is_reply_to(ClientId(7)));
+        assert_eq!(b.pending_messages(), 3);
+
+        let flushed = b.flush();
+        assert_eq!(flushed.len(), 2, "one output per destination");
+        match &flushed[0] {
+            ServerOutput::Send {
+                to,
+                message: ServerMessage::Batch { messages },
+            } => {
+                assert_eq!(*to, s1);
+                // Buffer order (= timestamp order for replication) is preserved.
+                let times: Vec<u64> = messages
+                    .iter()
+                    .map(|m| match m {
+                        ServerMessage::Replicate { version } => version.update_time.as_micros(),
+                        other => panic!("unexpected member {other:?}"),
+                    })
+                    .collect();
+                assert_eq!(times, vec![1, 2]);
+            }
+            other => panic!("expected a batch to s1, got {other:?}"),
+        }
+        // A single pending message is sent unwrapped.
+        assert!(matches!(
+            &flushed[1],
+            ServerOutput::Send {
+                to,
+                message: ServerMessage::Replicate { .. },
+            } if *to == s2
+        ));
+        assert_eq!(b.pending_messages(), 0);
+    }
+
+    #[test]
+    fn latency_sensitive_messages_pass_through() {
+        let mut b = MessageBatcher::new(true);
+        let s1 = ServerId::new(1u16, 0u32);
+        let staged = stage_all(&mut b, vec![ServerOutput::send(s1, heartbeat())]);
+        assert_eq!(staged.len(), 1, "heartbeats are never deferred");
+        assert_eq!(b.pending_messages(), 0);
+    }
+
+    #[test]
+    fn gc_vectors_are_batchable() {
+        let mut b = MessageBatcher::new(true);
+        let s1 = ServerId::new(0u16, 1u32);
+        let gc = ServerMessage::GcVector {
+            vector: DependencyVector::zero(3),
+        };
+        assert!(stage_all(&mut b, vec![ServerOutput::send(s1, gc)]).is_empty());
+        assert_eq!(b.pending_messages(), 1);
+        assert_eq!(b.flush().len(), 1);
+    }
+}

@@ -337,18 +337,17 @@ const MSG_SLICE_REQ: u8 = 3;
 const MSG_SLICE_RESP: u8 = 4;
 const MSG_STABILIZATION: u8 = 5;
 const MSG_GC: u8 = 6;
+const MSG_BATCH: u8 = 7;
 
-/// Encodes a [`ServerMessage`].
-pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
-    let mut buf = BytesMut::with_capacity(msg.wire_size() + 16);
+fn put_server_message(buf: &mut BytesMut, msg: &ServerMessage) {
     match msg {
         ServerMessage::Replicate { version } => {
             buf.put_u8(MSG_REPLICATE);
-            put_version(&mut buf, version);
+            put_version(buf, version);
         }
         ServerMessage::Heartbeat { clock } => {
             buf.put_u8(MSG_HEARTBEAT);
-            put_timestamp(&mut buf, *clock);
+            put_timestamp(buf, *clock);
         }
         ServerMessage::SliceRequest {
             tx,
@@ -359,68 +358,109 @@ pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
             buf.put_u8(MSG_SLICE_REQ);
             buf.put_u64_le(tx.0);
             buf.put_u64_le(client.raw());
-            put_keys(&mut buf, keys);
-            put_dep_vector(&mut buf, snapshot);
+            put_keys(buf, keys);
+            put_dep_vector(buf, snapshot);
         }
         ServerMessage::SliceResponse { tx, items } => {
             buf.put_u8(MSG_SLICE_RESP);
             buf.put_u64_le(tx.0);
-            put_tx_items(&mut buf, items);
+            put_tx_items(buf, items);
         }
         ServerMessage::StabilizationVector { vv } => {
             buf.put_u8(MSG_STABILIZATION);
-            put_version_vector(&mut buf, vv);
+            put_version_vector(buf, vv);
         }
         ServerMessage::GcVector { vector } => {
             buf.put_u8(MSG_GC);
-            put_dep_vector(&mut buf, vector);
+            put_dep_vector(buf, vector);
+        }
+        ServerMessage::Batch { messages } => {
+            buf.put_u8(MSG_BATCH);
+            buf.put_u32_le(messages.len() as u32);
+            for inner in messages {
+                debug_assert!(
+                    !matches!(inner, ServerMessage::Batch { .. }),
+                    "batches are flat; the batcher never nests them"
+                );
+                put_server_message(buf, inner);
+            }
         }
     }
+}
+
+/// Encodes a [`ServerMessage`].
+pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(msg.wire_size() + 16);
+    put_server_message(&mut buf, msg);
     buf.freeze()
 }
 
-/// Decodes a [`ServerMessage`].
-pub fn decode_server_message(mut data: Bytes) -> Result<ServerMessage> {
-    ensure(&data, 1)?;
+/// `in_batch` is true while decoding the members of a batch: batches are flat, so a
+/// nested `Batch` tag is a codec error (this also bounds decoder recursion on
+/// adversarial input).
+fn get_server_message(data: &mut Bytes, in_batch: bool) -> Result<ServerMessage> {
+    ensure(data, 1)?;
     let tag = data.get_u8();
     let msg = match tag {
         MSG_REPLICATE => ServerMessage::Replicate {
-            version: get_version(&mut data)?,
+            version: get_version(data)?,
         },
         MSG_HEARTBEAT => ServerMessage::Heartbeat {
-            clock: get_timestamp(&mut data)?,
+            clock: get_timestamp(data)?,
         },
         MSG_SLICE_REQ => {
-            ensure(&data, 16)?;
+            ensure(data, 16)?;
             let tx = TxId(data.get_u64_le());
             let client = ClientId(data.get_u64_le());
             ServerMessage::SliceRequest {
                 tx,
                 client,
-                keys: get_keys(&mut data)?,
-                snapshot: get_dep_vector(&mut data)?,
+                keys: get_keys(data)?,
+                snapshot: get_dep_vector(data)?,
             }
         }
         MSG_SLICE_RESP => {
-            ensure(&data, 8)?;
+            ensure(data, 8)?;
             let tx = TxId(data.get_u64_le());
             ServerMessage::SliceResponse {
                 tx,
-                items: get_tx_items(&mut data)?,
+                items: get_tx_items(data)?,
             }
         }
         MSG_STABILIZATION => ServerMessage::StabilizationVector {
-            vv: get_version_vector(&mut data)?,
+            vv: get_version_vector(data)?,
         },
         MSG_GC => ServerMessage::GcVector {
-            vector: get_dep_vector(&mut data)?,
+            vector: get_dep_vector(data)?,
         },
+        MSG_BATCH if !in_batch => {
+            ensure(data, 4)?;
+            let len = data.get_u32_le() as usize;
+            // Every member consumes at least one byte, so the remaining buffer length
+            // bounds how much a (possibly hostile) length prefix may preallocate.
+            let mut messages = Vec::with_capacity(len.min(data.remaining()));
+            for _ in 0..len {
+                messages.push(get_server_message(data, true)?);
+            }
+            ServerMessage::Batch { messages }
+        }
+        MSG_BATCH => {
+            return Err(Error::Codec {
+                reason: "nested Batch message".into(),
+            })
+        }
         other => {
             return Err(Error::Codec {
                 reason: format!("unknown ServerMessage tag {other}"),
             })
         }
     };
+    Ok(msg)
+}
+
+/// Decodes a [`ServerMessage`].
+pub fn decode_server_message(mut data: Bytes) -> Result<ServerMessage> {
+    let msg = get_server_message(&mut data, false)?;
     expect_exhausted(&data)?;
     Ok(msg)
 }
@@ -540,11 +580,40 @@ mod tests {
             ServerMessage::GcVector {
                 vector: dv(&[9, 9, 9]),
             },
+            ServerMessage::Batch {
+                messages: vec![
+                    ServerMessage::Replicate {
+                        version: Version::new(
+                            Key(2),
+                            Value::from("xy"),
+                            ReplicaId(1),
+                            Timestamp(7),
+                            dv(&[1, 2, 3]),
+                        ),
+                    },
+                    ServerMessage::GcVector {
+                        vector: dv(&[4, 5, 6]),
+                    },
+                ],
+            },
+            ServerMessage::Batch { messages: vec![] },
         ];
         for msg in msgs {
             let encoded = encode_server_message(&msg);
             assert_eq!(decode_server_message(encoded).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn nested_batches_are_rejected_by_the_decoder() {
+        // Hand-craft a Batch containing a Batch: tag 7, len 1, tag 7, len 0.
+        let mut raw = BytesMut::new();
+        raw.put_u8(7);
+        raw.put_u32_le(1);
+        raw.put_u8(7);
+        raw.put_u32_le(0);
+        let err = decode_server_message(raw.freeze()).unwrap_err();
+        assert!(err.to_string().contains("nested Batch"));
     }
 
     #[test]
@@ -612,8 +681,11 @@ mod proptests {
     fn arb_request() -> impl Strategy<Value = ClientRequest> {
         prop_oneof![
             (any::<u64>(), arb_dv()).prop_map(|(k, rdv)| ClientRequest::Get { key: Key(k), rdv }),
-            (any::<u64>(), arb_value(), arb_dv())
-                .prop_map(|(k, value, dv)| ClientRequest::Put { key: Key(k), value, dv }),
+            (any::<u64>(), arb_value(), arb_dv()).prop_map(|(k, value, dv)| ClientRequest::Put {
+                key: Key(k),
+                value,
+                dv
+            }),
             (proptest::collection::vec(any::<u64>(), 0..10), arb_dv()).prop_map(|(ks, rdv)| {
                 ClientRequest::RoTx {
                     keys: ks.into_iter().map(Key).collect(),

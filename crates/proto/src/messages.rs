@@ -192,9 +192,23 @@ pub enum ServerMessage {
         /// The sender's contribution to the garbage-collection vector.
         vector: DependencyVector,
     },
+    /// A per-destination batch of coalesced messages, sent when
+    /// `Config::replication_batching` is enabled: instead of one message per write, a
+    /// server buffers its replication and GC traffic and ships one `Batch` per peer per
+    /// tick. Batches are flat — a `Batch` never contains another `Batch` — and preserve
+    /// the order the batched messages were produced in, so the FIFO timestamp-order
+    /// guarantee of the replication channel carries over.
+    Batch {
+        /// The coalesced messages, in send order.
+        messages: Vec<ServerMessage>,
+    },
 }
 
 impl ServerMessage {
+    /// Wire overhead of a [`ServerMessage::Batch`] envelope: the tag byte plus the
+    /// 4-byte member count (must match the codec's batch encoding).
+    pub const BATCH_ENVELOPE_SIZE: usize = 1 + 4;
+
     /// Approximate wire size of the message in bytes.
     pub fn wire_size(&self) -> usize {
         match self {
@@ -217,16 +231,24 @@ impl ServerMessage {
             }
             ServerMessage::StabilizationVector { vv } => 1 + vv.wire_size(),
             ServerMessage::GcVector { vector } => 1 + vector.wire_size(),
+            ServerMessage::Batch { messages } => {
+                Self::BATCH_ENVELOPE_SIZE
+                    + messages.iter().map(ServerMessage::wire_size).sum::<usize>()
+            }
         }
     }
 
     /// Whether this message advances the receiver's version vector (replication and
-    /// heartbeats do; coordination messages do not).
+    /// heartbeats do; coordination messages do not; a batch does if any batched message
+    /// does).
     pub fn advances_version_vector(&self) -> bool {
-        matches!(
-            self,
-            ServerMessage::Replicate { .. } | ServerMessage::Heartbeat { .. }
-        )
+        match self {
+            ServerMessage::Replicate { .. } | ServerMessage::Heartbeat { .. } => true,
+            ServerMessage::Batch { messages } => {
+                messages.iter().any(ServerMessage::advances_version_vector)
+            }
+            _ => false,
+        }
     }
 }
 
@@ -297,7 +319,13 @@ mod tests {
             items: vec![item.clone(), item],
         };
         assert_eq!(two.wire_size() - one.wire_size(), 8 + 8 + 8 + 24 + 2);
-        assert_eq!(ClientReply::Put { update_time: Timestamp(1) }.wire_size(), 9);
+        assert_eq!(
+            ClientReply::Put {
+                update_time: Timestamp(1)
+            }
+            .wire_size(),
+            9
+        );
     }
 
     #[test]
@@ -325,5 +353,20 @@ mod tests {
         );
         let msg = ServerMessage::Replicate { version: v.clone() };
         assert_eq!(msg.wire_size(), 1 + v.wire_size());
+    }
+
+    #[test]
+    fn batch_wire_size_and_classification_aggregate_members() {
+        let hb = ServerMessage::Heartbeat {
+            clock: Timestamp(5),
+        };
+        let gc = ServerMessage::GcVector { vector: dv(3) };
+        let batch = ServerMessage::Batch {
+            messages: vec![hb.clone(), gc.clone()],
+        };
+        assert_eq!(batch.wire_size(), 1 + 4 + hb.wire_size() + gc.wire_size());
+        assert!(batch.advances_version_vector(), "contains a heartbeat");
+        let gc_only = ServerMessage::Batch { messages: vec![gc] };
+        assert!(!gc_only.advances_version_vector());
     }
 }

@@ -54,7 +54,14 @@ impl Cluster {
             let handle = std::thread::Builder::new()
                 .name(format!("pocc-server-{id}"))
                 .spawn(move || {
-                    server_thread(id, thread_config, protocol, thread_router, inbox, thread_running)
+                    server_thread(
+                        id,
+                        thread_config,
+                        protocol,
+                        thread_router,
+                        inbox,
+                        thread_running,
+                    )
                 })
                 .expect("spawning a server thread succeeds");
             threads.push(handle);
@@ -224,7 +231,10 @@ fn network_thread(router: Router, rx: Receiver<Delayed>, running: Arc<AtomicBool
 
 /// Convenience: the server responsible for `key` in data center `replica`.
 pub(crate) fn server_for_key(config: &Config, replica: ReplicaId, key: Key) -> ServerId {
-    ServerId::new(replica, pocc_storage::partition_for_key(key, config.num_partitions))
+    ServerId::new(
+        replica,
+        pocc_storage::partition_for_key(key, config.num_partitions),
+    )
 }
 
 /// Convenience: a timestamp representing "now" relative to the cluster epoch, used by

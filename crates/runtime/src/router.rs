@@ -56,7 +56,11 @@ impl Router {
     /// Builds the router plus the receiving halves the cluster needs to wire up threads.
     pub(crate) fn new(
         config: Config,
-    ) -> (Router, HashMap<ServerId, Receiver<Inbound>>, Receiver<Delayed>) {
+    ) -> (
+        Router,
+        HashMap<ServerId, Receiver<Inbound>>,
+        Receiver<Delayed>,
+    ) {
         let mut inboxes = HashMap::new();
         let mut receivers = HashMap::new();
         for id in config.servers() {

@@ -107,6 +107,8 @@ pub struct SimConfigBuilder {
     deployment: Option<Config>,
     partitions: usize,
     replicas: usize,
+    storage_shards: Option<usize>,
+    replication_batching: Option<bool>,
     protocol: ProtocolKind,
     clients_per_partition: usize,
     mix: WorkloadMix,
@@ -128,6 +130,8 @@ impl Default for SimConfigBuilder {
             deployment: None,
             partitions: 8,
             replicas: 3,
+            storage_shards: None,
+            replication_batching: None,
             protocol: ProtocolKind::Pocc,
             clients_per_partition: 4,
             mix: WorkloadMix::GetPut { gets_per_put: 8 },
@@ -161,6 +165,20 @@ impl SimConfigBuilder {
     /// Number of data centers.
     pub fn replicas(mut self, n: usize) -> Self {
         self.replicas = n;
+        self
+    }
+
+    /// Number of key-hashed shards per partition store (overrides the deployment's
+    /// `storage_shards`, including an explicitly supplied deployment).
+    pub fn storage_shards(mut self, n: usize) -> Self {
+        self.storage_shards = Some(n);
+        self
+    }
+
+    /// Enables or disables per-destination replication/GC batching (overrides the
+    /// deployment's `replication_batching`).
+    pub fn replication_batching(mut self, yes: bool) -> Self {
+        self.replication_batching = Some(yes);
         self
     }
 
@@ -244,13 +262,20 @@ impl SimConfigBuilder {
 
     /// Builds the configuration.
     pub fn build(self) -> SimConfig {
-        let deployment = self.deployment.unwrap_or_else(|| {
+        let mut deployment = self.deployment.unwrap_or_else(|| {
             Config::builder()
                 .num_replicas(self.replicas)
                 .num_partitions(self.partitions)
                 .build()
                 .expect("simulation deployment config is valid")
         });
+        if let Some(shards) = self.storage_shards {
+            assert!(shards > 0, "storage_shards must be at least 1");
+            deployment.storage_shards = shards;
+        }
+        if let Some(batching) = self.replication_batching {
+            deployment.replication_batching = batching;
+        }
         SimConfig {
             deployment,
             protocol: self.protocol,
@@ -322,6 +347,26 @@ mod tests {
             .deployment(deployment)
             .build();
         assert_eq!(cfg.deployment.num_partitions, 5);
+    }
+
+    #[test]
+    fn shard_and_batching_overrides_reach_the_deployment() {
+        let cfg = SimConfig::builder()
+            .storage_shards(4)
+            .replication_batching(true)
+            .build();
+        assert_eq!(cfg.deployment.storage_shards, 4);
+        assert!(cfg.deployment.replication_batching);
+
+        // Overrides also apply on top of an explicit deployment.
+        let deployment = Config::builder().num_replicas(2).build().unwrap();
+        let cfg = SimConfig::builder()
+            .deployment(deployment)
+            .storage_shards(2)
+            .replication_batching(true)
+            .build();
+        assert_eq!(cfg.deployment.storage_shards, 2);
+        assert!(cfg.deployment.replication_batching);
     }
 
     #[test]

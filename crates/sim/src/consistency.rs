@@ -156,7 +156,9 @@ impl ConsistencyChecker {
                 self.violations.push(Violation::StaleRead {
                     client,
                     key,
-                    returned: returned_ref.map(|r| r.update_time).unwrap_or(Timestamp::ZERO),
+                    returned: returned_ref
+                        .map(|r| r.update_time)
+                        .unwrap_or(Timestamp::ZERO),
                     known: known.update_time,
                 });
             }
@@ -191,7 +193,9 @@ impl ConsistencyChecker {
         // Snapshot property: no returned item may causally depend on a newer version of
         // another returned item.
         for (dep_key, dep_version) in items {
-            let Some((ut, sr)) = dep_version else { continue };
+            let Some((ut, sr)) = dep_version else {
+                continue;
+            };
             let Some(writer_ctx) = self.version_contexts.get(&(*dep_key, *ut, *sr)) else {
                 continue;
             };
@@ -342,10 +346,7 @@ mod tests {
         // A transaction that returns Y1 together with a pre-X1 state of key 1 is broken.
         c.record_transaction(
             ClientId(2),
-            &[
-                (Key(2), Some((Timestamp(20), R0))),
-                (Key(1), None),
-            ],
+            &[(Key(2), Some((Timestamp(20), R0))), (Key(1), None)],
         );
         assert!(c
             .violations()
@@ -366,7 +367,10 @@ mod tests {
             ],
         );
         // Older-but-consistent snapshots are also fine.
-        c.record_transaction(ClientId(3), &[(Key(1), Some((Timestamp(10), R0))), (Key(2), None)]);
+        c.record_transaction(
+            ClientId(3),
+            &[(Key(1), Some((Timestamp(10), R0))), (Key(2), None)],
+        );
         assert!(c.violations().is_empty());
     }
 

@@ -51,11 +51,10 @@ impl LatencyStats {
 
     /// Mean latency.
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_micros(self.sum_micros / self.count)
-        }
+        self.sum_micros
+            .checked_div(self.count)
+            .map(Duration::from_micros)
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Maximum latency observed.

@@ -52,8 +52,14 @@ struct ClientEntry {
 }
 
 enum Work {
-    Client { client: usize, request: ClientRequest },
-    Message { from: ServerId, message: ServerMessage },
+    Client {
+        client: usize,
+        request: ClientRequest,
+    },
+    Message {
+        from: ServerId,
+        message: ServerMessage,
+    },
     Tick,
 }
 
@@ -127,9 +133,7 @@ impl Simulation {
                         keyspace,
                         cfg.zipf_theta,
                         cfg.mix,
-                        cfg.seed
-                            .wrapping_mul(1_000_003)
-                            .wrapping_add(next_client),
+                        cfg.seed.wrapping_mul(1_000_003).wrapping_add(next_client),
                     );
                     clients.push(ClientEntry {
                         session: Client::new(id, home, deployment.num_replicas),
@@ -195,8 +199,10 @@ impl Simulation {
         let tick = self.cfg.deployment.heartbeat_interval;
         for (i, id) in self.cfg.deployment.servers().enumerate() {
             let offset = Duration::from_micros((i as u64 % 97) * 7);
-            self.queue
-                .push(Timestamp::from(tick) + offset, Event::ServerTick { server: id });
+            self.queue.push(
+                Timestamp::from(tick) + offset,
+                Event::ServerTick { server: id },
+            );
         }
         let faults = self.cfg.faults.clone();
         for fault in faults {
@@ -297,9 +303,7 @@ impl Simulation {
                 OperationKind::Put { key, value } => {
                     (entry.session.put(key, value), OpKind::Put, Some(key))
                 }
-                OperationKind::RoTx { keys } => {
-                    (entry.session.ro_tx(keys), OpKind::RoTx, None)
-                }
+                OperationKind::RoTx { keys } => (entry.session.ro_tx(keys), OpKind::RoTx, None),
             };
             entry.outstanding = Some(Outstanding {
                 kind,
@@ -349,10 +353,9 @@ impl Simulation {
                         .map(|item| {
                             (
                                 item.key,
-                                item.response
-                                    .value
-                                    .as_ref()
-                                    .map(|_| (item.response.update_time, item.response.source_replica)),
+                                item.response.value.as_ref().map(|_| {
+                                    (item.response.update_time, item.response.source_replica)
+                                }),
                             )
                         })
                         .collect();
@@ -443,7 +446,9 @@ impl Simulation {
                     let client_id = self.clients[client].session.client_id();
                     entry.server.handle_client_request(client_id, request)
                 }
-                Work::Message { from, message } => entry.server.handle_server_message(from, message),
+                Work::Message { from, message } => {
+                    entry.server.handle_server_message(from, message)
+                }
                 Work::Tick => entry.server.tick(),
             };
             (outputs, entry.server.take_extra_work())
@@ -607,7 +612,9 @@ mod tests {
             .partitions(4)
             .clients_per_partition(2)
             .keys_per_partition(100)
-            .mix(WorkloadMix::TxPut { partitions_per_tx: 3 })
+            .mix(WorkloadMix::TxPut {
+                partitions_per_tx: 3,
+            })
             .warmup(Duration::from_millis(100))
             .duration(Duration::from_millis(400))
             .drain(Duration::from_millis(400))

@@ -346,8 +346,12 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_version() -> impl Strategy<Value = Version> {
-        (0u64..1_000, 0u16..3, proptest::collection::vec(0u64..1_000, 3)).prop_map(
-            |(ut, sr, deps)| {
+        (
+            0u64..1_000,
+            0u16..3,
+            proptest::collection::vec(0u64..1_000, 3),
+        )
+            .prop_map(|(ut, sr, deps)| {
                 Version::new(
                     Key(7),
                     Value::from(ut),
@@ -355,8 +359,7 @@ mod proptests {
                     Timestamp(ut),
                     DependencyVector::from_entries(deps.into_iter().map(Timestamp).collect()),
                 )
-            },
-        )
+            })
     }
 
     proptest! {

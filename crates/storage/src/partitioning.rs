@@ -1,4 +1,4 @@
-//! Deterministic assignment of keys to partitions.
+//! Deterministic assignment of keys to partitions and of a partition's keys to shards.
 
 use pocc_types::{Key, PartitionId};
 
@@ -9,12 +9,32 @@ use pocc_types::{Key, PartitionId};
 /// the output so that dense key spaces (0, 1, 2, …) spread uniformly across partitions —
 /// the workload generator allocates keys densely per partition.
 pub fn partition_for_key(key: Key, num_partitions: usize) -> PartitionId {
-    assert!(num_partitions > 0, "a deployment has at least one partition");
+    assert!(
+        num_partitions > 0,
+        "a deployment has at least one partition"
+    );
     let mut z = key.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
     PartitionId::from((z % num_partitions as u64) as usize)
+}
+
+/// Maps a key to the shard that stores it inside its partition's
+/// [`crate::ShardedStore`].
+///
+/// Shard routing must be independent of [`partition_for_key`]: every key reaching a
+/// store already hashed to the *same* partition, so reusing the partition hash would
+/// correlate with the earlier `mod num_partitions` and skew the shard distribution. A
+/// second finalizer round (Murmur3's, with different constants than the SplitMix64 round
+/// above) re-mixes the bits before taking the shard index.
+pub fn shard_for_key(key: Key, num_shards: usize) -> usize {
+    assert!(num_shards > 0, "a store has at least one shard");
+    let mut z = key.raw() ^ 0xA24B_AED4_963E_E407;
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^= z >> 33;
+    (z % num_shards as u64) as usize
 }
 
 #[cfg(test)]
@@ -24,10 +44,7 @@ mod tests {
     #[test]
     fn assignment_is_deterministic() {
         for k in 0..100u64 {
-            assert_eq!(
-                partition_for_key(Key(k), 32),
-                partition_for_key(Key(k), 32)
-            );
+            assert_eq!(partition_for_key(Key(k), 32), partition_for_key(Key(k), 32));
         }
     }
 
@@ -67,5 +84,44 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_is_a_programming_error() {
         partition_for_key(Key(1), 0);
+    }
+
+    #[test]
+    fn shard_assignment_is_deterministic_and_within_bounds() {
+        for k in 0..1_000u64 {
+            let s = shard_for_key(Key(k), 8);
+            assert_eq!(s, shard_for_key(Key(k), 8));
+            assert!(s < 8);
+        }
+        assert_eq!(shard_for_key(Key(7), 1), 0);
+    }
+
+    #[test]
+    fn shards_spread_evenly_within_one_partition() {
+        // The realistic setting: all keys of one partition of a 32-way deployment routed
+        // across 8 shards. This is exactly where reusing the partition hash would skew.
+        let num_partitions = 32;
+        let num_shards = 8;
+        let mut counts = vec![0usize; num_shards];
+        let mut total = 0usize;
+        for k in 0..320_000u64 {
+            if partition_for_key(Key(k), num_partitions).index() == 0 {
+                counts[shard_for_key(Key(k), num_shards)] += 1;
+                total += 1;
+            }
+        }
+        let expected = total / num_shards;
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (*c as i64 - expected as i64).unsigned_abs() < (expected / 2) as u64,
+                "shard {i} got {c} keys, expected about {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_a_programming_error_in_routing() {
+        shard_for_key(Key(1), 0);
     }
 }

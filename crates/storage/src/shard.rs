@@ -1,0 +1,214 @@
+//! A single shard of a partition's version storage.
+//!
+//! A [`crate::ShardedStore`] splits the key space its partition owns into `N` key-hashed
+//! shards. Each [`StoreShard`] is an independent unit with its own version chains,
+//! statistics and garbage-collection watermark, so shards can be worked on (inserted
+//! into, read, collected) without touching — or in future work, without locking — any
+//! sibling shard.
+
+use crate::chain::{LookupOutcome, VersionChain};
+use pocc_types::{DependencyVector, Key, Timestamp, Version};
+use std::collections::HashMap;
+
+/// Statistics of one shard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of distinct keys with at least one version in this shard.
+    pub keys: usize,
+    /// Total number of versions retained across the shard's chains.
+    pub versions: usize,
+    /// Length of the longest version chain in this shard.
+    pub max_chain_len: usize,
+    /// Versions removed by garbage collection from this shard since creation.
+    pub gc_removed: usize,
+}
+
+/// One key-hashed shard: a collection of version chains plus per-shard GC state.
+#[derive(Clone, Debug, Default)]
+pub struct StoreShard {
+    chains: HashMap<Key, VersionChain>,
+    gc_removed: usize,
+    /// The entry-wise maximum of every GC vector applied to this shard — the shard's
+    /// garbage-collection watermark. Versions below it (except chain heads) are gone.
+    watermark: Option<DependencyVector>,
+}
+
+impl StoreShard {
+    /// Creates an empty shard.
+    pub fn new() -> Self {
+        StoreShard::default()
+    }
+
+    /// Number of distinct keys stored in this shard.
+    pub fn num_keys(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Inserts a version into the chain of its key.
+    pub fn insert(&mut self, version: Version) {
+        self.chains.entry(version.key).or_default().insert(version);
+    }
+
+    /// The chain of `key`, if any version of it exists.
+    pub fn chain(&self, key: Key) -> Option<&VersionChain> {
+        self.chains.get(&key)
+    }
+
+    /// The freshest version of `key`, regardless of stability.
+    pub fn latest(&self, key: Key) -> Option<&Version> {
+        self.chains.get(&key).and_then(|c| c.latest())
+    }
+
+    /// The freshest version of `key` within snapshot `tv`.
+    pub fn latest_in_snapshot(&self, key: Key, tv: &DependencyVector) -> LookupOutcome {
+        self.chains
+            .get(&key)
+            .map(|c| c.latest_in_snapshot(tv))
+            .unwrap_or_default()
+    }
+
+    /// The freshest version of `key` visible under a stability predicate built from `gss`
+    /// and the local replica (see [`VersionChain::latest_stable`]).
+    pub fn latest_stable(
+        &self,
+        key: Key,
+        gss: &DependencyVector,
+        local: pocc_types::ReplicaId,
+    ) -> LookupOutcome {
+        self.chains
+            .get(&key)
+            .map(|c| c.latest_stable(gss, local))
+            .unwrap_or_default()
+    }
+
+    /// Number of versions of `key` that are invisible under `visible`.
+    pub fn count_invisible<F>(&self, key: Key, visible: F) -> usize
+    where
+        F: FnMut(&Version) -> bool,
+    {
+        self.chains
+            .get(&key)
+            .map(|c| c.count_invisible(visible))
+            .unwrap_or(0)
+    }
+
+    /// Runs garbage collection with vector `gv` over every chain of this shard, advancing
+    /// the shard watermark. Returns the number of versions removed.
+    pub fn collect_garbage(&mut self, gv: &DependencyVector) -> usize {
+        let mut removed = 0;
+        for chain in self.chains.values_mut() {
+            removed += chain.collect(gv);
+        }
+        self.gc_removed += removed;
+        match &mut self.watermark {
+            Some(w) => w.join(gv),
+            none => *none = Some(gv.clone()),
+        }
+        removed
+    }
+
+    /// The shard's garbage-collection watermark: the entry-wise maximum of every GC
+    /// vector applied so far, or `None` if GC has never run on this shard.
+    pub fn watermark(&self) -> Option<&DependencyVector> {
+        self.watermark.as_ref()
+    }
+
+    /// Statistics of this shard.
+    pub fn stats(&self) -> ShardStats {
+        let mut stats = ShardStats {
+            keys: self.chains.len(),
+            gc_removed: self.gc_removed,
+            ..ShardStats::default()
+        };
+        for chain in self.chains.values() {
+            stats.versions += chain.len();
+            stats.max_chain_len = stats.max_chain_len.max(chain.len());
+        }
+        stats
+    }
+
+    /// Iterates over the keys stored in this shard (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.chains.keys().copied()
+    }
+
+    /// `(key, update time, source replica)` of the freshest version of every key in this
+    /// shard, in arbitrary order (the store sorts the union across shards).
+    pub fn digest_entries(
+        &self,
+    ) -> impl Iterator<Item = (Key, Timestamp, pocc_types::ReplicaId)> + '_ {
+        self.chains
+            .iter()
+            .filter_map(|(k, c)| c.latest().map(|v| (*k, v.update_time, v.source_replica)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_types::{ReplicaId, Value};
+
+    fn dv(entries: &[u64]) -> DependencyVector {
+        DependencyVector::from_entries(entries.iter().map(|&d| Timestamp(d)).collect())
+    }
+
+    fn version(key: u64, ut: u64, deps: &[u64]) -> Version {
+        Version::new(
+            Key(key),
+            Value::from(ut),
+            ReplicaId(0),
+            Timestamp(ut),
+            dv(deps),
+        )
+    }
+
+    #[test]
+    fn shard_tracks_chains_and_stats() {
+        let mut shard = StoreShard::new();
+        shard.insert(version(1, 10, &[0, 0]));
+        shard.insert(version(1, 20, &[10, 0]));
+        shard.insert(version(2, 15, &[0, 0]));
+        assert_eq!(shard.num_keys(), 2);
+        let stats = shard.stats();
+        assert_eq!(stats.keys, 2);
+        assert_eq!(stats.versions, 3);
+        assert_eq!(stats.max_chain_len, 2);
+        assert_eq!(shard.latest(Key(1)).unwrap().update_time, Timestamp(20));
+        assert!(shard.latest(Key(9)).is_none());
+        assert_eq!(shard.keys().count(), 2);
+        assert_eq!(shard.digest_entries().count(), 2);
+    }
+
+    #[test]
+    fn gc_advances_the_watermark_monotonically() {
+        let mut shard = StoreShard::new();
+        for i in 1..=4u64 {
+            shard.insert(version(1, i * 10, &[(i - 1) * 10, 0]));
+        }
+        assert!(shard.watermark().is_none());
+
+        let removed = shard.collect_garbage(&dv(&[25, 0]));
+        assert_eq!(removed, 1);
+        assert_eq!(shard.watermark(), Some(&dv(&[25, 0])));
+        assert_eq!(shard.stats().gc_removed, 1);
+
+        // A later GC vector joins entry-wise; an entry regressing does not move it back.
+        shard.collect_garbage(&dv(&[20, 5]));
+        assert_eq!(shard.watermark(), Some(&dv(&[25, 5])));
+    }
+
+    #[test]
+    fn lookups_on_missing_keys_return_empty_outcomes() {
+        let shard = StoreShard::new();
+        assert!(shard
+            .latest_in_snapshot(Key(1), &dv(&[9, 9]))
+            .version
+            .is_none());
+        assert!(shard
+            .latest_stable(Key(1), &dv(&[9, 9]), ReplicaId(0))
+            .version
+            .is_none());
+        assert_eq!(shard.count_invisible(Key(1), |_| false), 0);
+        assert!(shard.chain(Key(1)).is_none());
+    }
+}

@@ -1,11 +1,11 @@
-//! The per-server partition store: a collection of version chains.
+//! The per-server partition store: version chains split across key-hashed shards.
 
-use crate::chain::{LookupOutcome, VersionChain};
-use crate::partition_for_key;
+use crate::chain::LookupOutcome;
+use crate::shard::{ShardStats, StoreShard};
+use crate::{partition_for_key, shard_for_key};
 use pocc_types::{DependencyVector, Error, Key, PartitionId, ReplicaId, Result, Version};
-use std::collections::HashMap;
 
-/// Aggregate statistics of a [`PartitionStore`].
+/// Aggregate statistics of a [`ShardedStore`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Number of distinct keys with at least one version.
@@ -18,34 +18,72 @@ pub struct StoreStats {
     pub gc_removed: usize,
 }
 
+/// The historical name of the store, kept for call sites that predate sharding.
+/// `PartitionStore::new` builds a single-shard store, which behaves exactly like the
+/// original one-`HashMap` implementation.
+pub type PartitionStore = ShardedStore;
+
 /// The storage of one server `p^m_n`: the version chains of every key owned by partition
-/// `n`, as seen by the replica in data center `m`.
+/// `n`, as seen by the replica in data center `m`, split across `S` key-hashed
+/// [`StoreShard`]s.
+///
+/// Sharding is an intra-partition scalability measure: each shard owns a disjoint slice
+/// of the partition's keys with its own chains, statistics and GC watermark, keeping
+/// per-shard hash maps small and giving future concurrent server loops independently
+/// workable units. Shard routing ([`shard_for_key`]) is deterministic, so a store with
+/// `S = 1` is observationally identical to the original unsharded store — the
+/// equivalence tests in `tests/` of this crate pin that down.
 ///
 /// The store validates that inserted keys actually belong to its partition (mis-routed
 /// writes are a bug in the routing layer, reported as [`Error::WrongPartition`]).
-#[derive(Debug)]
-pub struct PartitionStore {
+#[derive(Clone, Debug)]
+pub struct ShardedStore {
     partition: PartitionId,
     num_partitions: usize,
-    chains: HashMap<Key, VersionChain>,
-    gc_removed: usize,
+    shards: Vec<StoreShard>,
 }
 
-impl PartitionStore {
-    /// Creates an empty store for `partition` in a deployment of `num_partitions`
-    /// partitions.
+impl ShardedStore {
+    /// Creates an empty single-shard store for `partition` in a deployment of
+    /// `num_partitions` partitions — the configuration equivalent to the original
+    /// unsharded `PartitionStore`.
     pub fn new(partition: PartitionId, num_partitions: usize) -> Self {
-        PartitionStore {
+        ShardedStore::with_shards(partition, num_partitions, 1)
+    }
+
+    /// Creates an empty store with `num_shards` key-hashed shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn with_shards(partition: PartitionId, num_partitions: usize, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "a store has at least one shard");
+        ShardedStore {
             partition,
             num_partitions,
-            chains: HashMap::new(),
-            gc_removed: 0,
+            shards: (0..num_shards).map(|_| StoreShard::new()).collect(),
         }
     }
 
     /// The partition this store belongs to.
     pub fn partition(&self) -> PartitionId {
         self.partition
+    }
+
+    /// Number of shards the key space of this partition is split into.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `key`.
+    fn shard(&self, key: Key) -> &StoreShard {
+        &self.shards[shard_for_key(key, self.shards.len())]
+    }
+
+    /// Mutable access to the shard that owns `key`.
+    fn shard_mut(&mut self, key: Key) -> &mut StoreShard {
+        let idx = shard_for_key(key, self.shards.len());
+        &mut self.shards[idx]
     }
 
     /// Checks that `key` is owned by this partition.
@@ -66,23 +104,20 @@ impl PartitionStore {
     /// is not owned by this partition.
     pub fn insert(&mut self, version: Version) -> Result<()> {
         self.check_ownership(version.key)?;
-        self.chains.entry(version.key).or_default().insert(version);
+        self.shard_mut(version.key).insert(version);
         Ok(())
     }
 
     /// The freshest version of `key`, regardless of stability (POCC GET, Algorithm 2
     /// line 3). Returns `None` for a key that has never been written.
     pub fn latest(&self, key: Key) -> Option<&Version> {
-        self.chains.get(&key).and_then(|c| c.latest())
+        self.shard(key).latest(key)
     }
 
     /// The freshest version of `key` within snapshot `tv` (RO-TX slice read,
     /// Algorithm 2 lines 43–44).
     pub fn latest_in_snapshot(&self, key: Key, tv: &DependencyVector) -> LookupOutcome {
-        self.chains
-            .get(&key)
-            .map(|c| c.latest_in_snapshot(tv))
-            .unwrap_or_default()
+        self.shard(key).latest_in_snapshot(key, tv)
     }
 
     /// The freshest version of `key` visible under Cure's pessimistic rule (local versions
@@ -93,86 +128,79 @@ impl PartitionStore {
         gss: &DependencyVector,
         local: ReplicaId,
     ) -> LookupOutcome {
-        self.chains
-            .get(&key)
-            .map(|c| c.latest_stable(gss, local))
-            .unwrap_or_default()
+        self.shard(key).latest_stable(key, gss, local)
     }
 
     /// Whether the chain of `key` contains at least one version that is **not** stable
     /// under `gss` (the paper's "unmerged item" definition, §V-B: some version of the item
     /// is not stable yet, regardless of which version is returned).
-    pub fn has_unmerged_versions(&self, key: Key, gss: &DependencyVector, local: ReplicaId) -> bool {
-        self.chains
-            .get(&key)
-            .map(|c| {
-                c.count_invisible(|v| {
-                    v.source_replica == local
-                        || (v.update_time <= gss.get(v.source_replica) && v.visible_under(gss))
-                }) > 0
-            })
-            .unwrap_or(false)
+    pub fn has_unmerged_versions(
+        &self,
+        key: Key,
+        gss: &DependencyVector,
+        local: ReplicaId,
+    ) -> bool {
+        self.unmerged_count(key, gss, local) > 0
     }
 
     /// Number of versions of `key` that are not stable under `gss`.
     pub fn unmerged_count(&self, key: Key, gss: &DependencyVector, local: ReplicaId) -> usize {
-        self.chains
-            .get(&key)
-            .map(|c| {
-                c.count_invisible(|v| {
-                    v.source_replica == local
-                        || (v.update_time <= gss.get(v.source_replica) && v.visible_under(gss))
-                })
-            })
-            .unwrap_or(0)
+        self.shard(key).count_invisible(key, |v| {
+            v.source_replica == local
+                || (v.update_time <= gss.get(v.source_replica) && v.visible_under(gss))
+        })
     }
 
-    /// Runs garbage collection with vector `gv` over every chain (§IV-B). Returns the
-    /// number of versions removed in this pass.
+    /// Runs garbage collection with vector `gv` over every shard (§IV-B), advancing each
+    /// shard's watermark. Returns the number of versions removed in this pass.
     pub fn collect_garbage(&mut self, gv: &DependencyVector) -> usize {
-        let mut removed = 0;
-        for chain in self.chains.values_mut() {
-            removed += chain.collect(gv);
-        }
-        self.gc_removed += removed;
-        removed
+        self.shards
+            .iter_mut()
+            .map(|shard| shard.collect_garbage(gv))
+            .sum()
     }
 
-    /// Aggregate statistics of the store.
+    /// Aggregate statistics of the store, summed over all shards.
     pub fn stats(&self) -> StoreStats {
-        let mut stats = StoreStats {
-            keys: self.chains.len(),
-            gc_removed: self.gc_removed,
-            ..StoreStats::default()
-        };
-        for chain in self.chains.values() {
-            stats.versions += chain.len();
-            stats.max_chain_len = stats.max_chain_len.max(chain.len());
+        let mut stats = StoreStats::default();
+        for shard in &self.shards {
+            let s = shard.stats();
+            stats.keys += s.keys;
+            stats.versions += s.versions;
+            stats.max_chain_len = stats.max_chain_len.max(s.max_chain_len);
+            stats.gc_removed += s.gc_removed;
         }
         stats
     }
 
+    /// Per-shard statistics, indexed by shard. Useful to check how evenly the key space
+    /// spreads (the ablation bench prints these).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(StoreShard::stats).collect()
+    }
+
     /// A deterministic digest of the *latest* version of every key: `(key, update time,
     /// source replica)` triples sorted by key. Two replicas of the same partition have
-    /// converged exactly when their digests are equal — the convergence tests rely on this.
+    /// converged exactly when their digests are equal — the convergence tests rely on
+    /// this. The digest is independent of the shard count.
     pub fn digest(&self) -> Vec<(Key, pocc_types::Timestamp, ReplicaId)> {
         let mut d: Vec<_> = self
-            .chains
+            .shards
             .iter()
-            .filter_map(|(k, c)| c.latest().map(|v| (*k, v.update_time, v.source_replica)))
+            .flat_map(StoreShard::digest_entries)
             .collect();
         d.sort();
         d
     }
 
-    /// Iterates over all keys with at least one version.
+    /// Iterates over all keys with at least one version (arbitrary order).
     pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
-        self.chains.keys().copied()
+        self.shards.iter().flat_map(StoreShard::keys)
     }
 
     /// Direct access to the chain of `key`, if present (used by white-box tests).
-    pub fn chain(&self, key: Key) -> Option<&VersionChain> {
-        self.chains.get(&key)
+    pub fn chain(&self, key: Key) -> Option<&crate::VersionChain> {
+        self.shard(key).chain(key)
     }
 }
 
@@ -214,7 +242,9 @@ mod tests {
         let mut store = PartitionStore::new(PartitionId(0), num);
         let err = store.insert(version(k, 10, 0, &[0, 0, 0])).unwrap_err();
         match err {
-            Error::WrongPartition { expected, actual, .. } => {
+            Error::WrongPartition {
+                expected, actual, ..
+            } => {
                 assert_eq!(expected, PartitionId(1));
                 assert_eq!(actual, PartitionId(0));
             }
@@ -237,7 +267,10 @@ mod tests {
         assert!(stable.is_old());
 
         // Unknown keys return empty outcomes rather than panicking.
-        assert!(store.latest_in_snapshot(Key(u64::MAX), &dv(&[0, 0, 0])).version.is_none());
+        assert!(store
+            .latest_in_snapshot(Key(u64::MAX), &dv(&[0, 0, 0]))
+            .version
+            .is_none());
     }
 
     #[test]
@@ -307,5 +340,43 @@ mod tests {
         store.insert(version(k, 10, 0, &[0, 0, 0])).unwrap();
         assert_eq!(store.chain(k).unwrap().len(), 1);
         assert!(store.chain(Key(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn sharded_store_spreads_keys_and_aggregates_stats() {
+        let num_partitions = 1;
+        let mut store = ShardedStore::with_shards(PartitionId(0), num_partitions, 4);
+        assert_eq!(store.num_shards(), 4);
+        for k in 0..256u64 {
+            store.insert(version(Key(k), 10, 0, &[0, 0, 0])).unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.keys, 256);
+        assert_eq!(stats.versions, 256);
+
+        let per_shard = store.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard.iter().map(|s| s.keys).sum::<usize>(), 256);
+        // Key-hashed routing spreads a dense key space across every shard.
+        assert!(per_shard.iter().all(|s| s.keys > 0));
+    }
+
+    #[test]
+    fn digest_is_shard_count_independent() {
+        let mut one = ShardedStore::new(PartitionId(0), 1);
+        let mut eight = ShardedStore::with_shards(PartitionId(0), 1, 8);
+        for k in 0..64u64 {
+            let v = version(Key(k), 10 + k, (k % 3) as u16, &[0, 0, 0]);
+            one.insert(v.clone()).unwrap();
+            eight.insert(v).unwrap();
+        }
+        assert_eq!(one.digest(), eight.digest());
+        assert_eq!(one.stats(), eight.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_a_programming_error() {
+        let _ = ShardedStore::with_shards(PartitionId(0), 1, 0);
     }
 }

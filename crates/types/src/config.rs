@@ -140,6 +140,14 @@ pub struct Config {
     /// applying the write (Algorithm 2 line 6). Optional for last-writer-wins but enabled
     /// in the paper's evaluation to model generic convergent conflict handling.
     pub put_waits_for_dependencies: bool,
+    /// Number of key-hashed shards each server splits its partition's version storage
+    /// into (intra-partition sharding; `1` reproduces the original unsharded store).
+    pub storage_shards: usize,
+    /// Whether servers coalesce replication and garbage-collection traffic per
+    /// destination into one batch message per tick, instead of sending one message per
+    /// write. Off by default: batching trades up to one heartbeat interval of extra
+    /// replication delay for far fewer messages on the inter-DC links.
+    pub replication_batching: bool,
 }
 
 impl Config {
@@ -186,10 +194,8 @@ impl Config {
 
     /// Iterator over every server id of the deployment.
     pub fn servers(&self) -> impl Iterator<Item = crate::ServerId> + '_ {
-        self.replicas().flat_map(move |r| {
-            self.partitions()
-                .map(move |p| crate::ServerId::new(r, p))
-        })
+        self.replicas()
+            .flat_map(move |r| self.partitions().map(move |p| crate::ServerId::new(r, p)))
     }
 
     /// Total number of servers (`M * N`).
@@ -217,6 +223,11 @@ impl Config {
         if self.heartbeat_interval.is_zero() {
             return Err(Error::InvalidConfig {
                 reason: "heartbeat_interval must be positive".into(),
+            });
+        }
+        if self.storage_shards == 0 {
+            return Err(Error::InvalidConfig {
+                reason: "storage_shards must be at least 1".into(),
             });
         }
         if self.stabilization_interval.is_zero() {
@@ -250,6 +261,8 @@ pub struct ConfigBuilder {
     chain_traversal_cost: Duration,
     replication_service_time: Duration,
     put_waits_for_dependencies: bool,
+    storage_shards: usize,
+    replication_batching: bool,
 }
 
 impl Default for ConfigBuilder {
@@ -268,6 +281,8 @@ impl Default for ConfigBuilder {
             chain_traversal_cost: Duration::from_micros(2),
             replication_service_time: Duration::from_micros(10),
             put_waits_for_dependencies: true,
+            storage_shards: 8,
+            replication_batching: false,
         }
     }
 }
@@ -351,6 +366,18 @@ impl ConfigBuilder {
         self
     }
 
+    /// Sets the number of key-hashed shards per partition store (`1` = unsharded).
+    pub fn storage_shards(mut self, n: usize) -> Self {
+        self.storage_shards = n;
+        self
+    }
+
+    /// Enables or disables per-destination batching of replication and GC traffic.
+    pub fn replication_batching(mut self, yes: bool) -> Self {
+        self.replication_batching = yes;
+        self
+    }
+
     /// Builds and validates the configuration.
     pub fn build(self) -> Result<Config> {
         let latency = self.latency.unwrap_or_else(|| {
@@ -378,6 +405,8 @@ impl ConfigBuilder {
             chain_traversal_cost: self.chain_traversal_cost,
             replication_service_time: self.replication_service_time,
             put_waits_for_dependencies: self.put_waits_for_dependencies,
+            storage_shards: self.storage_shards,
+            replication_batching: self.replication_batching,
         };
         config.validate()?;
         Ok(config)
@@ -418,9 +447,24 @@ mod tests {
     }
 
     #[test]
+    fn storage_and_batching_knobs_round_trip() {
+        let c = Config::builder()
+            .storage_shards(4)
+            .replication_batching(true)
+            .build()
+            .unwrap();
+        assert_eq!(c.storage_shards, 4);
+        assert!(c.replication_batching);
+        let d = Config::default();
+        assert_eq!(d.storage_shards, 8);
+        assert!(!d.replication_batching, "batching is opt-in");
+    }
+
+    #[test]
     fn invalid_configs_are_rejected() {
         assert!(Config::builder().num_replicas(0).build().is_err());
         assert!(Config::builder().num_partitions(0).build().is_err());
+        assert!(Config::builder().storage_shards(0).build().is_err());
         assert!(Config::builder()
             .heartbeat_interval(Duration::ZERO)
             .build()

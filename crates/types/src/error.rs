@@ -149,12 +149,20 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(
-            Error::UnknownSession { client: ClientId(1) },
-            Error::UnknownSession { client: ClientId(1) }
+            Error::UnknownSession {
+                client: ClientId(1)
+            },
+            Error::UnknownSession {
+                client: ClientId(1)
+            }
         );
         assert_ne!(
-            Error::UnknownSession { client: ClientId(1) },
-            Error::UnknownSession { client: ClientId(2) }
+            Error::UnknownSession {
+                client: ClientId(1)
+            },
+            Error::UnknownSession {
+                client: ClientId(2)
+            }
         );
     }
 }

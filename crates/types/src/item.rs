@@ -267,10 +267,8 @@ mod tests {
     fn visibility_follows_dependency_vector() {
         let mut v = version(10, 0);
         v.deps = DependencyVector::from_entries(vec![Timestamp(5), Timestamp(0), Timestamp(0)]);
-        let tv_ok =
-            DependencyVector::from_entries(vec![Timestamp(5), Timestamp(1), Timestamp(0)]);
-        let tv_bad =
-            DependencyVector::from_entries(vec![Timestamp(4), Timestamp(9), Timestamp(9)]);
+        let tv_ok = DependencyVector::from_entries(vec![Timestamp(5), Timestamp(1), Timestamp(0)]);
+        let tv_bad = DependencyVector::from_entries(vec![Timestamp(4), Timestamp(9), Timestamp(9)]);
         assert!(v.visible_under(&tv_ok));
         assert!(!v.visible_under(&tv_bad));
     }

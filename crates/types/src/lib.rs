@@ -17,6 +17,32 @@
 //! All types are plain data with no I/O; the protocol crates
 //! (`pocc-protocol`, `pocc-cure`, `pocc-ha`) and the substrates
 //! (`pocc-storage`, `pocc-net`, `pocc-sim`, `pocc-runtime`) build on top of them.
+//!
+//! # Example
+//!
+//! Dependency vectors are the protocol's causality metadata: entry `i` is the update
+//! time of the newest item from data center `i` an observer may depend on.
+//!
+//! ```
+//! use pocc_types::{Config, DependencyVector, Key, ReplicaId, Timestamp, Value, Version};
+//!
+//! // A deployment: 3 data centers, 8 partitions, 4 storage shards per partition.
+//! let config = Config::builder()
+//!     .num_replicas(3)
+//!     .num_partitions(8)
+//!     .storage_shards(4)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(config.num_servers(), 24);
+//!
+//! // A version is the tuple <key, value, source replica, update time, deps> (§IV-A).
+//! let deps = DependencyVector::from_entries(vec![Timestamp(5), Timestamp(0), Timestamp(0)]);
+//! let version = Version::new(Key(1), Value::from("v"), ReplicaId(1), Timestamp(9), deps);
+//!
+//! // Visibility under a snapshot is an entry-wise vector comparison.
+//! let snapshot = DependencyVector::from_entries(vec![Timestamp(7), Timestamp(9), Timestamp(0)]);
+//! assert!(version.visible_under(&snapshot));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

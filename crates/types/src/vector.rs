@@ -190,12 +190,20 @@ impl ClockVector {
     /// which waits until the local physical clock exceeds `max(DV_c)` so that the new
     /// item's update time is larger than any of its potential dependencies.
     pub fn max_entry(&self) -> Timestamp {
-        self.entries.iter().copied().max().unwrap_or(Timestamp::ZERO)
+        self.entries
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// The minimum entry of the vector.
     pub fn min_entry(&self) -> Timestamp {
-        self.entries.iter().copied().min().unwrap_or(Timestamp::ZERO)
+        self.entries
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// Iterator over `(replica, timestamp)` pairs.
@@ -525,8 +533,7 @@ mod tests {
         // Server in DC 1 has VV = [10, 50, 20]; client read-depends on [15, 99, 20].
         // Entry 1 is local so it is skipped; entry 0 (15 > 10) is not covered -> must wait.
         let vv = VersionVector::from_entries(vec![Timestamp(10), Timestamp(50), Timestamp(20)]);
-        let rdv =
-            DependencyVector::from_entries(vec![Timestamp(15), Timestamp(99), Timestamp(20)]);
+        let rdv = DependencyVector::from_entries(vec![Timestamp(15), Timestamp(99), Timestamp(20)]);
         assert!(!vv.covers_dependencies_except_local(&rdv, ReplicaId(1)));
         // Once the server receives the missing remote update, the condition passes.
         let vv2 = VersionVector::from_entries(vec![Timestamp(15), Timestamp(50), Timestamp(20)]);
@@ -536,8 +543,7 @@ mod tests {
     #[test]
     fn snapshot_vector_is_join_of_vv_and_rdv() {
         let vv = VersionVector::from_entries(vec![Timestamp(10), Timestamp(50), Timestamp(20)]);
-        let rdv =
-            DependencyVector::from_entries(vec![Timestamp(15), Timestamp(40), Timestamp(20)]);
+        let rdv = DependencyVector::from_entries(vec![Timestamp(15), Timestamp(40), Timestamp(20)]);
         let tv = vv.snapshot_with(&rdv);
         assert_eq!(
             tv,

@@ -214,7 +214,9 @@ mod tests {
 
     #[test]
     fn tx_put_cycle_alternates_transactions_and_puts() {
-        let mut g = generator(WorkloadMix::TxPut { partitions_per_tx: 5 });
+        let mut g = generator(WorkloadMix::TxPut {
+            partitions_per_tx: 5,
+        });
         let tx = g.next_operation();
         match &tx.kind {
             OperationKind::RoTx { keys } => {
@@ -234,7 +236,9 @@ mod tests {
 
     #[test]
     fn tx_size_is_capped_at_the_number_of_partitions() {
-        let mut g = generator(WorkloadMix::TxPut { partitions_per_tx: 100 });
+        let mut g = generator(WorkloadMix::TxPut {
+            partitions_per_tx: 100,
+        });
         match g.next_operation().kind {
             OperationKind::RoTx { keys } => assert_eq!(keys.len(), 8),
             other => panic!("expected RO-TX, got {other:?}"),
@@ -261,8 +265,18 @@ mod tests {
 
     #[test]
     fn write_fractions_match_the_mix() {
-        assert!((WorkloadMix::GetPut { gets_per_put: 31 }.write_fraction() - 1.0 / 32.0).abs() < 1e-12);
-        assert!((WorkloadMix::TxPut { partitions_per_tx: 4 }.write_fraction() - 0.5).abs() < 1e-12);
+        assert!(
+            (WorkloadMix::GetPut { gets_per_put: 31 }.write_fraction() - 1.0 / 32.0).abs() < 1e-12
+        );
+        assert!(
+            (WorkloadMix::TxPut {
+                partitions_per_tx: 4
+            }
+            .write_fraction()
+                - 0.5)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -94,9 +94,7 @@ impl Zipf {
             let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
             let x = self.h_inverse(u);
             let k = (x + 0.5).floor().clamp(1.0, self.n as f64);
-            if (k - x).abs() <= self.s
-                || u >= self.h(k + 0.5) - (-(k.ln() * self.theta)).exp()
-            {
+            if (k - x).abs() <= self.s || u >= self.h(k + 0.5) - (-(k.ln() * self.theta)).exp() {
                 return k as u64 - 1;
             }
         }
@@ -144,7 +142,10 @@ mod tests {
     fn theta_zero_is_roughly_uniform() {
         let h = histogram(100, 0.0, 100_000, 7);
         let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
-        assert!(*max < 2 * *min, "uniform histogram too skewed: {min}..{max}");
+        assert!(
+            *max < 2 * *min,
+            "uniform histogram too skewed: {min}..{max}"
+        );
     }
 
     #[test]

@@ -56,9 +56,7 @@ fn main() {
     println!("{}", "-".repeat(64));
     println!(
         "{:<38} {:>12.0} {:>12.0}",
-        "throughput during the run (ops/s)",
-        pocc.throughput_ops_per_sec,
-        ha.throughput_ops_per_sec
+        "throughput during the run (ops/s)", pocc.throughput_ops_per_sec, ha.throughput_ops_per_sec
     );
     println!(
         "{:<38} {:>12} {:>12}",
@@ -66,9 +64,7 @@ fn main() {
     );
     println!(
         "{:<38} {:>12} {:>12}",
-        "sessions aborted + re-initialised",
-        pocc.sessions_reinitialized,
-        ha.sessions_reinitialized
+        "sessions aborted + re-initialised", pocc.sessions_reinitialized, ha.sessions_reinitialized
     );
     println!(
         "{:<38} {:>12?} {:>12?}",
@@ -84,9 +80,7 @@ fn main() {
     );
     println!(
         "{:<38} {:>12} {:>12}",
-        "replicas converged after heal",
-        pocc.converged,
-        ha.converged
+        "replicas converged after heal", pocc.converged, ha.converged
     );
     println!();
     println!(

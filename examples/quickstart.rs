@@ -47,7 +47,10 @@ fn main() {
 
     // Reading back locally is immediate and always returns the freshest version.
     let post = alice.get(Key(2)).expect("get post").expect("post exists");
-    println!("alice reads her post back: {:?}", String::from_utf8_lossy(post.as_slice()));
+    println!(
+        "alice reads her post back: {:?}",
+        String::from_utf8_lossy(post.as_slice())
+    );
 
     // A client in another data center sees the data once it has replicated over the
     // (emulated) WAN. POCC makes it visible the moment it arrives — no stabilization wait.
@@ -70,7 +73,9 @@ fn main() {
     // Bob reads both keys in one causally consistent snapshot. Give replication and the
     // heartbeat protocol a moment so the snapshot covers both writes.
     std::thread::sleep(Duration::from_millis(50));
-    let snapshot = bob.ro_tx(vec![Key(1), Key(2)]).expect("read-only transaction");
+    let snapshot = bob
+        .ro_tx(vec![Key(1), Key(2)])
+        .expect("read-only transaction");
     println!("bob's causal snapshot:");
     for (key, value) in &snapshot {
         println!(

@@ -44,7 +44,10 @@ fn main() {
         // Alice uploads a photo, then comments on it: the comment causally depends on the
         // photo through Alice's session.
         alice
-            .put(Key(PHOTO_BASE + round), Value::from(format!("photo #{round}").as_str()))
+            .put(
+                Key(PHOTO_BASE + round),
+                Value::from(format!("photo #{round}").as_str()),
+            )
             .expect("post photo");
         alice
             .put(

@@ -31,7 +31,8 @@ fn assert_clean(report: &pocc::sim::SimReport) {
         report.summary()
     );
     assert_eq!(
-        report.consistency_violations, 0,
+        report.consistency_violations,
+        0,
         "causal consistency violated: {}",
         report.summary()
     );
@@ -72,7 +73,9 @@ fn cure_get_put_workload_is_causally_consistent_across_seeds() {
 fn pocc_transactional_workload_returns_causal_snapshots() {
     let report = Simulation::new(
         base(ProtocolKind::Pocc, 11)
-            .mix(WorkloadMix::TxPut { partitions_per_tx: 4 })
+            .mix(WorkloadMix::TxPut {
+                partitions_per_tx: 4,
+            })
             .build(),
     )
     .run();
@@ -84,7 +87,9 @@ fn pocc_transactional_workload_returns_causal_snapshots() {
 fn cure_transactional_workload_returns_causal_snapshots() {
     let report = Simulation::new(
         base(ProtocolKind::Cure, 11)
-            .mix(WorkloadMix::TxPut { partitions_per_tx: 4 })
+            .mix(WorkloadMix::TxPut {
+                partitions_per_tx: 4,
+            })
             .build(),
     )
     .run();
