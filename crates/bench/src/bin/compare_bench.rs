@@ -1,0 +1,107 @@
+//! Compares two `BENCH_*.json` reports and flags throughput regressions.
+//!
+//! ```text
+//! compare_bench <baseline.json> <current.json> [--threshold 0.25]
+//! compare_bench --validate <file.json>...
+//! ```
+//!
+//! Exit codes: 0 = no regression (or all files valid), 1 = regression found,
+//! 2 = usage or input error. CI runs the comparison as a non-blocking report step
+//! (`continue-on-error`), so a flagged regression annotates the build without failing
+//! it — deliberate trade-offs only need to be explained, not fought.
+
+use pocc_bench::compare::{compare, DEFAULT_THRESHOLD};
+use pocc_bench::json;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+USAGE:
+  compare_bench <baseline.json> <current.json> [--threshold <fraction>]
+  compare_bench --validate <file.json>...
+";
+
+fn load(path: &str) -> Result<json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("--validate") {
+        if args.len() < 2 {
+            eprintln!("error: --validate needs at least one file\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        for path in &args[1..] {
+            let doc = match load(path) {
+                Ok(doc) => doc,
+                Err(err) => {
+                    eprintln!("error: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            if let Err(err) = json::validate_report(&doc) {
+                eprintln!("error: {path}: schema validation failed: {err}");
+                return ExitCode::from(2);
+            }
+            println!("{path}: schema v{} OK", json::SCHEMA_VERSION);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut paths = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = it.next().and_then(|v| v.parse::<f64>().ok());
+                match v {
+                    Some(v) if v > 0.0 && v < 1.0 => threshold = v,
+                    _ => {
+                        eprintln!("error: --threshold needs a fraction in (0, 1)\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("error: expected a baseline and a current report\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let (baseline, current) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match compare(&baseline, &current, threshold) {
+        Ok(cmp) => {
+            print!("{}", cmp.render());
+            if cmp.has_regressions() {
+                println!(
+                    "throughput regressions beyond {:.0}% detected",
+                    threshold * 100.0
+                );
+                ExitCode::FAILURE
+            } else {
+                println!("no throughput regressions beyond {:.0}%", threshold * 100.0);
+                ExitCode::SUCCESS
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

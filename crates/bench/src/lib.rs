@@ -1,27 +1,50 @@
-//! Shared harness code for the figure-reproduction binaries.
+//! The scenario-driven benchmark harness of the POCC reproduction.
 //!
-//! Every figure of the paper's evaluation (§V) has a binary in `src/bin/` that sweeps the
-//! same parameter the paper sweeps and prints the same series as an ASCII table. The
-//! binaries share the sweep/printing machinery defined here.
+//! Every evidence-producing run goes through one pipeline:
 //!
-//! Two scales are supported, selected by the `POCC_BENCH_SCALE` environment variable:
+//! * [`scenarios`] — a named registry of benchmark scenarios: the paper's figures
+//!   (Fig. 1–3), the timer/sharding ablations, and workloads beyond the paper (hot-key
+//!   skew, large values, read/write-heavy mixes, transaction-size sweeps, a
+//!   partition-and-heal fault scenario). Each scenario expands to a list of
+//!   fully-specified simulation points at a chosen [`Scale`].
+//! * [`json`] — the versioned, machine-readable `BENCH_<scenario>.json` schema
+//!   ([`json::SCHEMA_VERSION`]), plus the offline JSON writer/parser and the schema
+//!   validator the runner and CI use.
+//! * [`compare`] — regression detection between two benchmark reports (used by CI to
+//!   diff a fresh smoke run against the checked-in `BENCH_baseline.json`).
 //!
+//! The `runner` binary drives it all: `cargo run --release -p pocc-bench --bin runner --
+//! --scenario <name> --out BENCH_<name>.json`. The simulator is deterministic, so the
+//! same scenario at the same scale produces byte-identical JSON on every machine.
+//!
+//! Three scales are supported, selected by `--scale` or the `POCC_BENCH_SCALE`
+//! environment variable:
+//!
+//! * `smoke` — a tiny deployment (2 partitions, sub-second windows) that runs every
+//!   scenario in seconds; used by the CI `bench-smoke` gate and the scenario tests;
 //! * `quick` (default) — a scaled-down deployment (8 partitions, shorter runs) that
-//!   finishes in a couple of minutes on a laptop and reproduces the *shape* of every
+//!   finishes in a couple of minutes per figure and reproduces the *shape* of every
 //!   figure;
-//! * `full` — the paper's deployment size (32 partitions per DC, 1 M keys per partition,
-//!   longer measurement windows). Expect long run times.
+//! * `full` — the paper's deployment size (32 partitions per DC, 1 M keys per
+//!   partition, longer measurement windows). Expect long run times.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod compare;
+pub mod json;
+pub mod scenarios;
 
 use pocc_sim::{ProtocolKind, SimConfig, SimConfigBuilder, SimReport};
 use pocc_workload::WorkloadMix;
 use std::time::Duration;
 
-/// The sweep scale, selected by the `POCC_BENCH_SCALE` environment variable.
+/// The sweep scale, selected by `--scale` or the `POCC_BENCH_SCALE` environment variable.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scale {
+    /// Tiny deployment for CI smoke runs and tests; seconds of wall-clock for the whole
+    /// scenario registry.
+    Smoke,
     /// Scaled-down deployment; minutes of wall-clock time for the whole figure set.
     Quick,
     /// The paper's deployment dimensions; hours of wall-clock time.
@@ -29,33 +52,56 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads the scale from the environment (`POCC_BENCH_SCALE=quick|full`).
+    /// Reads the scale from the environment (`POCC_BENCH_SCALE=smoke|quick|full`).
     pub fn from_env() -> Scale {
-        match std::env::var("POCC_BENCH_SCALE").as_deref() {
-            Ok("full") | Ok("FULL") => Scale::Full,
-            _ => Scale::Quick,
+        std::env::var("POCC_BENCH_SCALE")
+            .ok()
+            .and_then(|v| Scale::parse(&v))
+            .unwrap_or(Scale::Quick)
+    }
+
+    /// Parses a scale name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// The lower-case name of the scale, as it appears in `BENCH_*.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
         }
     }
 
     /// Number of partitions per data center at this scale (the paper uses 32).
     pub fn max_partitions(self) -> usize {
         match self {
+            Scale::Smoke => 2,
             Scale::Quick => 8,
             Scale::Full => 32,
         }
     }
 
-    /// Keys per partition at this scale (the paper uses one million).
+    /// Keys per partition at this scale, via the key-space presets (the paper uses one
+    /// million; the smoke preset is small enough that hot keys collide often).
     pub fn keys_per_partition(self) -> u64 {
         match self {
+            Scale::Smoke => pocc_workload::KeySpace::smoke(1).keys_per_partition(),
             Scale::Quick => 10_000,
-            Scale::Full => 1_000_000,
+            Scale::Full => pocc_workload::KeySpace::paper(1).keys_per_partition(),
         }
     }
 
     /// Measured window per point.
     pub fn duration(self) -> Duration {
         match self {
+            Scale::Smoke => Duration::from_millis(250),
             Scale::Quick => Duration::from_secs(1),
             Scale::Full => Duration::from_secs(10),
         }
@@ -64,13 +110,31 @@ impl Scale {
     /// Warm-up per point.
     pub fn warmup(self) -> Duration {
         match self {
+            Scale::Smoke => Duration::from_millis(80),
             Scale::Quick => Duration::from_millis(300),
             Scale::Full => Duration::from_secs(2),
         }
     }
+
+    /// Drain period after the measured window.
+    pub fn drain(self) -> Duration {
+        match self {
+            Scale::Smoke | Scale::Quick => Duration::from_millis(200),
+            Scale::Full => Duration::from_millis(500),
+        }
+    }
+
+    /// Client think time between operations (25 ms in the paper; smoke runs shrink it so
+    /// a handful of clients still produce thousands of samples per sub-second window).
+    pub fn think_time(self) -> Duration {
+        match self {
+            Scale::Smoke => Duration::from_millis(2),
+            Scale::Quick | Scale::Full => Duration::from_millis(25),
+        }
+    }
 }
 
-/// The deployment used by the figure harnesses at the given scale and partition count:
+/// The deployment used by the scenarios at the given scale and partition count:
 /// 3 data centers with AWS-like latencies, the paper's protocol timers, and a per-request
 /// CPU service time chosen so that the scaled-down deployment saturates within the client
 /// counts the sweeps use (the full scale uses a faster per-op cost, matching the larger
@@ -80,7 +144,7 @@ pub fn deployment(scale: Scale, partitions: usize) -> pocc_types::Config {
         .num_replicas(3)
         .num_partitions(partitions)
         .op_service_time(match scale {
-            Scale::Quick => Duration::from_micros(100),
+            Scale::Smoke | Scale::Quick => Duration::from_micros(100),
             Scale::Full => Duration::from_micros(40),
         })
         .build()
@@ -94,10 +158,10 @@ pub fn point(scale: Scale, protocol: ProtocolKind) -> SimConfigBuilder {
         .deployment(deployment(scale, scale.max_partitions()))
         .keys_per_partition(scale.keys_per_partition())
         .zipf_theta(0.99)
-        .think_time(Duration::from_millis(25))
+        .think_time(scale.think_time())
         .warmup(scale.warmup())
         .duration(scale.duration())
-        .drain(Duration::from_millis(200))
+        .drain(scale.drain())
         .seed(42)
 }
 
@@ -118,18 +182,6 @@ pub fn tx_put(p: usize) -> WorkloadMix {
     }
 }
 
-/// Prints a figure header.
-pub fn header(figure: &str, caption: &str, scale: Scale) {
-    println!("=== {figure} — {caption}");
-    println!("    (scale: {scale:?}; set POCC_BENCH_SCALE=full for the paper's deployment size)\n");
-}
-
-/// Prints one table row of `columns` width-14 cells.
-pub fn row(cells: &[String]) {
-    let line: Vec<String> = cells.iter().map(|c| format!("{c:>16}")).collect();
-    println!("{}", line.join(" "));
-}
-
 /// Formats a float with 3 significant decimals.
 pub fn fmt_f(v: f64) -> String {
     format!("{v:.3}")
@@ -145,20 +197,6 @@ pub fn fmt_ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
-/// Formats a probability in scientific notation.
-pub fn fmt_prob(p: f64) -> String {
-    if p == 0.0 {
-        "0".into()
-    } else {
-        format!("{p:.2e}")
-    }
-}
-
-/// Formats a fraction as a percentage.
-pub fn fmt_pct(p: f64) -> String {
-    format!("{:.2}%", p * 100.0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,17 +207,24 @@ mod tests {
         assert_eq!(Scale::from_env(), Scale::Quick);
         assert_eq!(Scale::Quick.max_partitions(), 8);
         assert_eq!(Scale::Full.max_partitions(), 32);
+        assert_eq!(Scale::Smoke.max_partitions(), 2);
         assert!(Scale::Full.keys_per_partition() > Scale::Quick.keys_per_partition());
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for scale in [Scale::Smoke, Scale::Quick, Scale::Full] {
+            assert_eq!(Scale::parse(scale.name()), Some(scale));
+        }
+        assert_eq!(Scale::parse("SMOKE"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("nope"), None);
     }
 
     #[test]
     fn formatting_helpers_are_stable() {
         assert_eq!(fmt_tput(1234.56), "1235");
         assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.500");
-        assert_eq!(fmt_prob(0.0), "0");
-        assert_eq!(fmt_pct(0.1234), "12.34%");
         assert_eq!(fmt_f(1.23456), "1.235");
-        assert!(fmt_prob(0.01).contains('e'));
     }
 
     #[test]

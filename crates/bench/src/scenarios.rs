@@ -1,0 +1,957 @@
+//! The named-scenario registry: every benchmark run is a scenario from this table.
+//!
+//! A [`Scenario`] is a named, self-describing sweep: given a [`Scale`] it expands to a
+//! list of fully-specified simulation points ([`ScenarioPoint`]), each of which runs one
+//! deterministic [`pocc_sim::Simulation`]. The registry covers:
+//!
+//! * the paper's evaluation figures (`fig1a` … `fig3d`, §V-B/§V-C),
+//! * the timer/skew/sharding ablations,
+//! * workloads beyond the paper: hot-key zipf skew, large-value payloads,
+//!   read-heavy/write-heavy mixes, a transaction-size sweep, and a partition-and-heal
+//!   fault scenario driven through `SimNetwork` partitions,
+//! * `baseline`: the seed-equivalent configuration (one storage shard, no replication
+//!   batching) whose smoke-scale output is checked in as `BENCH_baseline.json` and
+//!   compared against fresh runs by CI.
+//!
+//! Running a scenario yields a [`ScenarioReport`], which serialises to the versioned
+//! `BENCH_<name>.json` schema (see [`crate::json`]).
+
+use crate::json::{Json, SCHEMA_VERSION};
+use crate::{deployment, get_put, point, tx_put, Scale};
+use pocc_sim::{FaultEvent, ProtocolKind, SimConfig, SimReport, Simulation};
+use pocc_types::ReplicaId;
+use pocc_workload::WorkloadMix;
+use std::time::Duration;
+
+/// The RNG seed every scenario runs with (the sweeps vary parameters, not seeds, so any
+/// two runs of the same scenario are comparable sample-for-sample).
+pub const SEED: u64 = 42;
+
+/// A named benchmark scenario.
+pub struct Scenario {
+    /// The registry name (`--scenario <name>`; also the `BENCH_<name>.json` stem).
+    pub name: &'static str,
+    /// One-line description of what the scenario measures.
+    pub title: &'static str,
+    /// What the swept `x` of each point means.
+    pub x_axis: &'static str,
+    points_fn: fn(Scale) -> Vec<ScenarioPoint>,
+}
+
+/// One fully-specified point of a scenario sweep.
+pub struct ScenarioPoint {
+    /// Unique label within the scenario (also the key compare tools align runs by).
+    pub label: String,
+    /// The swept parameter's value.
+    pub x: f64,
+    /// The simulation configuration to run.
+    pub config: SimConfig,
+}
+
+/// The result of one scenario point.
+pub struct PointResult {
+    /// The point's label.
+    pub label: String,
+    /// The swept parameter's value.
+    pub x: f64,
+    /// The configuration that ran.
+    pub config: SimConfig,
+    /// The simulation report.
+    pub report: SimReport,
+}
+
+/// The result of a full scenario run; serialises to `BENCH_<name>.json`.
+pub struct ScenarioReport {
+    /// The scenario's registry name.
+    pub scenario: &'static str,
+    /// The scenario's description.
+    pub title: &'static str,
+    /// The meaning of each point's `x`.
+    pub x_axis: &'static str,
+    /// The scale the scenario ran at.
+    pub scale: Scale,
+    /// The results, in sweep order.
+    pub points: Vec<PointResult>,
+}
+
+impl Scenario {
+    /// The points this scenario expands to at `scale`.
+    pub fn points(&self, scale: Scale) -> Vec<ScenarioPoint> {
+        (self.points_fn)(scale)
+    }
+
+    /// Runs every point of the scenario at `scale`, invoking `on_point` after each one
+    /// (the runner uses this for progress output; pass `|_| {}` otherwise).
+    pub fn run(&self, scale: Scale, mut on_point: impl FnMut(&PointResult)) -> ScenarioReport {
+        let mut points = Vec::new();
+        for p in self.points(scale) {
+            let report = Simulation::new(p.config.clone()).run();
+            let result = PointResult {
+                label: p.label,
+                x: p.x,
+                config: p.config,
+                report,
+            };
+            on_point(&result);
+            points.push(result);
+        }
+        ScenarioReport {
+            scenario: self.name,
+            title: self.title,
+            x_axis: self.x_axis,
+            scale,
+            points,
+        }
+    }
+}
+
+impl ScenarioReport {
+    /// Serialises the report to the versioned `BENCH_*.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::u64(SCHEMA_VERSION)),
+            ("scenario".into(), Json::str(self.scenario)),
+            ("title".into(), Json::str(self.title)),
+            ("x_axis".into(), Json::str(self.x_axis)),
+            ("scale".into(), Json::str(self.scale.name())),
+            ("seed".into(), Json::u64(SEED)),
+            (
+                "points".into(),
+                Json::Arr(self.points.iter().map(point_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn latency_to_json(stats: &pocc_sim::LatencyStats) -> Json {
+    let us = |d: Duration| Json::u64(d.as_micros() as u64);
+    Json::Obj(vec![
+        ("count".into(), Json::u64(stats.count())),
+        ("mean".into(), us(stats.mean())),
+        ("p50".into(), us(stats.p50())),
+        ("p95".into(), us(stats.p95())),
+        ("p99".into(), us(stats.p99())),
+        ("p999".into(), us(stats.p999())),
+        ("max".into(), us(stats.max())),
+    ])
+}
+
+fn point_to_json(point: &PointResult) -> Json {
+    let cfg = &point.config;
+    let r = &point.report;
+    let m = &r.server_metrics;
+    Json::Obj(vec![
+        ("label".into(), Json::str(point.label.clone())),
+        ("x".into(), Json::num(point.x)),
+        ("protocol".into(), Json::str(r.protocol.to_string())),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("replicas".into(), Json::u64(r.replicas as u64)),
+                ("partitions".into(), Json::u64(r.partitions as u64)),
+                ("clients".into(), Json::u64(r.clients as u64)),
+                (
+                    "storage_shards".into(),
+                    Json::u64(cfg.deployment.storage_shards as u64),
+                ),
+                (
+                    "replication_batching".into(),
+                    Json::Bool(cfg.deployment.replication_batching),
+                ),
+                (
+                    "keys_per_partition".into(),
+                    Json::u64(cfg.keys_per_partition),
+                ),
+                ("value_size".into(), Json::u64(cfg.value_size as u64)),
+                ("zipf_theta".into(), Json::num(cfg.zipf_theta)),
+                (
+                    "measured_window_s".into(),
+                    Json::num(r.measured_window.as_secs_f64()),
+                ),
+            ]),
+        ),
+        (
+            "throughput_ops_per_sec".into(),
+            Json::num(r.throughput_ops_per_sec),
+        ),
+        (
+            "operations".into(),
+            Json::Obj(vec![
+                ("total".into(), Json::u64(r.operations_completed)),
+                ("gets".into(), Json::u64(r.gets_completed)),
+                ("puts".into(), Json::u64(r.puts_completed)),
+                ("rotx".into(), Json::u64(r.rotx_completed)),
+                (
+                    "sessions_reinitialized".into(),
+                    Json::u64(r.sessions_reinitialized),
+                ),
+            ]),
+        ),
+        (
+            "latency_us".into(),
+            Json::Obj(vec![
+                ("all".into(), latency_to_json(&r.latency_all)),
+                ("get".into(), latency_to_json(&r.latency_get)),
+                ("put".into(), latency_to_json(&r.latency_put)),
+                ("rotx".into(), latency_to_json(&r.latency_rotx)),
+            ]),
+        ),
+        (
+            "blocking".into(),
+            Json::Obj(vec![
+                ("probability".into(), Json::num(r.blocking_probability())),
+                ("blocked_operations".into(), Json::u64(m.blocked_operations)),
+                (
+                    "avg_block_time_us".into(),
+                    Json::u64(r.avg_block_time().as_micros() as u64),
+                ),
+                (
+                    "clock_wait_time_us".into(),
+                    Json::u64(m.clock_wait_time.as_micros() as u64),
+                ),
+            ]),
+        ),
+        (
+            "staleness".into(),
+            Json::Obj(vec![
+                ("old_get_fraction".into(), Json::num(r.old_get_fraction())),
+                (
+                    "unmerged_get_fraction".into(),
+                    Json::num(r.unmerged_get_fraction()),
+                ),
+                ("old_tx_fraction".into(), Json::num(r.old_tx_fraction())),
+                (
+                    "unmerged_tx_fraction".into(),
+                    Json::num(r.unmerged_tx_fraction()),
+                ),
+            ]),
+        ),
+        (
+            "network".into(),
+            Json::Obj(vec![
+                ("messages_sent".into(), Json::u64(r.network.messages_sent)),
+                ("wan_messages".into(), Json::u64(r.network.wan_messages)),
+                ("bytes_sent".into(), Json::u64(r.network.bytes_sent)),
+                ("held_messages".into(), Json::u64(r.network.held_messages)),
+            ]),
+        ),
+        (
+            "replication".into(),
+            Json::Obj(vec![
+                ("replicate_sent".into(), Json::u64(m.replicate_sent)),
+                ("batches_sent".into(), Json::u64(m.batches_sent)),
+                ("heartbeats_sent".into(), Json::u64(m.heartbeats_sent)),
+                (
+                    "stabilization_messages".into(),
+                    Json::u64(m.stabilization_messages),
+                ),
+                ("gc_messages".into(), Json::u64(m.gc_messages)),
+                (
+                    "gc_versions_removed".into(),
+                    Json::u64(m.gc_versions_removed),
+                ),
+                ("sessions_aborted".into(), Json::u64(m.sessions_aborted)),
+            ]),
+        ),
+        (
+            "store".into(),
+            Json::Obj(vec![
+                ("keys".into(), Json::u64(r.store.keys as u64)),
+                ("versions".into(), Json::u64(r.store.versions as u64)),
+                (
+                    "max_chain_len".into(),
+                    Json::u64(r.store.max_chain_len as u64),
+                ),
+                ("gc_removed".into(), Json::u64(r.store.gc_removed as u64)),
+                (
+                    "per_shard_versions".into(),
+                    Json::Arr(
+                        r.store_shards
+                            .iter()
+                            .map(|s| Json::u64(s.versions as u64))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "consistency".into(),
+            Json::Obj(vec![
+                ("violations".into(), Json::u64(r.consistency_violations)),
+                ("converged".into(), Json::Bool(r.converged)),
+            ]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------------------
+
+/// Every registered scenario, in presentation order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "fig1a_scalability",
+            title: "Figure 1a: throughput vs number of partitions (GET:PUT = p:1)",
+            x_axis: "partitions",
+            points_fn: fig1a,
+        },
+        Scenario {
+            name: "fig1b_resptime",
+            title: "Figure 1b: avg. response time vs throughput",
+            x_axis: "clients_per_partition",
+            points_fn: fig1b,
+        },
+        Scenario {
+            name: "fig1c_write_intensity",
+            title: "Figure 1c: throughput vs GET:PUT ratio",
+            x_axis: "gets_per_put",
+            points_fn: fig1c,
+        },
+        Scenario {
+            name: "fig2a_blocking",
+            title: "Figure 2a: POCC blocking probability and blocking time vs load",
+            x_axis: "clients_per_partition",
+            points_fn: fig2a,
+        },
+        Scenario {
+            name: "fig2b_staleness",
+            title: "Figure 2b: data staleness in Cure* vs load",
+            x_axis: "clients_per_partition",
+            points_fn: fig2b,
+        },
+        Scenario {
+            name: "fig3a_tx_scalability",
+            title: "Figure 3a: throughput vs partitions contacted per RO-TX",
+            x_axis: "partitions_per_tx",
+            points_fn: fig3a,
+        },
+        Scenario {
+            name: "fig3b_tx_clients",
+            title: "Figure 3b: throughput and RO-TX response time vs clients per partition",
+            x_axis: "clients_per_partition",
+            points_fn: fig3b,
+        },
+        Scenario {
+            name: "fig3c_tx_blocking",
+            title: "Figure 3c: POCC blocking under the transactional workload",
+            x_axis: "clients_per_partition",
+            points_fn: fig3c,
+        },
+        Scenario {
+            name: "fig3d_tx_staleness",
+            title: "Figure 3d: staleness of transactional reads vs clients per partition",
+            x_axis: "clients_per_partition",
+            points_fn: fig3d,
+        },
+        Scenario {
+            name: "ablation_stabilization",
+            title: "Ablation: Cure* stabilization interval vs staleness",
+            x_axis: "stabilization_interval_ms",
+            points_fn: ablation_stabilization,
+        },
+        Scenario {
+            name: "ablation_heartbeat",
+            title: "Ablation: POCC heartbeat interval vs blocking",
+            x_axis: "heartbeat_interval_ms",
+            points_fn: ablation_heartbeat,
+        },
+        Scenario {
+            name: "ablation_clock_skew",
+            title: "Ablation: POCC clock skew vs blocking and clock waits",
+            x_axis: "max_clock_skew_ms",
+            points_fn: ablation_clock_skew,
+        },
+        Scenario {
+            name: "ablation_sharding",
+            title: "Ablation: storage shards x replication batching",
+            x_axis: "storage_shards",
+            points_fn: ablation_sharding,
+        },
+        Scenario {
+            name: "hot_key_skew",
+            title: "Hot-key workload: zipf exponent sweep (uniform through super-zipfian)",
+            x_axis: "zipf_theta",
+            points_fn: hot_key_skew,
+        },
+        Scenario {
+            name: "large_values",
+            title: "Large-value payloads: value size sweep",
+            x_axis: "value_size_bytes",
+            points_fn: large_values,
+        },
+        Scenario {
+            name: "read_heavy",
+            title: "Read-heavy mix (GET:PUT = 31:1) vs load",
+            x_axis: "clients_per_partition",
+            points_fn: read_heavy,
+        },
+        Scenario {
+            name: "write_heavy",
+            title: "Write-heavy mix (GET:PUT = 1:1) vs load",
+            x_axis: "clients_per_partition",
+            points_fn: write_heavy,
+        },
+        Scenario {
+            name: "tx_size_sweep",
+            title: "POCC RO-TX latency vs transaction size",
+            x_axis: "partitions_per_tx",
+            points_fn: tx_size_sweep,
+        },
+        Scenario {
+            name: "partition_heal",
+            title: "HA-POCC under a WAN partition that heals (SimNetwork fault injection)",
+            x_axis: "partition_duration_ms",
+            points_fn: partition_heal,
+        },
+        Scenario {
+            name: "baseline",
+            title: "Seed-equivalent configuration (1 shard, no batching): the regression baseline",
+            x_axis: "clients_per_partition",
+            points_fn: baseline,
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+// ---------------------------------------------------------------------------------------
+// Scenario definitions
+// ---------------------------------------------------------------------------------------
+
+const BOTH: [ProtocolKind; 2] = [ProtocolKind::Cure, ProtocolKind::Pocc];
+
+fn label(protocol: ProtocolKind, axis: &str, x: impl std::fmt::Display) -> String {
+    format!("{protocol}/{axis}={x}")
+}
+
+/// The load sweep of the single-key figures (1b, 2a, 2b) and the mix scenarios.
+fn client_sweep(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![6],
+        Scale::Quick => vec![32, 64, 128, 192, 256, 320],
+        Scale::Full => vec![32, 64, 128, 192, 256, 320, 384],
+    }
+}
+
+/// The load sweep of the transactional figures (3b, 3c, 3d).
+fn tx_client_sweep(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![6],
+        Scale::Quick => vec![16, 32, 64, 96, 128, 192],
+        Scale::Full => vec![40, 80, 120, 160, 200],
+    }
+}
+
+/// The near-saturation client count used by the throughput-comparison figures.
+fn saturating_clients(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 8,
+        Scale::Quick => 256,
+        Scale::Full => 192,
+    }
+}
+
+/// The moderate-load client count used by the ablations and workload scenarios.
+fn moderate_clients(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 6,
+        Scale::Quick | Scale::Full => 64,
+    }
+}
+
+/// The transaction size of the fixed-size transactional figures: half the partitions.
+fn half_partitions(scale: Scale) -> usize {
+    (scale.max_partitions() / 2).max(1)
+}
+
+fn fig1a(scale: Scale) -> Vec<ScenarioPoint> {
+    let partitions: Vec<usize> = match scale {
+        Scale::Smoke => vec![2],
+        Scale::Quick => vec![2, 4, 8],
+        Scale::Full => vec![2, 4, 8, 16, 24, 32],
+    };
+    let clients = saturating_clients(scale);
+    let mut points = Vec::new();
+    for &p in &partitions {
+        for protocol in BOTH {
+            points.push(ScenarioPoint {
+                label: label(protocol, "partitions", p),
+                x: p as f64,
+                config: point(scale, protocol)
+                    .deployment(deployment(scale, p))
+                    .clients_per_partition(clients)
+                    .mix(get_put(p))
+                    .build(),
+            });
+        }
+    }
+    points
+}
+
+fn fig1b(scale: Scale) -> Vec<ScenarioPoint> {
+    let p = scale.max_partitions();
+    let mut points = Vec::new();
+    for &clients in &client_sweep(scale) {
+        for protocol in BOTH {
+            points.push(ScenarioPoint {
+                label: label(protocol, "clients", clients),
+                x: clients as f64,
+                config: point(scale, protocol)
+                    .clients_per_partition(clients)
+                    .mix(get_put(p))
+                    .build(),
+            });
+        }
+    }
+    points
+}
+
+fn fig1c(scale: Scale) -> Vec<ScenarioPoint> {
+    let ratios: Vec<usize> = match scale {
+        Scale::Smoke => vec![8, 1],
+        Scale::Quick => vec![8, 4, 2, 1],
+        Scale::Full => vec![32, 16, 8, 4, 2, 1],
+    };
+    let clients = saturating_clients(scale);
+    let mut points = Vec::new();
+    for &ratio in &ratios {
+        for protocol in BOTH {
+            points.push(ScenarioPoint {
+                label: label(protocol, "getput", ratio),
+                x: ratio as f64,
+                config: point(scale, protocol)
+                    .clients_per_partition(clients)
+                    .mix(get_put(ratio))
+                    .build(),
+            });
+        }
+    }
+    points
+}
+
+fn fig2a(scale: Scale) -> Vec<ScenarioPoint> {
+    let p = scale.max_partitions();
+    client_sweep(scale)
+        .into_iter()
+        .map(|clients| ScenarioPoint {
+            label: label(ProtocolKind::Pocc, "clients", clients),
+            x: clients as f64,
+            config: point(scale, ProtocolKind::Pocc)
+                .clients_per_partition(clients)
+                .mix(get_put(p))
+                .build(),
+        })
+        .collect()
+}
+
+fn fig2b(scale: Scale) -> Vec<ScenarioPoint> {
+    let p = scale.max_partitions();
+    client_sweep(scale)
+        .into_iter()
+        .map(|clients| ScenarioPoint {
+            label: label(ProtocolKind::Cure, "clients", clients),
+            x: clients as f64,
+            config: point(scale, ProtocolKind::Cure)
+                .clients_per_partition(clients)
+                .mix(get_put(p))
+                .build(),
+        })
+        .collect()
+}
+
+fn fig3a(scale: Scale) -> Vec<ScenarioPoint> {
+    let sweep: Vec<usize> = match scale {
+        Scale::Smoke => vec![2],
+        Scale::Quick => vec![2, 4, 6, 8],
+        Scale::Full => vec![2, 4, 8, 16, 24, 32],
+    };
+    let clients = match scale {
+        Scale::Smoke => 6,
+        Scale::Quick => 96,
+        Scale::Full => 64,
+    };
+    let mut points = Vec::new();
+    for &p in &sweep {
+        for protocol in BOTH {
+            points.push(ScenarioPoint {
+                label: label(protocol, "txsize", p),
+                x: p as f64,
+                config: point(scale, protocol)
+                    .clients_per_partition(clients)
+                    .mix(tx_put(p))
+                    .build(),
+            });
+        }
+    }
+    points
+}
+
+fn fig3b(scale: Scale) -> Vec<ScenarioPoint> {
+    let tx_size = half_partitions(scale);
+    let mut points = Vec::new();
+    for &clients in &tx_client_sweep(scale) {
+        for protocol in BOTH {
+            points.push(ScenarioPoint {
+                label: label(protocol, "clients", clients),
+                x: clients as f64,
+                config: point(scale, protocol)
+                    .clients_per_partition(clients)
+                    .mix(tx_put(tx_size))
+                    .build(),
+            });
+        }
+    }
+    points
+}
+
+fn fig3c(scale: Scale) -> Vec<ScenarioPoint> {
+    let tx_size = half_partitions(scale);
+    tx_client_sweep(scale)
+        .into_iter()
+        .map(|clients| ScenarioPoint {
+            label: label(ProtocolKind::Pocc, "clients", clients),
+            x: clients as f64,
+            config: point(scale, ProtocolKind::Pocc)
+                .clients_per_partition(clients)
+                .mix(tx_put(tx_size))
+                .build(),
+        })
+        .collect()
+}
+
+fn fig3d(scale: Scale) -> Vec<ScenarioPoint> {
+    let tx_size = half_partitions(scale);
+    let mut points = Vec::new();
+    for &clients in &tx_client_sweep(scale) {
+        for protocol in BOTH {
+            points.push(ScenarioPoint {
+                label: label(protocol, "clients", clients),
+                x: clients as f64,
+                config: point(scale, protocol)
+                    .clients_per_partition(clients)
+                    .mix(tx_put(tx_size))
+                    .build(),
+            });
+        }
+    }
+    points
+}
+
+fn ablation_stabilization(scale: Scale) -> Vec<ScenarioPoint> {
+    let stabs: Vec<u64> = match scale {
+        Scale::Smoke => vec![5, 50],
+        Scale::Quick | Scale::Full => vec![1, 5, 20, 50],
+    };
+    let p = scale.max_partitions();
+    let clients = moderate_clients(scale);
+    stabs
+        .into_iter()
+        .map(|stab_ms| {
+            let mut dep = deployment(scale, p);
+            dep.stabilization_interval = Duration::from_millis(stab_ms);
+            ScenarioPoint {
+                label: label(ProtocolKind::Cure, "stab_ms", stab_ms),
+                x: stab_ms as f64,
+                config: point(scale, ProtocolKind::Cure)
+                    .deployment(dep)
+                    .clients_per_partition(clients)
+                    .mix(get_put(p))
+                    .build(),
+            }
+        })
+        .collect()
+}
+
+fn ablation_heartbeat(scale: Scale) -> Vec<ScenarioPoint> {
+    let heartbeats_us: Vec<u64> = match scale {
+        Scale::Smoke => vec![1_000, 10_000],
+        Scale::Quick | Scale::Full => vec![500, 1_000, 5_000, 10_000],
+    };
+    let p = scale.max_partitions();
+    let clients = moderate_clients(scale);
+    heartbeats_us
+        .into_iter()
+        .map(|hb_us| {
+            let mut dep = deployment(scale, p);
+            dep.heartbeat_interval = Duration::from_micros(hb_us);
+            ScenarioPoint {
+                label: label(ProtocolKind::Pocc, "hb_us", hb_us),
+                x: hb_us as f64 / 1_000.0,
+                config: point(scale, ProtocolKind::Pocc)
+                    .deployment(dep)
+                    .clients_per_partition(clients)
+                    .mix(get_put(p))
+                    .build(),
+            }
+        })
+        .collect()
+}
+
+fn ablation_clock_skew(scale: Scale) -> Vec<ScenarioPoint> {
+    let skews_us: Vec<u64> = match scale {
+        Scale::Smoke => vec![0, 2_000],
+        Scale::Quick | Scale::Full => vec![0, 500, 2_000, 5_000],
+    };
+    let p = scale.max_partitions();
+    let clients = moderate_clients(scale);
+    skews_us
+        .into_iter()
+        .map(|skew_us| {
+            let mut dep = deployment(scale, p);
+            dep.max_clock_skew = Duration::from_micros(skew_us);
+            ScenarioPoint {
+                label: label(ProtocolKind::Pocc, "skew_us", skew_us),
+                x: skew_us as f64 / 1_000.0,
+                config: point(scale, ProtocolKind::Pocc)
+                    .deployment(dep)
+                    .clients_per_partition(clients)
+                    .mix(get_put(p))
+                    .build(),
+            }
+        })
+        .collect()
+}
+
+fn ablation_sharding(scale: Scale) -> Vec<ScenarioPoint> {
+    let shard_counts: Vec<usize> = match scale {
+        Scale::Smoke => vec![1, 8],
+        Scale::Quick => vec![1, 2, 8],
+        Scale::Full => vec![1, 4, 16],
+    };
+    // Deliberately write-heavy (GET:PUT = 2:1) at the deleted ablation bin's client
+    // count, so replication volume and store-insert pressure — the things sharding and
+    // batching exist for — dominate the run instead of read service time.
+    let clients = match scale {
+        Scale::Smoke => 6,
+        Scale::Quick | Scale::Full => 24,
+    };
+    let mut points = Vec::new();
+    for &shards in &shard_counts {
+        for batching in [false, true] {
+            points.push(ScenarioPoint {
+                label: format!("POCC/shards={shards}/batching={batching}"),
+                x: shards as f64,
+                config: point(scale, ProtocolKind::Pocc)
+                    .clients_per_partition(clients)
+                    .mix(get_put(2))
+                    .storage_shards(shards)
+                    .replication_batching(batching)
+                    .build(),
+            });
+        }
+    }
+    points
+}
+
+fn hot_key_skew(scale: Scale) -> Vec<ScenarioPoint> {
+    let thetas: Vec<f64> = match scale {
+        Scale::Smoke => vec![0.5, 1.2],
+        Scale::Quick | Scale::Full => vec![0.0, 0.5, 0.8, 0.99, 1.2],
+    };
+    let p = scale.max_partitions();
+    let clients = moderate_clients(scale);
+    let mut points = Vec::new();
+    for &theta in &thetas {
+        for protocol in BOTH {
+            points.push(ScenarioPoint {
+                label: label(protocol, "theta", theta),
+                x: theta,
+                config: point(scale, protocol)
+                    .clients_per_partition(clients)
+                    .zipf_theta(theta)
+                    .mix(get_put(p))
+                    .build(),
+            });
+        }
+    }
+    points
+}
+
+fn large_values(scale: Scale) -> Vec<ScenarioPoint> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Smoke => vec![8, 1024],
+        Scale::Quick | Scale::Full => vec![8, 128, 1024, 8192],
+    };
+    let clients = moderate_clients(scale);
+    sizes
+        .into_iter()
+        .map(|size| ScenarioPoint {
+            label: label(ProtocolKind::Pocc, "bytes", size),
+            x: size as f64,
+            // A write-heavier 4:1 mix so replicated payload bytes dominate the wire.
+            config: point(scale, ProtocolKind::Pocc)
+                .clients_per_partition(clients)
+                .value_size(size)
+                .mix(get_put(4))
+                .build(),
+        })
+        .collect()
+}
+
+fn read_heavy(scale: Scale) -> Vec<ScenarioPoint> {
+    mix_load_sweep(scale, WorkloadMix::read_heavy(), "clients")
+}
+
+fn write_heavy(scale: Scale) -> Vec<ScenarioPoint> {
+    mix_load_sweep(scale, WorkloadMix::write_heavy(), "clients")
+}
+
+fn mix_load_sweep(scale: Scale, mix: WorkloadMix, axis: &str) -> Vec<ScenarioPoint> {
+    let mut points = Vec::new();
+    for &clients in &client_sweep(scale) {
+        for protocol in BOTH {
+            points.push(ScenarioPoint {
+                label: label(protocol, axis, clients),
+                x: clients as f64,
+                config: point(scale, protocol)
+                    .clients_per_partition(clients)
+                    .mix(mix)
+                    .build(),
+            });
+        }
+    }
+    points
+}
+
+fn tx_size_sweep(scale: Scale) -> Vec<ScenarioPoint> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Smoke => vec![1, 2],
+        Scale::Quick => vec![1, 2, 4, 8],
+        Scale::Full => vec![1, 2, 4, 8, 16, 32],
+    };
+    let clients = match scale {
+        Scale::Smoke => 6,
+        Scale::Quick | Scale::Full => 48,
+    };
+    sizes
+        .into_iter()
+        .map(|size| ScenarioPoint {
+            label: label(ProtocolKind::Pocc, "txsize", size),
+            x: size as f64,
+            config: point(scale, ProtocolKind::Pocc)
+                .clients_per_partition(clients)
+                .mix(tx_put(size))
+                .build(),
+        })
+        .collect()
+}
+
+fn partition_heal(scale: Scale) -> Vec<ScenarioPoint> {
+    let durations_ms: Vec<u64> = match scale {
+        Scale::Smoke => vec![0, 120],
+        Scale::Quick | Scale::Full => vec![0, 100, 250],
+    };
+    let p = scale.max_partitions();
+    let clients = moderate_clients(scale);
+    durations_ms
+        .into_iter()
+        .map(|dur_ms| {
+            // The partition opens a quarter into the measured window and heals `dur_ms`
+            // later; the extended drain gives held WAN traffic time to deliver so the
+            // run still converges.
+            let partition_at = scale.warmup() + scale.duration() / 4;
+            let mut builder = point(scale, ProtocolKind::HaPocc)
+                .clients_per_partition(clients)
+                .mix(get_put(p))
+                .drain(scale.drain() + Duration::from_millis(300));
+            if dur_ms > 0 {
+                builder = builder
+                    .fault(FaultEvent::Partition {
+                        at: partition_at,
+                        a: ReplicaId(0),
+                        b: ReplicaId(1),
+                    })
+                    .fault(FaultEvent::Heal {
+                        at: partition_at + Duration::from_millis(dur_ms),
+                        a: ReplicaId(0),
+                        b: ReplicaId(1),
+                    });
+            }
+            ScenarioPoint {
+                label: label(ProtocolKind::HaPocc, "partition_ms", dur_ms),
+                x: dur_ms as f64,
+                config: builder.build(),
+            }
+        })
+        .collect()
+}
+
+fn baseline(scale: Scale) -> Vec<ScenarioPoint> {
+    let clients = moderate_clients(scale);
+    BOTH.into_iter()
+        .map(|protocol| ScenarioPoint {
+            label: label(protocol, "clients", clients),
+            x: clients as f64,
+            // The seed-equivalent storage/replication configuration: one shard per
+            // partition store, no replication batching (as before the sharding PR),
+            // and the balanced default mix.
+            config: point(scale, protocol)
+                .clients_per_partition(clients)
+                .mix(WorkloadMix::balanced())
+                .storage_shards(1)
+                .replication_batching(false)
+                .build(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let scenarios = all();
+        assert!(scenarios.len() >= 14, "{} scenarios", scenarios.len());
+        let mut names: Vec<&str> = scenarios.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "scenario names must be unique");
+        for scenario in &scenarios {
+            assert!(find(scenario.name).is_some());
+        }
+        assert!(find("no_such_scenario").is_none());
+    }
+
+    #[test]
+    fn every_scenario_expands_to_unique_labels_at_every_scale() {
+        for scenario in all() {
+            for scale in [Scale::Smoke, Scale::Quick, Scale::Full] {
+                let points = scenario.points(scale);
+                assert!(!points.is_empty(), "{} at {:?}", scenario.name, scale);
+                let mut labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+                labels.sort_unstable();
+                let before = labels.len();
+                labels.dedup();
+                assert_eq!(
+                    labels.len(),
+                    before,
+                    "{} at {:?}: duplicate labels",
+                    scenario.name,
+                    scale
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_heal_faults_stay_within_the_run() {
+        for scale in [Scale::Smoke, Scale::Quick] {
+            for point in partition_heal(scale) {
+                let total = point.config.total_time();
+                for fault in &point.config.faults {
+                    let at = match fault {
+                        FaultEvent::Partition { at, .. } | FaultEvent::Heal { at, .. } => *at,
+                    };
+                    assert!(at < total, "fault at {at:?} beyond run end {total:?}");
+                }
+            }
+        }
+    }
+}

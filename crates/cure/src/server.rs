@@ -612,6 +612,14 @@ impl<C: Clock> ProtocolServer for CureServer<C> {
         self.store.digest()
     }
 
+    fn store_stats(&self) -> pocc_storage::StoreStats {
+        self.store.stats()
+    }
+
+    fn shard_stats(&self) -> Vec<pocc_storage::ShardStats> {
+        self.store.shard_stats()
+    }
+
     fn take_extra_work(&mut self) -> u64 {
         std::mem::take(&mut self.extra_work)
     }
@@ -621,6 +629,7 @@ impl<C: Clock> ProtocolServer for CureServer<C> {
 mod tests {
     use super::*;
     use pocc_clock::ManualClock;
+    use pocc_proto::expect_reply;
     use pocc_types::Value;
     use std::time::Duration;
 
@@ -687,12 +696,12 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(1)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(1)),
             Some(ClientReply::Get(resp)) => {
                 assert_eq!(resp.value.unwrap().as_slice(), b"local");
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
         assert_eq!(s.metrics().old_gets, 0);
     }
 
@@ -736,12 +745,12 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(2)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(2)),
             Some(ClientReply::Get(resp)) => {
                 assert_eq!(resp.value.unwrap().as_slice(), b"old-local");
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
         let m = s.metrics();
         assert_eq!(m.old_gets, 1);
         assert_eq!(m.unmerged_gets, 1);
@@ -788,12 +797,12 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(2)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(2)),
             Some(ClientReply::Get(resp)) => {
                 assert_eq!(resp.value.unwrap().as_slice(), b"fresh-remote");
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
     }
 
     #[test]
@@ -954,14 +963,14 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(1)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(1)),
             Some(ClientReply::RoTx { items }) => {
                 assert_eq!(items.len(), 1);
                 // Nothing stable exists for this key yet.
                 assert!(items[0].response.value.is_none());
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
         let m = s.metrics();
         assert_eq!(m.rotx_served, 1);
         assert_eq!(m.unmerged_tx_items, 1);
@@ -1023,7 +1032,8 @@ mod tests {
             })
             .expect("slice response expected");
         let outputs = coordinator.handle_server_message(participant.server_id(), resp);
-        match extract_reply(&outputs, client) {
+        expect_reply!(
+            extract_reply(&outputs, client),
             Some(ClientReply::RoTx { items }) => {
                 assert_eq!(items.len(), 2);
                 // The coordinator's local key is visible (local items always are); the
@@ -1031,8 +1041,7 @@ mod tests {
                 // visible there too.
                 assert!(items.iter().all(|i| i.response.value.is_some()));
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
     }
 
     #[test]

@@ -524,6 +524,14 @@ impl<C: Clock + Clone> ProtocolServer for HaPoccServer<C> {
         self.inner.digest()
     }
 
+    fn store_stats(&self) -> pocc_storage::StoreStats {
+        self.inner.store().stats()
+    }
+
+    fn shard_stats(&self) -> Vec<pocc_storage::ShardStats> {
+        self.inner.store().shard_stats()
+    }
+
     fn take_extra_work(&mut self) -> u64 {
         self.inner.take_extra_work()
     }
@@ -533,6 +541,7 @@ impl<C: Clock + Clone> ProtocolServer for HaPoccServer<C> {
 mod tests {
     use super::*;
     use pocc_clock::ManualClock;
+    use pocc_proto::expect_reply;
     use pocc_types::{Value, Version};
     use std::time::Duration;
 
@@ -700,12 +709,12 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(1)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(1)),
             Some(ClientReply::Get(resp)) => {
                 assert!(resp.value.is_none());
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
         assert_eq!(s.metrics().currently_blocked, 0);
         assert_eq!(s.metrics().sessions_aborted, 1);
     }
@@ -781,7 +790,8 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(1)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(1)),
             Some(ClientReply::RoTx { items }) => {
                 assert_eq!(items.len(), 1);
                 // The local write is stable (it has no dependencies), so the re-initialised
@@ -791,8 +801,7 @@ mod tests {
                     b"mine"
                 );
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
         assert_eq!(s.metrics().rotx_served, 1);
     }
 

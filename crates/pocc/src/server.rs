@@ -755,6 +755,14 @@ impl<C: Clock> ProtocolServer for PoccServer<C> {
         self.store.digest()
     }
 
+    fn store_stats(&self) -> pocc_storage::StoreStats {
+        self.store.stats()
+    }
+
+    fn shard_stats(&self) -> Vec<pocc_storage::ShardStats> {
+        self.store.shard_stats()
+    }
+
     fn take_extra_work(&mut self) -> u64 {
         std::mem::take(&mut self.extra_work)
     }
@@ -765,7 +773,7 @@ mod tests {
     use super::*;
     use crate::Client;
     use pocc_clock::ManualClock;
-    use pocc_proto::ProtocolClient;
+    use pocc_proto::{expect_reply, ProtocolClient};
     use pocc_types::Value;
     use std::time::Duration;
 
@@ -835,10 +843,10 @@ mod tests {
             .filter(|o| matches!(o, ServerOutput::Send { .. }))
             .collect();
         assert_eq!(replicas.len(), 2);
-        let ut = match extract_reply(&outputs, c) {
+        let ut = expect_reply!(
+            extract_reply(&outputs, c),
             Some(ClientReply::Put { update_time }) => update_time,
-            other => panic!("unexpected reply {other:?}"),
-        };
+        );
         assert_eq!(ut, Timestamp(10 * MS));
         assert_eq!(s.version_vector().get(ReplicaId(0)), ut);
 
@@ -849,14 +857,14 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, c) {
+        expect_reply!(
+            extract_reply(&outputs, c),
             Some(ClientReply::Get(resp)) => {
                 assert_eq!(resp.value.unwrap().as_slice(), b"v1");
                 assert_eq!(resp.update_time, ut);
                 assert_eq!(resp.source_replica, ReplicaId(0));
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
         let m = s.metrics();
         assert_eq!(m.puts_served, 1);
         assert_eq!(m.gets_served, 1);
@@ -876,13 +884,13 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(1)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(1)),
             Some(ClientReply::Get(resp)) => {
                 assert!(resp.value.is_none());
                 assert_eq!(resp.update_time, Timestamp::ZERO);
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
     }
 
     #[test]
@@ -930,12 +938,12 @@ mod tests {
             ServerId::new(1u16, 0u32),
             ServerMessage::Replicate { version },
         );
-        match extract_reply(&outputs, c) {
+        expect_reply!(
+            extract_reply(&outputs, c),
             Some(ClientReply::Get(resp)) => {
                 assert_eq!(resp.value.unwrap().as_slice(), b"fresh");
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
         let m = s.metrics();
         assert_eq!(m.gets_served, 1);
         assert_eq!(m.currently_blocked, 0);
@@ -999,10 +1007,10 @@ mod tests {
                 clock: Timestamp(31 * MS),
             },
         );
-        let ut = match extract_reply(&outputs, c) {
+        let ut = expect_reply!(
+            extract_reply(&outputs, c),
             Some(ClientReply::Put { update_time }) => update_time,
-            other => panic!("unexpected reply {other:?}"),
-        };
+        );
         // The new version's timestamp must exceed all its dependencies (Proposition 2).
         assert!(ut > Timestamp(30 * MS));
         assert_eq!(
@@ -1054,10 +1062,10 @@ mod tests {
                 dv: dv(&[8 * MS, 0, 0]),
             },
         );
-        let ut = match extract_reply(&outputs, ClientId(1)) {
+        let ut = expect_reply!(
+            extract_reply(&outputs, ClientId(1)),
             Some(ClientReply::Put { update_time }) => update_time,
-            other => panic!("unexpected reply {other:?}"),
-        };
+        );
         assert!(ut > Timestamp(8 * MS));
         assert!(s.metrics().clock_wait_time > Duration::ZERO);
     }
@@ -1112,14 +1120,14 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(1)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(1)),
             Some(ClientReply::Get(resp)) => {
                 assert_eq!(resp.value.unwrap().as_slice(), b"unstable");
                 // The client inherits the unresolved dependency through the metadata.
                 assert_eq!(resp.deps, dv(&[0, 0, 50 * MS]));
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
     }
 
     #[test]
@@ -1176,14 +1184,14 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(1)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(1)),
             Some(ClientReply::RoTx { items }) => {
                 assert_eq!(items.len(), 1);
                 assert_eq!(items[0].key, key);
                 assert_eq!(items[0].response.value.as_ref().unwrap().as_slice(), b"t");
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
         assert_eq!(s.metrics().rotx_served, 1);
         assert_eq!(s.metrics().slices_served, 1);
     }
@@ -1273,7 +1281,8 @@ mod tests {
 
         // ... and the coordinator assembles the final reply.
         let outputs = coordinator.handle_server_message(participant.server_id(), slice_resp);
-        match extract_reply(&outputs, client) {
+        expect_reply!(
+            extract_reply(&outputs, client),
             Some(ClientReply::RoTx { items }) => {
                 assert_eq!(items.len(), 2);
                 let mut values: Vec<_> = items
@@ -1283,8 +1292,7 @@ mod tests {
                 values.sort();
                 assert_eq!(values, vec![b"local".to_vec(), b"remote".to_vec()]);
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
         assert_eq!(coordinator.metrics().rotx_served, 1);
     }
 
@@ -1350,12 +1358,12 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(2)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(2)),
             Some(ClientReply::RoTx { items }) => {
                 assert_eq!(items[0].response.value.as_ref().unwrap().as_slice(), b"old");
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
 
         // Now a newer write lands and a *new* transaction sees it.
         clock.set(Timestamp(20 * MS));
@@ -1374,12 +1382,12 @@ mod tests {
                 rdv: dv(&[0, 0, 0]),
             },
         );
-        match extract_reply(&outputs, ClientId(2)) {
+        expect_reply!(
+            extract_reply(&outputs, ClientId(2)),
             Some(ClientReply::RoTx { items }) => {
                 assert_eq!(items[0].response.value.as_ref().unwrap().as_slice(), b"new");
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
     }
 
     #[test]
@@ -1405,12 +1413,12 @@ mod tests {
         // After the partition-detection timeout the session is closed.
         clock.set(Timestamp(600 * MS));
         let outputs = s.tick();
-        match extract_reply(&outputs, c) {
+        expect_reply!(
+            extract_reply(&outputs, c),
             Some(ClientReply::SessionAborted { reason }) => {
                 assert!(reason.contains("missing read dependency"));
             }
-            other => panic!("unexpected reply {other:?}"),
-        }
+        );
         assert_eq!(s.metrics().sessions_aborted, 1);
         assert_eq!(s.metrics().currently_blocked, 0);
     }

@@ -258,6 +258,14 @@ pub trait ProtocolServer: Send {
     /// convergence checks: `(key, update time, source replica)` sorted by key.
     fn digest(&self) -> Vec<(Key, Timestamp, ReplicaId)>;
 
+    /// Aggregate statistics of the server's version store (keys, retained versions,
+    /// longest chain, GC removals), summed over its shards.
+    fn store_stats(&self) -> pocc_storage::StoreStats;
+
+    /// Per-shard statistics of the server's version store, indexed by shard. Used by the
+    /// benchmark harness to report how evenly the key space spreads.
+    fn shard_stats(&self) -> Vec<pocc_storage::ShardStats>;
+
     /// Returns and resets the number of *extra work units* performed since the last call:
     /// version-chain elements traversed beyond the head and vector merges performed by
     /// stabilization rounds. The simulator charges `Config::chain_traversal_cost` of CPU

@@ -80,3 +80,28 @@ pub use api::{MetricsSnapshot, ProtocolClient, ProtocolServer};
 pub use batch::MessageBatcher;
 pub use messages::{ClientReply, ClientRequest, GetResponse, ServerMessage, TxId, TxItem};
 pub use output::{ClientEvent, Envelope, ServerOutput};
+
+/// Test helper: matches a reply (typically the `Option<ClientReply>` extracted from a
+/// server's outputs) against the expected pattern, evaluating to the arm's value, and
+/// panics with the unexpected reply otherwise.
+///
+/// Replaces the `other => panic!("unexpected reply {other:?}")` arms that every protocol
+/// crate's server tests used to copy:
+///
+/// ```
+/// use pocc_proto::{expect_reply, ClientReply};
+/// use pocc_types::Timestamp;
+///
+/// let reply = Some(ClientReply::Put { update_time: Timestamp(42) });
+/// let ut = expect_reply!(reply, Some(ClientReply::Put { update_time }) => update_time);
+/// assert_eq!(ut, Timestamp(42));
+/// ```
+#[macro_export]
+macro_rules! expect_reply {
+    ($reply:expr, $pattern:pat => $arm:expr $(,)?) => {
+        match $reply {
+            $pattern => $arm,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    };
+}

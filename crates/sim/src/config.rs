@@ -64,6 +64,8 @@ pub struct SimConfig {
     pub zipf_theta: f64,
     /// Keys per partition (one million in the paper; smaller values are fine for tests).
     pub keys_per_partition: u64,
+    /// Size in bytes of the values clients write (8 in the paper's workloads).
+    pub value_size: usize,
     /// Client think time between operations (25 ms in the paper).
     pub think_time: Duration,
     /// Warm-up period excluded from measurements.
@@ -114,6 +116,7 @@ pub struct SimConfigBuilder {
     mix: WorkloadMix,
     zipf_theta: f64,
     keys_per_partition: u64,
+    value_size: usize,
     think_time: Duration,
     warmup: Duration,
     duration: Duration,
@@ -134,9 +137,10 @@ impl Default for SimConfigBuilder {
             replication_batching: None,
             protocol: ProtocolKind::Pocc,
             clients_per_partition: 4,
-            mix: WorkloadMix::GetPut { gets_per_put: 8 },
+            mix: WorkloadMix::balanced(),
             zipf_theta: 0.99,
             keys_per_partition: 10_000,
+            value_size: 8,
             think_time: Duration::from_millis(25),
             warmup: Duration::from_millis(200),
             duration: Duration::from_secs(1),
@@ -212,6 +216,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Size in bytes of the values clients write.
+    pub fn value_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "value_size must be at least 1 byte");
+        self.value_size = bytes;
+        self
+    }
+
     /// Client think time.
     pub fn think_time(mut self, d: Duration) -> Self {
         self.think_time = d;
@@ -283,6 +294,7 @@ impl SimConfigBuilder {
             mix: self.mix,
             zipf_theta: self.zipf_theta,
             keys_per_partition: self.keys_per_partition,
+            value_size: self.value_size,
             think_time: self.think_time,
             warmup: self.warmup,
             duration: self.duration,

@@ -2,19 +2,59 @@
 
 use std::time::Duration;
 
-/// An online latency aggregator with logarithmic buckets.
+/// Base-2 log-linear resolution: each power-of-two range is split into this many
+/// equal-width sub-buckets, bounding the relative quantile error at `1/SUB_COUNT`.
+const SUB_BITS: u32 = 5;
+/// Number of sub-buckets per power-of-two range (32).
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Values `0..SUB_COUNT` get one exact bucket each (group 0); each exponent
+/// `SUB_BITS..64` contributes one group of `SUB_COUNT` sub-buckets.
+const NUM_BUCKETS: usize = ((64 - SUB_BITS as u64) * SUB_COUNT + SUB_COUNT) as usize;
+
+/// An online latency aggregator with log-linear buckets (an HDR-histogram-style layout).
 ///
-/// Latencies are recorded in microseconds into power-of-two buckets, which is plenty of
-/// resolution for the avg / p50 / p99 numbers the figures report while keeping the
-/// aggregator allocation-free and O(1) per sample.
-#[derive(Clone, Debug)]
+/// Latencies are recorded in microseconds. Values below 32 µs get exact buckets; above
+/// that, each power-of-two range is split into 32 equal sub-buckets, so any quantile
+/// (p50 through p999) is reported with at most ~3.1% relative error while recording
+/// stays allocation-free and O(1) per sample. Aggregators [`merge`](LatencyStats::merge)
+/// exactly: bucket boundaries are shared, so merging histograms is element-wise addition
+/// and merged quantiles are bounded by the per-part quantiles (up to one bucket width).
+#[derive(Clone)]
 pub struct LatencyStats {
     count: u64,
     sum_micros: u64,
     max_micros: u64,
-    /// `buckets[i]` counts samples whose latency in µs has `i` significant bits
-    /// (i.e. falls in `[2^(i-1), 2^i)`, with bucket 0 for 0 µs).
-    buckets: [u64; 64],
+    /// Sample counts per log-linear bucket; see [`bucket_index`].
+    buckets: Box<[u64; NUM_BUCKETS]>,
+}
+
+/// The bucket a latency of `us` microseconds falls into.
+#[inline]
+fn bucket_index(us: u64) -> usize {
+    if us < SUB_COUNT {
+        us as usize
+    } else {
+        let exponent = 63 - u64::from(us.leading_zeros()); // >= SUB_BITS
+        let group = exponent - u64::from(SUB_BITS) + 1;
+        let sub = (us >> (exponent - u64::from(SUB_BITS))) - SUB_COUNT;
+        (group * SUB_COUNT + sub) as usize
+    }
+}
+
+/// The largest value (in µs) that falls into bucket `index` (inclusive upper edge).
+fn bucket_upper(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_COUNT {
+        index
+    } else {
+        let group = index / SUB_COUNT;
+        let sub = index % SUB_COUNT;
+        // Group `g` covers exponent `g + SUB_BITS - 1`; its sub-buckets are
+        // `2^(g-1)` µs wide.
+        let shift = group - 1;
+        let upper = ((u128::from(SUB_COUNT) + u128::from(sub) + 1) << shift) - 1;
+        upper.min(u128::from(u64::MAX)) as u64
+    }
 }
 
 impl Default for LatencyStats {
@@ -23,8 +63,20 @@ impl Default for LatencyStats {
             count: 0,
             sum_micros: 0,
             max_micros: 0,
-            buckets: [0; 64],
+            buckets: Box::new([0; NUM_BUCKETS]),
         }
+    }
+}
+
+impl std::fmt::Debug for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyStats")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
     }
 }
 
@@ -40,8 +92,7 @@ impl LatencyStats {
         self.count += 1;
         self.sum_micros += us;
         self.max_micros = self.max_micros.max(us);
-        let bucket = (64 - us.leading_zeros()) as usize;
-        self.buckets[bucket.min(63)] += 1;
+        self.buckets[bucket_index(us)] += 1;
     }
 
     /// Number of samples recorded.
@@ -62,24 +113,46 @@ impl LatencyStats {
         Duration::from_micros(self.max_micros)
     }
 
-    /// An upper bound of the `q`-quantile (e.g. `0.99` for p99), at bucket resolution.
+    /// An upper bound of the `q`-quantile (e.g. `0.99` for p99), within ~3.1% of the
+    /// exact value (one log-linear bucket width).
     pub fn quantile(&self, q: f64) -> Duration {
         if self.count == 0 {
             return Duration::ZERO;
         }
-        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for (i, c) in self.buckets.iter().enumerate() {
             seen += c;
-            if seen >= target.max(1) {
-                let upper = if i == 0 { 0 } else { 1u64 << i };
-                return Duration::from_micros(upper.min(self.max_micros));
+            if seen >= target {
+                return Duration::from_micros(bucket_upper(i).min(self.max_micros));
             }
         }
         self.max()
     }
 
-    /// Merges another aggregator into this one.
+    /// The median latency (upper bucket edge).
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile latency.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th-percentile latency.
+    pub fn p999(&self) -> Duration {
+        self.quantile(0.999)
+    }
+
+    /// Merges another aggregator into this one. Bucket boundaries are shared between all
+    /// aggregators, so the merge is exact: the merged histogram is identical to one that
+    /// recorded both sample streams directly.
     pub fn merge(&mut self, other: &LatencyStats) {
         self.count += other.count;
         self.sum_micros += other.sum_micros;
@@ -114,6 +187,37 @@ mod tests {
     }
 
     #[test]
+    fn small_values_are_exact() {
+        let mut s = LatencyStats::new();
+        for us in 0..32u64 {
+            s.record(Duration::from_micros(us));
+        }
+        // One sample per exact bucket: the q-quantile is the ceil(32q)-1-th value.
+        assert_eq!(s.quantile(1.0 / 32.0), Duration::from_micros(0));
+        assert_eq!(s.p50(), Duration::from_micros(15));
+        assert_eq!(s.quantile(1.0), Duration::from_micros(31));
+    }
+
+    #[test]
+    fn quantiles_are_within_the_advertised_error() {
+        let mut s = LatencyStats::new();
+        for i in 1..=100_000u64 {
+            s.record(Duration::from_micros(i));
+        }
+        for (q, exact) in [
+            (0.50, 50_000u64),
+            (0.95, 95_000),
+            (0.99, 99_000),
+            (0.999, 99_900),
+        ] {
+            let got = s.quantile(q).as_micros() as u64;
+            assert!(got >= exact, "q{q}: {got} < exact {exact}");
+            let err = (got - exact) as f64 / exact as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "q{q}: error {err} too large");
+        }
+    }
+
+    #[test]
     fn quantiles_bracket_the_distribution() {
         let mut s = LatencyStats::new();
         for i in 1..=1000u64 {
@@ -125,6 +229,18 @@ mod tests {
         assert!(p99 >= p50);
         assert!(p99 <= Duration::from_micros(1000));
         assert!(s.quantile(1.0) <= s.max());
+    }
+
+    #[test]
+    fn percentile_helpers_are_ordered() {
+        let mut s = LatencyStats::new();
+        for i in 1..=10_000u64 {
+            s.record(Duration::from_micros(i * 7 % 10_000));
+        }
+        assert!(s.p50() <= s.p95());
+        assert!(s.p95() <= s.p99());
+        assert!(s.p99() <= s.p999());
+        assert!(s.p999() <= s.max());
     }
 
     #[test]
@@ -140,11 +256,47 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_equivalent_to_recording_directly() {
+        let mut merged = LatencyStats::new();
+        let mut direct = LatencyStats::new();
+        let mut part = LatencyStats::new();
+        for i in 0..1_000u64 {
+            let us = Duration::from_micros(i * i % 77_777);
+            direct.record(us);
+            if i % 2 == 0 {
+                merged.record(us);
+            } else {
+                part.record(us);
+            }
+        }
+        merged.merge(&part);
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.mean(), direct.mean());
+        assert_eq!(merged.max(), direct.max());
+        for q in [0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+
+    #[test]
     fn zero_latency_samples_are_handled() {
         let mut s = LatencyStats::new();
         s.record(Duration::ZERO);
         s.record(Duration::from_micros(8));
         assert_eq!(s.count(), 2);
         assert!(s.quantile(0.1) <= Duration::from_micros(8));
+    }
+
+    #[test]
+    fn bucket_layout_is_consistent() {
+        // Every representable value maps to a bucket whose range contains it.
+        for us in [0u64, 1, 31, 32, 33, 63, 64, 1000, 1_000_000, u64::MAX / 2] {
+            let i = bucket_index(us);
+            assert!(us <= bucket_upper(i), "{us} above upper edge of bucket {i}");
+            if i > 0 {
+                assert!(us > bucket_upper(i - 1), "{us} not above bucket {}", i - 1);
+            }
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
     }
 }

@@ -4,6 +4,7 @@ use crate::config::ProtocolKind;
 use crate::metrics::LatencyStats;
 use pocc_net::NetworkStats;
 use pocc_proto::MetricsSnapshot;
+use pocc_storage::{ShardStats, StoreStats};
 use std::time::Duration;
 
 /// Everything a figure harness or test needs to know about one simulation run.
@@ -49,6 +50,11 @@ pub struct SimReport {
     pub server_metrics: MetricsSnapshot,
     /// Network statistics over the whole run.
     pub network: NetworkStats,
+    /// End-of-run store statistics, summed over every server of the deployment.
+    pub store: StoreStats,
+    /// End-of-run per-shard store statistics: element `i` sums shard `i` across all
+    /// servers (`max_chain_len` is the maximum). Shows how evenly the key space spreads.
+    pub store_shards: Vec<ShardStats>,
 
     /// Number of causal-consistency violations found by the exact checker (always zero
     /// when the checker is disabled).
@@ -134,6 +140,8 @@ mod tests {
                 ..MetricsSnapshot::default()
             },
             network: NetworkStats::default(),
+            store: StoreStats::default(),
+            store_shards: Vec::new(),
             consistency_violations: 0,
             converged: true,
         }

@@ -134,7 +134,8 @@ impl Simulation {
                         cfg.zipf_theta,
                         cfg.mix,
                         cfg.seed.wrapping_mul(1_000_003).wrapping_add(next_client),
-                    );
+                    )
+                    .with_value_size(cfg.value_size);
                     clients.push(ClientEntry {
                         session: Client::new(id, home, deployment.num_replicas),
                         generator,
@@ -496,6 +497,23 @@ impl Simulation {
         total
     }
 
+    /// Sums store statistics over every server: the aggregate, plus the per-shard view
+    /// (element `i` accumulates shard `i` of all servers).
+    fn aggregate_store_stats(&self) -> (pocc_storage::StoreStats, Vec<pocc_storage::ShardStats>) {
+        let mut store = pocc_storage::StoreStats::default();
+        let mut shards: Vec<pocc_storage::ShardStats> = Vec::new();
+        for entry in self.servers.values() {
+            store.merge(&entry.server.store_stats());
+            for (i, sh) in entry.server.shard_stats().into_iter().enumerate() {
+                if shards.len() <= i {
+                    shards.resize(i + 1, pocc_storage::ShardStats::default());
+                }
+                shards[i].merge(&sh);
+            }
+        }
+        (store, shards)
+    }
+
     fn check_convergence(&self) -> bool {
         for partition in self.cfg.deployment.partitions() {
             let mut digests = Vec::new();
@@ -530,6 +548,7 @@ impl Simulation {
             .unwrap_or(0);
         let converged = self.check_convergence();
         let network = self.network.stats();
+        let (store, store_shards) = self.aggregate_store_stats();
 
         SimReport {
             protocol: self.cfg.protocol,
@@ -549,6 +568,8 @@ impl Simulation {
             latency_rotx: self.latency_rotx,
             server_metrics: delta,
             network,
+            store,
+            store_shards,
             consistency_violations,
             converged,
         }
@@ -585,6 +606,18 @@ mod tests {
         assert!(report.converged, "replicas must converge after draining");
         assert!(report.server_metrics.puts_served > 0);
         assert!(report.server_metrics.replicate_sent > 0);
+        // Store statistics are aggregated over every server and every shard.
+        assert!(report.store.keys > 0);
+        assert!(report.store.versions >= report.store.keys);
+        assert_eq!(report.store_shards.len(), 8, "default shard count");
+        assert_eq!(
+            report
+                .store_shards
+                .iter()
+                .map(|s| s.versions)
+                .sum::<usize>(),
+            report.store.versions
+        );
     }
 
     #[test]

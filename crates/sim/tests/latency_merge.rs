@@ -1,0 +1,100 @@
+//! Property tests for [`LatencyStats::merge`].
+//!
+//! The scenario runner merges per-class latency aggregators (and, conceptually,
+//! per-client streams) into one distribution, so the merge must behave like having
+//! recorded every sample into a single aggregator:
+//!
+//! * counts, sums and maxima combine exactly;
+//! * every quantile of the merged aggregator equals the quantile of a directly-recorded
+//!   aggregator (bucket boundaries are shared, so merging is element-wise addition);
+//! * merged quantiles are bounded by the per-part quantiles: strictly from below, and
+//!   from above up to one log-linear bucket width (~3.1%), which is the histogram's
+//!   advertised resolution.
+
+use pocc_sim::LatencyStats;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn stats_from(samples: &[u64]) -> LatencyStats {
+    let mut s = LatencyStats::new();
+    for &us in samples {
+        s.record(Duration::from_micros(us));
+    }
+    s
+}
+
+/// The relative tolerance of one log-linear bucket (32 sub-buckets per octave), plus
+/// 1 µs of absolute slack for the exact small-value buckets.
+fn upper_tolerance(d: Duration) -> Duration {
+    d.mul_f64(1.0 + 1.0 / 32.0) + Duration::from_micros(1)
+}
+
+const QUANTILES: [f64; 6] = [0.10, 0.50, 0.90, 0.95, 0.99, 0.999];
+
+proptest! {
+    #[test]
+    fn merge_equals_direct_recording(
+        a in proptest::collection::vec(0u64..2_000_000, 1..300),
+        b in proptest::collection::vec(0u64..2_000_000, 1..300),
+    ) {
+        let mut merged = stats_from(&a);
+        merged.merge(&stats_from(&b));
+
+        let all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = stats_from(&all);
+
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.mean(), direct.mean());
+        prop_assert_eq!(merged.max(), direct.max());
+        for q in QUANTILES {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+
+    #[test]
+    fn merged_quantiles_bound_the_per_part_quantiles(
+        a in proptest::collection::vec(0u64..2_000_000, 1..300),
+        b in proptest::collection::vec(0u64..2_000_000, 1..300),
+    ) {
+        let sa = stats_from(&a);
+        let sb = stats_from(&b);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+
+        for q in QUANTILES {
+            let qa = sa.quantile(q);
+            let qb = sb.quantile(q);
+            let qm = merged.quantile(q);
+            prop_assert!(
+                qm >= qa.min(qb),
+                "q{}: merged {:?} below both parts ({:?}, {:?})", q, qm, qa, qb
+            );
+            prop_assert!(
+                qm <= upper_tolerance(qa.max(qb)),
+                "q{}: merged {:?} above both parts ({:?}, {:?})", q, qm, qa, qb
+            );
+        }
+    }
+
+    #[test]
+    fn merged_quantiles_are_bracketed_by_exact_order_statistics(
+        a in proptest::collection::vec(0u64..500_000, 1..200),
+        b in proptest::collection::vec(0u64..500_000, 1..200),
+    ) {
+        let mut merged = stats_from(&a);
+        merged.merge(&stats_from(&b));
+
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        for q in QUANTILES {
+            let rank = ((q * all.len() as f64).ceil() as usize).clamp(1, all.len());
+            let exact = Duration::from_micros(all[rank - 1]);
+            let got = merged.quantile(q);
+            prop_assert!(got >= exact, "q{}: {:?} < exact {:?}", q, got, exact);
+            prop_assert!(
+                got <= upper_tolerance(exact),
+                "q{}: {:?} too far above exact {:?}", q, got, exact
+            );
+        }
+    }
+}

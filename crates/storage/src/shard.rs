@@ -23,6 +23,17 @@ pub struct ShardStats {
     pub gc_removed: usize,
 }
 
+impl ShardStats {
+    /// Accumulates another shard's statistics into this one (counts sum; chain length
+    /// maxes). Used to combine the same shard index across servers.
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.keys += other.keys;
+        self.versions += other.versions;
+        self.max_chain_len = self.max_chain_len.max(other.max_chain_len);
+        self.gc_removed += other.gc_removed;
+    }
+}
+
 /// One key-hashed shard: a collection of version chains plus per-shard GC state.
 #[derive(Clone, Debug, Default)]
 pub struct StoreShard {

@@ -18,6 +18,28 @@ pub struct StoreStats {
     pub gc_removed: usize,
 }
 
+impl StoreStats {
+    /// Accumulates another aggregate into this one (counts sum; chain length maxes).
+    /// The single source of truth for combining store statistics — the per-store
+    /// aggregation below and the simulator's cross-server aggregation both use it.
+    pub fn merge(&mut self, other: &StoreStats) {
+        self.keys += other.keys;
+        self.versions += other.versions;
+        self.max_chain_len = self.max_chain_len.max(other.max_chain_len);
+        self.gc_removed += other.gc_removed;
+    }
+
+    /// Accumulates one shard's statistics into this aggregate.
+    pub fn absorb_shard(&mut self, shard: &ShardStats) {
+        self.merge(&StoreStats {
+            keys: shard.keys,
+            versions: shard.versions,
+            max_chain_len: shard.max_chain_len,
+            gc_removed: shard.gc_removed,
+        });
+    }
+}
+
 /// The historical name of the store, kept for call sites that predate sharding.
 /// `PartitionStore::new` builds a single-shard store, which behaves exactly like the
 /// original one-`HashMap` implementation.
@@ -164,11 +186,7 @@ impl ShardedStore {
     pub fn stats(&self) -> StoreStats {
         let mut stats = StoreStats::default();
         for shard in &self.shards {
-            let s = shard.stats();
-            stats.keys += s.keys;
-            stats.versions += s.versions;
-            stats.max_chain_len = stats.max_chain_len.max(s.max_chain_len);
-            stats.gc_removed += s.gc_removed;
+            stats.absorb_shard(&shard.stats());
         }
         stats
     }

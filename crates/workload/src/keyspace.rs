@@ -75,6 +75,17 @@ impl KeySpace {
         }
     }
 
+    /// Preset: the paper's key-space dimensions — one million keys per partition (§V-A).
+    pub fn paper(num_partitions: usize) -> Self {
+        KeySpace::new(num_partitions, 1_000_000)
+    }
+
+    /// Preset: a tiny key space sized for smoke runs (CI benchmark gate, quick tests).
+    /// Small enough that hot keys collide often, so skew effects stay visible.
+    pub fn smoke(num_partitions: usize) -> Self {
+        KeySpace::new(num_partitions, 500)
+    }
+
     /// The number of partitions.
     pub fn num_partitions(&self) -> usize {
         self.num_partitions

@@ -57,6 +57,24 @@ pub enum WorkloadMix {
 }
 
 impl WorkloadMix {
+    /// Preset: the read-heavy end of the paper's sweep — 31 GETs per PUT (~3% writes),
+    /// typical of read-mostly serving workloads.
+    pub fn read_heavy() -> WorkloadMix {
+        WorkloadMix::GetPut { gets_per_put: 31 }
+    }
+
+    /// Preset: the write-heavy end of the paper's sweep — one GET per PUT (50% writes),
+    /// the most update-intensive single-key workload of §V-B.
+    pub fn write_heavy() -> WorkloadMix {
+        WorkloadMix::GetPut { gets_per_put: 1 }
+    }
+
+    /// Preset: the balanced default used by the simulator and the baseline benchmark
+    /// scenario — 8 GETs per PUT.
+    pub fn balanced() -> WorkloadMix {
+        WorkloadMix::GetPut { gets_per_put: 8 }
+    }
+
     /// The fraction of issued operations that are writes, used to sanity-check workload
     /// configuration and to report the write intensity in benchmark output.
     pub fn write_fraction(&self) -> f64 {
@@ -79,10 +97,13 @@ pub struct WorkloadGenerator {
     rng: StdRng,
     queue: VecDeque<Operation>,
     ops_generated: u64,
+    value_size: usize,
 }
 
 impl WorkloadGenerator {
     /// Creates a generator over `keyspace` with zipf exponent `theta` and the given mix.
+    /// Values written by PUTs are 8 bytes, as in the paper's workloads; use
+    /// [`with_value_size`](WorkloadGenerator::with_value_size) for larger payloads.
     pub fn new(keyspace: KeySpace, theta: f64, mix: WorkloadMix, seed: u64) -> Self {
         let zipf = Zipf::new(keyspace.keys_per_partition(), theta);
         WorkloadGenerator {
@@ -92,7 +113,21 @@ impl WorkloadGenerator {
             rng: StdRng::seed_from_u64(seed),
             queue: VecDeque::new(),
             ops_generated: 0,
+            value_size: 8,
         }
+    }
+
+    /// Sets the size in bytes of the values this generator writes (the large-value
+    /// benchmark scenarios sweep this; the paper's workloads use 8 bytes).
+    pub fn with_value_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "values must be at least one byte");
+        self.value_size = bytes;
+        self
+    }
+
+    /// The size in bytes of the values this generator writes.
+    pub fn value_size(&self) -> usize {
+        self.value_size
     }
 
     /// The configured mix.
@@ -127,9 +162,18 @@ impl WorkloadGenerator {
         all.into_iter().map(PartitionId::from).collect()
     }
 
-    /// An 8-byte value derived from the operation counter (the paper uses 8-byte values).
+    /// A `value_size`-byte value derived from the operation counter (8 bytes by default,
+    /// as in the paper; the counter keeps values distinct across a client's writes).
     fn value(&self) -> Value {
-        Value::from(self.ops_generated)
+        let counter = self.ops_generated.to_le_bytes();
+        if self.value_size == counter.len() {
+            return Value::from(self.ops_generated);
+        }
+        let mut bytes = vec![0u8; self.value_size];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = counter[i % counter.len()];
+        }
+        Value::from(bytes)
     }
 
     fn refill(&mut self) {
@@ -287,6 +331,47 @@ mod tests {
                 assert_eq!(value.len(), 8);
             }
         }
+    }
+
+    #[test]
+    fn value_size_is_configurable() {
+        for size in [1usize, 7, 8, 64, 4096] {
+            let mut g = generator(WorkloadMix::GetPut { gets_per_put: 1 }).with_value_size(size);
+            assert_eq!(g.value_size(), size);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..20 {
+                if let OperationKind::Put { value, .. } = g.next_operation().kind {
+                    assert_eq!(value.len(), size);
+                    seen.insert(value);
+                }
+            }
+            assert!(seen.len() > 1, "values must stay distinct across writes");
+        }
+    }
+
+    #[test]
+    fn mix_presets_have_the_expected_write_intensity() {
+        assert_eq!(
+            WorkloadMix::read_heavy(),
+            WorkloadMix::GetPut { gets_per_put: 31 }
+        );
+        assert_eq!(
+            WorkloadMix::write_heavy(),
+            WorkloadMix::GetPut { gets_per_put: 1 }
+        );
+        assert!((WorkloadMix::write_heavy().write_fraction() - 0.5).abs() < 1e-12);
+        assert!(WorkloadMix::read_heavy().write_fraction() < 0.04);
+        assert_eq!(
+            WorkloadMix::balanced(),
+            WorkloadMix::GetPut { gets_per_put: 8 }
+        );
+    }
+
+    #[test]
+    fn keyspace_presets_expose_their_dimensions() {
+        assert_eq!(KeySpace::paper(4).keys_per_partition(), 1_000_000);
+        assert_eq!(KeySpace::smoke(4).keys_per_partition(), 500);
+        assert_eq!(KeySpace::paper(4).num_partitions(), 4);
     }
 
     #[test]

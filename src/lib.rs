@@ -51,7 +51,8 @@
 //! println!("{}", report.summary());
 //! ```
 //!
-//! See `examples/` for complete scenarios and `crates/bench` for the per-figure harnesses.
+//! See `examples/` for complete scenarios and `crates/bench` for the scenario-driven
+//! benchmark harness (`runner --list` shows the registry).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
