@@ -6,9 +6,10 @@
 //! ```
 //!
 //! Exit codes: 0 = no regression (or all files valid), 1 = regression found,
-//! 2 = usage or input error. CI runs the comparison as a non-blocking report step
-//! (`continue-on-error`), so a flagged regression annotates the build without failing
-//! it — deliberate trade-offs only need to be explained, not fought.
+//! 2 = usage or input error. CI runs the comparison as a blocking gate: the simulator
+//! is seeded and deterministic, so a >25% throughput regression of the baseline
+//! scenario is a real code-path change, not noise. A deliberate trade-off ships with a
+//! regenerated `BENCH_baseline.json` and an explanation in the PR.
 
 use pocc_bench::compare::{compare, DEFAULT_THRESHOLD};
 use pocc_bench::json;

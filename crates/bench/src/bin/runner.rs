@@ -88,9 +88,20 @@ fn main() -> ExitCode {
     };
 
     if args.list {
+        println!(
+            "{:<24} {:<22} {:>7}  DESCRIPTION",
+            "NAME", "X-AXIS", "POINTS"
+        );
         for scenario in scenarios::all() {
-            println!("{:<24} {}", scenario.name, scenario.title);
+            println!(
+                "{:<24} {:<22} {:>7}  {}",
+                scenario.name,
+                scenario.x_axis,
+                scenario.points(args.scale).len(),
+                scenario.title
+            );
         }
+        println!("\n(point counts at {} scale)", args.scale.name());
         return ExitCode::SUCCESS;
     }
 
@@ -108,7 +119,11 @@ fn main() -> ExitCode {
             match scenarios::find(name) {
                 Some(s) => selected.push(s),
                 None => {
-                    eprintln!("error: unknown scenario {name:?} (use --list)");
+                    eprintln!("error: unknown scenario {name:?}\n\nregistered scenarios:");
+                    for scenario in scenarios::all() {
+                        eprintln!("  {:<24} {}", scenario.name, scenario.title);
+                    }
+                    eprintln!("\nuse 'all' to run the whole registry, or --list for details");
                     return ExitCode::from(2);
                 }
             }

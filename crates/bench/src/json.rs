@@ -14,9 +14,12 @@
 
 use std::fmt::Write as _;
 
-/// The version of the `BENCH_*.json` schema emitted by this crate. Bump when a field is
-/// renamed, removed or changes meaning; adding fields is backward compatible.
-pub const SCHEMA_VERSION: u64 = 1;
+/// The version of the `BENCH_*.json` schema emitted by this crate. The validator matches
+/// the schema exactly (every documented field is required), so *any* shape change —
+/// adding, renaming or removing a field — bumps the version; consumers comparing across
+/// versions must regenerate the older report. v2 added
+/// `staleness.stable_fallback_gets` (the Adaptive protocol's fall-back counter).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A JSON value. Object keys keep insertion order so output is deterministic.
 #[derive(Clone, Debug, PartialEq)]
@@ -524,6 +527,7 @@ fn validate_point(point: &Json, path: &str) -> Result<(), String> {
         "unmerged_get_fraction",
         "old_tx_fraction",
         "unmerged_tx_fraction",
+        "stable_fallback_gets",
     ] {
         require_num(staleness, &format!("{path}.staleness"), key)?;
     }

@@ -224,6 +224,10 @@ fn point_to_json(point: &PointResult) -> Json {
                     "unmerged_tx_fraction".into(),
                     Json::num(r.unmerged_tx_fraction()),
                 ),
+                (
+                    "stable_fallback_gets".into(),
+                    Json::u64(m.stable_fallback_gets),
+                ),
             ]),
         ),
         (
@@ -398,6 +402,18 @@ pub fn all() -> Vec<Scenario> {
             title: "POCC RO-TX latency vs transaction size",
             x_axis: "partitions_per_tx",
             points_fn: tx_size_sweep,
+        },
+        Scenario {
+            name: "adaptive_vs_pocc",
+            title: "Adaptive vs POCC vs Cure*: blocking and staleness under load",
+            x_axis: "clients_per_partition",
+            points_fn: adaptive_vs_pocc,
+        },
+        Scenario {
+            name: "adaptive_hot_key",
+            title: "Adaptive under hot-key churn: zipf exponent sweep with per-key fall-back",
+            x_axis: "zipf_theta",
+            points_fn: adaptive_hot_key,
         },
         Scenario {
             name: "partition_heal",
@@ -839,6 +855,57 @@ fn tx_size_sweep(scale: Scale) -> Vec<ScenarioPoint> {
                 .build(),
         })
         .collect()
+}
+
+/// The adaptive protocol head-to-head against both ends of the visibility spectrum it
+/// interpolates between, over the write-heavier 2:1 mix where remote churn (and thus the
+/// per-key fall-back) actually engages.
+fn adaptive_vs_pocc(scale: Scale) -> Vec<ScenarioPoint> {
+    let protocols = [
+        ProtocolKind::Pocc,
+        ProtocolKind::Adaptive,
+        ProtocolKind::Cure,
+    ];
+    let mut points = Vec::new();
+    for &clients in &client_sweep(scale) {
+        for protocol in protocols {
+            points.push(ScenarioPoint {
+                label: label(protocol, "clients", clients),
+                x: clients as f64,
+                config: point(scale, protocol)
+                    .clients_per_partition(clients)
+                    .mix(get_put(2))
+                    .build(),
+            });
+        }
+    }
+    points
+}
+
+/// Adaptive under increasing key skew: the hotter the head of the zipf distribution, the
+/// more keys cross the churn threshold and the closer the protocol moves to Cure*'s
+/// stable reads — while the long tail keeps POCC freshness.
+fn adaptive_hot_key(scale: Scale) -> Vec<ScenarioPoint> {
+    let thetas: Vec<f64> = match scale {
+        Scale::Smoke => vec![0.5, 1.2],
+        Scale::Quick | Scale::Full => vec![0.0, 0.5, 0.8, 0.99, 1.2],
+    };
+    let clients = moderate_clients(scale);
+    let mut points = Vec::new();
+    for &theta in &thetas {
+        for protocol in [ProtocolKind::Pocc, ProtocolKind::Adaptive] {
+            points.push(ScenarioPoint {
+                label: label(protocol, "theta", theta),
+                x: theta,
+                config: point(scale, protocol)
+                    .clients_per_partition(clients)
+                    .zipf_theta(theta)
+                    .mix(get_put(2))
+                    .build(),
+            });
+        }
+    }
+    points
 }
 
 fn partition_heal(scale: Scale) -> Vec<ScenarioPoint> {

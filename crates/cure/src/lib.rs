@@ -28,7 +28,7 @@
 
 mod server;
 
-pub use server::{CureServer, CureStatus};
+pub use server::{CurePolicy, CureServer, CureStatus};
 
 /// Cure\* reuses the POCC client unchanged: both systems exchange the same client-side
 /// dependency metadata, which is what makes the comparison fair (§V).

@@ -1,36 +1,10 @@
-//! The Cure\* server state machine.
+//! The Cure\* server as a visibility policy over the shared protocol engine.
 
 use pocc_clock::Clock;
-use pocc_proto::{
-    ClientReply, ClientRequest, GetResponse, MessageBatcher, MetricsSnapshot, ProtocolServer,
-    ServerMessage, ServerOutput, TxId, TxItem,
-};
-use pocc_storage::{partition_for_key, ShardedStore};
-use pocc_types::{
-    ClientId, Config, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Timestamp, Version,
-    VersionVector,
-};
-use std::collections::HashMap;
-
-/// State of a read-only transaction coordinated by this server.
-#[derive(Clone, Debug)]
-struct TxState {
-    client: ClientId,
-    outstanding_slices: usize,
-    items: Vec<TxItem>,
-    started: Timestamp,
-}
-
-/// A parked transactional slice read (the only operation that can wait in Cure\*, and only
-/// for the client-session part of the snapshot — see the module documentation).
-#[derive(Clone, Debug)]
-struct ParkedSlice {
-    origin: Option<ServerId>,
-    tx: TxId,
-    keys: Vec<Key>,
-    snapshot: DependencyVector,
-    since: Timestamp,
-}
+use pocc_engine::{EngineCore, ProtocolEngine, SliceUnmergedMode, VisibilityPolicy};
+use pocc_proto::{ClientRequest, ServerOutput};
+use pocc_storage::ShardedStore;
+use pocc_types::{ClientId, Config, DependencyVector, ServerId, Timestamp, VersionVector};
 
 /// An observability snapshot of a Cure\* server.
 #[derive(Clone, Debug)]
@@ -47,433 +21,22 @@ pub struct CureStatus {
     pub store: pocc_storage::StoreStats,
 }
 
-/// A Cure\* server `p^m_n`.
-///
-/// Implements the same [`ProtocolServer`] interface as [`pocc_protocol::PoccServer`], so
-/// the simulator and the threaded runtime can run either protocol over identical
-/// workloads, deployments and network conditions.
-pub struct CureServer<C> {
-    id: ServerId,
-    config: Config,
-    clock: C,
-    store: ShardedStore,
-    /// The version vector `VV^m_n`.
-    vv: VersionVector,
-    /// The latest version vector received from each local partition (including this one),
-    /// used to compute the GSS.
-    local_vvs: HashMap<PartitionId, VersionVector>,
-    /// The Globally Stable Snapshot: the entry-wise minimum over `local_vvs`, refreshed by
-    /// the stabilization protocol.
-    gss: DependencyVector,
-    /// When the last stabilization round was initiated.
-    last_stabilization: Timestamp,
-    /// When garbage was last collected.
-    last_gc: Timestamp,
-    /// Parked transactional slice reads.
-    parked: Vec<ParkedSlice>,
-    /// Read-only transactions this server coordinates.
-    transactions: HashMap<TxId, TxState>,
-    next_tx: TxId,
-    /// Coalesces replication traffic per destination when batching is enabled
-    /// (`Config::replication_batching`); flushed at the start of every tick.
-    batcher: MessageBatcher,
-    metrics: MetricsSnapshot,
-    extra_work: u64,
-}
+/// The pessimistic visibility policy (Cure\*, §V): a GET never blocks but returns the
+/// freshest *stable* version under the GSS; a periodic stabilization protocol exchanges
+/// version vectors every few milliseconds to advance the GSS; read-only transaction
+/// snapshots are bounded by the GSS (extended with the client's session history);
+/// garbage is collected from the GSS directly, with no extra message exchange.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CurePolicy;
 
-impl<C: Clock> CureServer<C> {
-    /// Creates a Cure\* server for `id` with the given deployment configuration and clock.
-    pub fn new(id: ServerId, config: Config, clock: C) -> Self {
-        let m = config.num_replicas;
-        CureServer {
-            store: ShardedStore::with_shards(
-                id.partition,
-                config.num_partitions,
-                config.storage_shards,
-            ),
-            vv: VersionVector::zero(m),
-            local_vvs: HashMap::new(),
-            gss: DependencyVector::zero(m),
-            last_stabilization: Timestamp::ZERO,
-            last_gc: Timestamp::ZERO,
-            parked: Vec::new(),
-            transactions: HashMap::new(),
-            next_tx: TxId(0),
-            batcher: MessageBatcher::new(config.replication_batching),
-            metrics: MetricsSnapshot::default(),
-            extra_work: 0,
-            id,
-            config,
-            clock,
-        }
-    }
-
-    /// The server's current version vector.
-    pub fn version_vector(&self) -> &VersionVector {
-        &self.vv
-    }
-
-    /// The server's current view of the Globally Stable Snapshot.
-    pub fn gss(&self) -> &DependencyVector {
-        &self.gss
-    }
-
-    /// Read access to the underlying store.
-    pub fn store(&self) -> &ShardedStore {
-        &self.store
-    }
-
-    /// An observability snapshot of the server's state.
-    pub fn status(&self) -> CureStatus {
-        CureStatus {
-            version_vector: self.vv.clone(),
-            gss: self.gss.clone(),
-            pending_slices: self.parked.len(),
-            active_transactions: self.transactions.len(),
-            store: self.store.stats(),
-        }
-    }
-
-    fn send(&mut self, to: ServerId, message: ServerMessage) -> ServerOutput {
-        self.metrics.bytes_sent += message.wire_size() as u64;
-        match &message {
-            ServerMessage::Replicate { .. } => self.metrics.replicate_sent += 1,
-            ServerMessage::Heartbeat { .. } => self.metrics.heartbeats_sent += 1,
-            ServerMessage::StabilizationVector { .. } => self.metrics.stabilization_messages += 1,
-            ServerMessage::GcVector { .. } => self.metrics.gc_messages += 1,
-            _ => {}
-        }
-        ServerOutput::send(to, message)
-    }
-
-    /// Sends a message through the replication batcher: delivered immediately when
-    /// batching is off (or the message is latency-sensitive), deferred to the next tick's
-    /// flush otherwise. Per-message metrics are accounted either way.
-    fn send_via_batcher(
-        &mut self,
-        to: ServerId,
-        message: ServerMessage,
-        outputs: &mut Vec<ServerOutput>,
-    ) {
-        let out = self.send(to, message);
-        if let Some(out) = self.batcher.stage_one(out) {
-            outputs.push(out);
-        }
-    }
-
-    fn siblings(&self) -> Vec<ServerId> {
-        self.config
-            .replicas()
-            .filter(|r| *r != self.id.replica)
-            .map(|r| self.id.sibling(r))
-            .collect()
-    }
-
-    fn local_peers(&self) -> Vec<ServerId> {
-        self.config
-            .partitions()
-            .filter(|p| *p != self.id.partition)
-            .map(|p| self.id.local_peer(p))
-            .collect()
-    }
-
-    // -----------------------------------------------------------------------------------
-    // GET: freshest *stable* version, never blocks
-    // -----------------------------------------------------------------------------------
-
-    fn serve_get(&mut self, client: ClientId, key: Key) -> ServerOutput {
-        let local = self.id.replica;
-        let outcome = self.store.latest_stable(key, &self.gss, local);
-        // Walking past unstable versions is the CPU cost of pessimism the paper calls out.
-        self.extra_work += outcome.stats.traversed.saturating_sub(1) as u64;
-        self.metrics.gets_served += 1;
-        if outcome.is_old() {
-            self.metrics.old_gets += 1;
-            self.metrics.fresher_versions_sum += outcome.stats.fresher_than_returned as u64;
-        }
-        let unmerged = self.store.unmerged_count(key, &self.gss, local);
-        if unmerged > 0 {
-            self.metrics.unmerged_gets += 1;
-            self.metrics.unmerged_versions_sum += unmerged as u64;
-        }
-        let response = match outcome.version {
-            Some(v) => GetResponse {
-                value: Some(v.value.clone()),
-                update_time: v.update_time,
-                deps: v.deps.clone(),
-                source_replica: v.source_replica,
-            },
-            None => GetResponse {
-                value: None,
-                update_time: Timestamp::ZERO,
-                deps: DependencyVector::zero(self.config.num_replicas),
-                source_replica: local,
-            },
-        };
-        ServerOutput::reply(client, ClientReply::Get(response))
-    }
-
-    // -----------------------------------------------------------------------------------
-    // PUT: identical to POCC's, minus the optional dependency wait
-    // -----------------------------------------------------------------------------------
-
-    fn serve_put(
-        &mut self,
-        client: ClientId,
-        key: Key,
-        value: pocc_types::Value,
-        dv: DependencyVector,
-        outputs: &mut Vec<ServerOutput>,
-    ) {
-        let now = self.clock.now();
-        let max_dep = dv.max_entry();
-        let update_time = if now > max_dep {
-            now
-        } else {
-            self.metrics.clock_wait_time +=
-                max_dep.saturating_since(now) + std::time::Duration::from_micros(1);
-            max_dep.tick()
-        };
-        self.vv.advance(self.id.replica, update_time);
-        let version = Version::new(key, value, self.id.replica, update_time, dv);
-        self.store
-            .insert(version.clone())
-            .expect("PUT routed to the wrong partition");
-        for sibling in self.siblings() {
-            let msg = ServerMessage::Replicate {
-                version: version.clone(),
-            };
-            self.send_via_batcher(sibling, msg, outputs);
-        }
-        self.metrics.puts_served += 1;
-        outputs.push(ServerOutput::reply(
-            client,
-            ClientReply::Put { update_time },
-        ));
-    }
-
-    // -----------------------------------------------------------------------------------
-    // RO-TX: snapshot bounded by the GSS
-    // -----------------------------------------------------------------------------------
-
-    fn handle_ro_tx(
-        &mut self,
-        client: ClientId,
-        keys: Vec<Key>,
-        rdv: DependencyVector,
-        outputs: &mut Vec<ServerOutput>,
-    ) {
-        if keys.is_empty() {
-            self.metrics.rotx_served += 1;
-            outputs.push(ServerOutput::reply(
-                client,
-                ClientReply::RoTx { items: Vec::new() },
-            ));
-            return;
-        }
-
-        // The snapshot visible to a Cure* transaction is bounded by the items *stable* at
-        // the coordinator (the GSS), extended with the client's own causal history so that
-        // session guarantees hold. The local entry is taken from the coordinator's version
-        // vector because locally originated items are always visible in Cure.
-        let mut snapshot = self.gss.joined(&rdv);
-        snapshot.advance(self.id.replica, self.vv.get(self.id.replica));
-
-        let mut by_partition: HashMap<PartitionId, Vec<Key>> = HashMap::new();
-        for key in keys {
-            by_partition
-                .entry(partition_for_key(key, self.config.num_partitions))
-                .or_default()
-                .push(key);
-        }
-
-        let tx = self.next_tx;
-        self.next_tx = self.next_tx.next();
-        self.transactions.insert(
-            tx,
-            TxState {
-                client,
-                outstanding_slices: by_partition.len(),
-                items: Vec::new(),
-                started: self.clock.now(),
-            },
-        );
-
-        // Deterministic fan-out order (HashMap iteration order is randomised per process).
-        let mut groups: Vec<_> = by_partition.into_iter().collect();
-        groups.sort_by_key(|(partition, _)| *partition);
-        let mut local_keys = None;
-        for (partition, keys) in groups {
-            if partition == self.id.partition {
-                local_keys = Some(keys);
-            } else {
-                let msg = ServerMessage::SliceRequest {
-                    tx,
-                    client,
-                    keys,
-                    snapshot: snapshot.clone(),
-                };
-                let to = self.id.local_peer(partition);
-                outputs.push(self.send(to, msg));
-            }
-        }
-        if let Some(keys) = local_keys {
-            self.serve_or_park_slice(None, tx, keys, snapshot, outputs);
-        }
-    }
-
-    fn complete_slice(&mut self, tx: TxId, items: Vec<TxItem>, outputs: &mut Vec<ServerOutput>) {
-        let finished = {
-            let Some(state) = self.transactions.get_mut(&tx) else {
-                return;
-            };
-            state.items.extend(items);
-            state.outstanding_slices = state.outstanding_slices.saturating_sub(1);
-            state.outstanding_slices == 0
-        };
-        if finished {
-            let state = self.transactions.remove(&tx).expect("tx present");
-            self.metrics.rotx_served += 1;
-            outputs.push(ServerOutput::reply(
-                state.client,
-                ClientReply::RoTx { items: state.items },
-            ));
-        }
-    }
-
-    fn serve_or_park_slice(
-        &mut self,
-        origin: Option<ServerId>,
-        tx: TxId,
-        keys: Vec<Key>,
-        snapshot: DependencyVector,
-        outputs: &mut Vec<ServerOutput>,
-    ) {
-        // The GSS part of the snapshot is below every local version vector by construction;
-        // only the client-session part (and the coordinator's local clock entry) can be
-        // ahead of this partition's vector, and only by a clock skew's worth of time.
-        if self.vv.covers(&snapshot) {
-            let items = self.read_slice(&keys, &snapshot);
-            self.metrics.slices_served += 1;
-            match origin {
-                Some(origin) => {
-                    let msg = ServerMessage::SliceResponse { tx, items };
-                    outputs.push(self.send(origin, msg));
-                }
-                None => self.complete_slice(tx, items, outputs),
-            }
-        } else {
-            self.metrics.blocked_operations += 1;
-            self.parked.push(ParkedSlice {
-                origin,
-                tx,
-                keys,
-                snapshot,
-                since: self.clock.now(),
-            });
-        }
-    }
-
-    fn read_slice(&mut self, keys: &[Key], snapshot: &DependencyVector) -> Vec<TxItem> {
-        let local = self.id.replica;
-        let mut items = Vec::with_capacity(keys.len());
-        for &key in keys {
-            let outcome = self.store.latest_in_snapshot(key, snapshot);
-            self.extra_work += outcome.stats.traversed.saturating_sub(1) as u64;
-            self.metrics.tx_items_returned += 1;
-            if outcome.is_old() {
-                self.metrics.old_tx_items += 1;
-            }
-            if self.store.has_unmerged_versions(key, &self.gss, local) {
-                self.metrics.unmerged_tx_items += 1;
-            }
-            let response = match outcome.version {
-                Some(v) => GetResponse {
-                    value: Some(v.value.clone()),
-                    update_time: v.update_time,
-                    deps: v.deps.clone(),
-                    source_replica: v.source_replica,
-                },
-                None => GetResponse {
-                    value: None,
-                    update_time: Timestamp::ZERO,
-                    deps: DependencyVector::zero(self.config.num_replicas),
-                    source_replica: local,
-                },
-            };
-            items.push(TxItem { key, response });
-        }
-        items
-    }
-
-    fn unpark(&mut self, outputs: &mut Vec<ServerOutput>) {
-        if self.parked.is_empty() {
-            return;
-        }
-        let parked = std::mem::take(&mut self.parked);
-        let now = self.clock.now();
-        for slice in parked {
-            if !self.vv.covers(&slice.snapshot) {
-                self.parked.push(slice);
-                continue;
-            }
-            self.metrics.total_block_time += now.saturating_since(slice.since);
-            let items = self.read_slice(&slice.keys, &slice.snapshot);
-            self.metrics.slices_served += 1;
-            match slice.origin {
-                Some(origin) => {
-                    let msg = ServerMessage::SliceResponse {
-                        tx: slice.tx,
-                        items,
-                    };
-                    let out = self.send(origin, msg);
-                    outputs.push(out);
-                }
-                None => self.complete_slice(slice.tx, items, outputs),
-            }
-        }
-    }
-
-    // -----------------------------------------------------------------------------------
-    // Stabilization protocol (GSS computation)
-    // -----------------------------------------------------------------------------------
-
-    /// Recomputes the GSS as the entry-wise minimum of the latest known version vectors of
-    /// every partition in the local data center (including this one). The GSS only moves
-    /// forward.
-    fn recompute_gss(&mut self) {
-        if self.local_vvs.len() < self.config.num_partitions.saturating_sub(1) {
-            // Not every peer has reported yet: the GSS cannot safely advance.
-            return;
-        }
-        let mut gss = DependencyVector::from_entries(self.vv.as_slice().to_vec());
-        for vv in self.local_vvs.values() {
-            gss.meet(&DependencyVector::from_entries(vv.as_slice().to_vec()));
-            self.extra_work += 1;
-        }
-        // Monotonic advance.
-        self.gss.join(&gss);
-    }
-
-    /// One stabilization round: broadcast this server's version vector to the local peers
-    /// and refresh the GSS from what is known so far.
-    fn stabilization_round(&mut self, outputs: &mut Vec<ServerOutput>) {
-        let vv = self.vv.clone();
-        for peer in self.local_peers() {
-            let msg = ServerMessage::StabilizationVector { vv: vv.clone() };
-            outputs.push(self.send(peer, msg));
-        }
-        self.recompute_gss();
-    }
-}
-
-impl<C: Clock> ProtocolServer for CureServer<C> {
-    fn server_id(&self) -> ServerId {
-        self.id
+impl<C: Clock> VisibilityPolicy<C> for CurePolicy {
+    fn slice_unmerged_mode(&self) -> SliceUnmergedMode {
+        SliceUnmergedMode::AgainstGss
     }
 
     fn handle_client_request(
         &mut self,
+        core: &mut EngineCore<C>,
         client: ClientId,
         request: ClientRequest,
     ) -> Vec<ServerOutput> {
@@ -483,154 +46,123 @@ impl<C: Clock> ProtocolServer for CureServer<C> {
                 // Pessimistic GET: the client's read dependency vector is *not* checked —
                 // the GSS guarantees that every visible version's dependencies are already
                 // installed everywhere in the data center, so no wait is ever needed.
-                let out = self.serve_get(client, key);
+                let out = core.serve_get_stable(client, key);
                 outputs.push(out);
             }
             ClientRequest::Put { key, value, dv } => {
-                self.serve_put(client, key, value, dv, &mut outputs);
-                self.unpark(&mut outputs);
+                // Identical to POCC's PUT, minus the optional dependency wait.
+                core.serve_put(client, key, value, dv, &mut outputs);
+                core.unpark(&mut outputs);
             }
-            ClientRequest::RoTx { keys, rdv } => self.handle_ro_tx(client, keys, rdv, &mut outputs),
+            ClientRequest::RoTx { keys, rdv } => {
+                // The snapshot visible to a Cure* transaction is bounded by the items
+                // *stable* at the coordinator (the GSS), extended with the client's own
+                // causal history so that session guarantees hold. The local entry is
+                // taken from the coordinator's version vector because locally originated
+                // items are always visible in Cure.
+                let mut snapshot = core.gss.joined(&rdv);
+                snapshot.advance(core.id.replica, core.vv.get(core.id.replica));
+                core.start_ro_tx(client, keys, snapshot, &mut outputs);
+            }
         }
         outputs
     }
 
-    fn handle_server_message(
+    fn on_stabilization_vector(
         &mut self,
+        core: &mut EngineCore<C>,
         from: ServerId,
-        message: ServerMessage,
-    ) -> Vec<ServerOutput> {
-        let mut outputs = Vec::new();
-        match message {
-            ServerMessage::Replicate { version } => {
-                self.metrics.replicate_received += 1;
-                self.vv.advance(from.replica, version.update_time);
-                self.store
-                    .insert(version)
-                    .expect("replicated update routed to the wrong partition");
-                self.unpark(&mut outputs);
-            }
-            ServerMessage::Heartbeat { clock } => {
-                self.metrics.heartbeats_received += 1;
-                self.vv.advance(from.replica, clock);
-                self.unpark(&mut outputs);
-            }
-            ServerMessage::SliceRequest {
-                tx, keys, snapshot, ..
-            } => {
-                self.serve_or_park_slice(Some(from), tx, keys, snapshot, &mut outputs);
-            }
-            ServerMessage::SliceResponse { tx, items } => {
-                self.complete_slice(tx, items, &mut outputs);
-            }
-            ServerMessage::StabilizationVector { vv } => {
-                self.metrics.stabilization_messages += 1;
-                self.local_vvs.insert(from.partition, vv);
-                self.recompute_gss();
-                self.unpark(&mut outputs);
-            }
-            ServerMessage::GcVector { .. } => {
-                // Cure* garbage-collects from the GSS directly; explicit GC vectors are
-                // counted but not needed.
-                self.metrics.gc_messages += 1;
-            }
-            ServerMessage::Batch { messages } => {
-                for inner in messages {
-                    outputs.extend(self.handle_server_message(from, inner));
-                }
-            }
-        }
-        outputs
+        vv: VersionVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        core.local_vvs.insert(from.partition, vv);
+        core.recompute_gss(true);
+        core.unpark(outputs);
     }
 
-    fn tick(&mut self) -> Vec<ServerOutput> {
-        let mut outputs = Vec::new();
-        // Ship the traffic coalesced since the last tick first, so heartbeats emitted
-        // below cannot overtake buffered replication on the FIFO channels.
-        self.batcher.flush_into(&mut self.metrics, &mut outputs);
-        let now = self.clock.now();
-        let local = self.id.replica;
-
-        // Heartbeats, exactly as in POCC.
-        if now >= self.vv.get(local) + self.config.heartbeat_interval {
-            self.vv.set(local, now);
-            for sibling in self.siblings() {
-                let msg = ServerMessage::Heartbeat { clock: now };
-                outputs.push(self.send(sibling, msg));
-            }
-            self.unpark(&mut outputs);
-        }
-
+    fn on_tick(
+        &mut self,
+        core: &mut EngineCore<C>,
+        now: Timestamp,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
         // The stabilization protocol, run every `stabilization_interval` (5 ms in §V-A).
-        if now.saturating_since(self.last_stabilization) >= self.config.stabilization_interval {
-            self.last_stabilization = now;
-            self.stabilization_round(&mut outputs);
+        if now.saturating_since(core.last_stabilization) >= core.config.stabilization_interval {
+            core.last_stabilization = now;
+            core.stabilization_round(outputs);
         }
 
         // Garbage collection from the GSS: every version below the snapshot any future
         // transaction could use is collectable except the newest such version.
-        if now.saturating_since(self.last_gc) >= self.config.gc_interval {
-            self.last_gc = now;
-            let gss = self.gss.clone();
-            let removed = self.store.collect_garbage(&gss);
-            self.metrics.gc_versions_removed += removed as u64;
+        if now.saturating_since(core.last_gc) >= core.config.gc_interval {
+            core.last_gc = now;
+            core.gc_from_gss();
         }
 
         // Transactions blocked beyond the partition timeout abort the client session, as
         // in POCC (Cure itself would not need this, but the shared harness expects the
-        // same session semantics from both systems).
-        let timeout = self.config.partition_detection_timeout;
-        let expired: Vec<TxId> = self
-            .transactions
-            .iter()
-            .filter(|(_, st)| now.saturating_since(st.started) >= timeout)
-            .map(|(tx, _)| *tx)
-            .collect();
-        for tx in expired {
-            let state = self.transactions.remove(&tx).expect("tx present");
-            self.metrics.sessions_aborted += 1;
-            outputs.push(ServerOutput::reply(
-                state.client,
-                ClientReply::SessionAborted {
-                    reason: "read-only transaction blocked beyond the partition timeout".into(),
-                },
-            ));
-        }
-        self.parked
-            .retain(|s| now.saturating_since(s.since) < timeout || s.origin.is_some());
-
-        outputs
-    }
-
-    fn metrics(&self) -> MetricsSnapshot {
-        let mut m = self.metrics.clone();
-        m.currently_blocked = self.parked.len() as u64;
-        m
-    }
-
-    fn digest(&self) -> Vec<(Key, Timestamp, ReplicaId)> {
-        self.store.digest()
-    }
-
-    fn store_stats(&self) -> pocc_storage::StoreStats {
-        self.store.stats()
-    }
-
-    fn shard_stats(&self) -> Vec<pocc_storage::ShardStats> {
-        self.store.shard_stats()
-    }
-
-    fn take_extra_work(&mut self) -> u64 {
-        std::mem::take(&mut self.extra_work)
+        // same session semantics from both systems). Parked slices held for remote
+        // coordinators are kept; expired client-facing ones are dropped silently — the
+        // transaction-level abort above already closed the session.
+        core.abort_expired_transactions(now, outputs);
+        core.drop_expired_client_parked(now);
     }
 }
+
+/// A Cure\* server `p^m_n`.
+///
+/// Implements the same [`pocc_proto::ProtocolServer`] interface as
+/// [`pocc_protocol::PoccServer`], so the simulator and the threaded runtime can run
+/// either protocol over identical workloads, deployments and network conditions.
+pub struct CureServer<C> {
+    engine: ProtocolEngine<C, CurePolicy>,
+}
+
+impl<C: Clock> CureServer<C> {
+    /// Creates a Cure\* server for `id` with the given deployment configuration and clock.
+    pub fn new(id: ServerId, config: Config, clock: C) -> Self {
+        CureServer {
+            engine: ProtocolEngine::new(id, config, clock, CurePolicy),
+        }
+    }
+
+    /// The server's current version vector.
+    pub fn version_vector(&self) -> &VersionVector {
+        &self.engine.core().vv
+    }
+
+    /// The server's current view of the Globally Stable Snapshot.
+    pub fn gss(&self) -> &DependencyVector {
+        &self.engine.core().gss
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &ShardedStore {
+        &self.engine.core().store
+    }
+
+    /// An observability snapshot of the server's state.
+    pub fn status(&self) -> CureStatus {
+        let core = self.engine.core();
+        CureStatus {
+            version_vector: core.vv.clone(),
+            gss: core.gss.clone(),
+            pending_slices: core.pending_len(),
+            active_transactions: core.active_transactions(),
+            store: core.store.stats(),
+        }
+    }
+}
+
+pocc_engine::delegate_protocol_server!(CureServer);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pocc_clock::ManualClock;
-    use pocc_proto::expect_reply;
-    use pocc_types::Value;
+    use pocc_proto::{expect_reply, ClientReply, ProtocolServer, ServerMessage};
+    use pocc_storage::partition_for_key;
+    use pocc_types::{Key, ReplicaId, Value, Version};
     use std::time::Duration;
 
     const MS: u64 = 1_000;

@@ -1,0 +1,330 @@
+//! The generic protocol engine: [`EngineCore`] machinery driven through a
+//! [`VisibilityPolicy`].
+
+use crate::core::{EngineCore, SliceUnmergedMode};
+use pocc_clock::Clock;
+use pocc_proto::{
+    ClientRequest, MetricsSnapshot, ProtocolServer, ServerMessage, ServerOutput, TxId, TxItem,
+};
+use pocc_types::{ClientId, Key, ReplicaId, ServerId, Timestamp, VersionVector};
+
+/// The protocol-defining decisions layered over the shared [`EngineCore`].
+///
+/// The engine owns replication, batching, heartbeats, parked operations, transaction
+/// coordination and metrics; a policy decides **which version a read may return**, what
+/// periodic stabilization traffic to emit, and how to react to peer-health signals. The
+/// paper's three systems — and any future variant — differ only in these hooks; see the
+/// "Adding a protocol variant" section of `ARCHITECTURE.md`.
+pub trait VisibilityPolicy<C: Clock>: Send {
+    /// How [`EngineCore::read_slice`] classifies unmerged transactional items under this
+    /// protocol. Consulted once, at engine construction.
+    fn slice_unmerged_mode(&self) -> SliceUnmergedMode {
+        SliceUnmergedMode::OldIsUnmerged
+    }
+
+    /// Handles a client request (GET, PUT or RO-TX). The policy decides read visibility
+    /// and wait behaviour, composing the core's serve/park helpers.
+    fn handle_client_request(
+        &mut self,
+        core: &mut EngineCore<C>,
+        client: ClientId,
+        request: ClientRequest,
+    ) -> Vec<ServerOutput>;
+
+    /// Reacts to a stabilization vector from a local peer. The engine has already counted
+    /// the message; the default ignores it (plain POCC does not run the stabilization
+    /// protocol, but counting keeps misconfigurations visible in metrics).
+    fn on_stabilization_vector(
+        &mut self,
+        core: &mut EngineCore<C>,
+        from: ServerId,
+        vv: VersionVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        let _ = (core, from, vv, outputs);
+    }
+
+    /// Reacts to a garbage-collection vector from a local peer. The engine has already
+    /// counted the message; the default ignores it (Cure\* collects from the GSS directly).
+    fn on_gc_vector(
+        &mut self,
+        core: &mut EngineCore<C>,
+        from: ServerId,
+        vector: pocc_types::DependencyVector,
+    ) {
+        let _ = (core, from, vector);
+    }
+
+    /// Observes a replicated remote version right after it was installed (and before
+    /// parked operations are re-evaluated). The Adaptive policy tracks per-key remote
+    /// churn here; the default does nothing.
+    fn on_replicate(&mut self, core: &mut EngineCore<C>, from: ServerId, key: Key) {
+        let _ = (core, from, key);
+    }
+
+    /// Offers the policy a slice response before the engine folds it into a coordinated
+    /// transaction. Return the items to let the engine complete the transaction, or
+    /// `None` if the policy consumed the response (HA-POCC routes responses of its
+    /// pessimistic-mode transactions this way).
+    fn claim_slice_response(
+        &mut self,
+        core: &mut EngineCore<C>,
+        tx: TxId,
+        items: Vec<TxItem>,
+        outputs: &mut Vec<ServerOutput>,
+    ) -> Option<Vec<TxItem>> {
+        let _ = (core, tx, outputs);
+        Some(items)
+    }
+
+    /// Protocol-specific periodic work, run at the end of every tick (after the batcher
+    /// flush and heartbeat emission): stabilization rounds, garbage collection, timeout
+    /// enforcement, partition detection.
+    fn on_tick(
+        &mut self,
+        core: &mut EngineCore<C>,
+        now: Timestamp,
+        outputs: &mut Vec<ServerOutput>,
+    );
+}
+
+/// A protocol server assembled from the shared [`EngineCore`] and a [`VisibilityPolicy`].
+///
+/// `ProtocolEngine` implements [`ProtocolServer`], so any policy plugs directly into the
+/// deterministic simulator, the threaded runtime and the benchmark harness. The concrete
+/// protocol crates wrap it in a named type (`PoccServer`, `CureServer`, …) via
+/// [`delegate_protocol_server!`](crate::delegate_protocol_server).
+pub struct ProtocolEngine<C, P> {
+    core: EngineCore<C>,
+    policy: P,
+}
+
+impl<C: Clock, P: VisibilityPolicy<C>> ProtocolEngine<C, P> {
+    /// Creates an engine for `id` with the given deployment configuration, clock and
+    /// policy.
+    pub fn new(id: ServerId, config: pocc_types::Config, clock: C, policy: P) -> Self {
+        let core = EngineCore::new(id, config, clock, policy.slice_unmerged_mode());
+        ProtocolEngine { core, policy }
+    }
+
+    /// Read access to the shared core.
+    pub fn core(&self) -> &EngineCore<C> {
+        &self.core
+    }
+
+    /// Mutable access to the shared core.
+    pub fn core_mut(&mut self) -> &mut EngineCore<C> {
+        &mut self.core
+    }
+
+    /// Read access to the policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to core and policy together (policies are stateful: HA-POCC's mode
+    /// switches need both).
+    pub fn parts_mut(&mut self) -> (&mut EngineCore<C>, &mut P) {
+        (&mut self.core, &mut self.policy)
+    }
+
+    fn dispatch_message(
+        &mut self,
+        from: ServerId,
+        message: ServerMessage,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        match message {
+            ServerMessage::Replicate { version } => {
+                // Algorithm 2 lines 16–18.
+                self.core.metrics.replicate_received += 1;
+                self.core.vv.advance(from.replica, version.update_time);
+                let key = version.key;
+                self.core
+                    .store
+                    .insert(version)
+                    .expect("replicated update routed to the wrong partition");
+                self.policy.on_replicate(&mut self.core, from, key);
+                self.core.unpark(outputs);
+            }
+            ServerMessage::Heartbeat { clock } => {
+                // Algorithm 2 lines 27–28.
+                self.core.metrics.heartbeats_received += 1;
+                self.core.vv.advance(from.replica, clock);
+                self.core.unpark(outputs);
+            }
+            ServerMessage::SliceRequest {
+                tx,
+                client,
+                keys,
+                snapshot,
+            } => {
+                self.core
+                    .serve_or_park_slice(Some(from), tx, client, keys, snapshot, outputs);
+            }
+            ServerMessage::SliceResponse { tx, items } => {
+                if let Some(items) =
+                    self.policy
+                        .claim_slice_response(&mut self.core, tx, items, outputs)
+                {
+                    self.core.complete_slice(tx, items, outputs);
+                }
+            }
+            ServerMessage::StabilizationVector { vv } => {
+                self.core.metrics.stabilization_messages += 1;
+                self.policy
+                    .on_stabilization_vector(&mut self.core, from, vv, outputs);
+            }
+            ServerMessage::GcVector { vector } => {
+                self.core.metrics.gc_messages += 1;
+                self.policy.on_gc_vector(&mut self.core, from, vector);
+            }
+            ServerMessage::Batch { messages } => {
+                for inner in messages {
+                    self.dispatch_message(from, inner, outputs);
+                }
+            }
+        }
+    }
+}
+
+impl<C: Clock, P: VisibilityPolicy<C>> ProtocolServer for ProtocolEngine<C, P> {
+    fn server_id(&self) -> ServerId {
+        self.core.id
+    }
+
+    fn handle_client_request(
+        &mut self,
+        client: ClientId,
+        request: ClientRequest,
+    ) -> Vec<ServerOutput> {
+        self.policy
+            .handle_client_request(&mut self.core, client, request)
+    }
+
+    fn handle_server_message(
+        &mut self,
+        from: ServerId,
+        message: ServerMessage,
+    ) -> Vec<ServerOutput> {
+        let mut outputs = Vec::new();
+        self.dispatch_message(from, message, &mut outputs);
+        outputs
+    }
+
+    fn tick(&mut self) -> Vec<ServerOutput> {
+        let mut outputs = Vec::new();
+        // Ship the traffic coalesced since the last tick first, so heartbeats emitted
+        // below cannot overtake buffered replication on the FIFO channels.
+        self.core.flush_batcher(&mut outputs);
+        let now = self.core.clock.now();
+        self.core.heartbeat_tick(now, &mut outputs);
+        self.policy.on_tick(&mut self.core, now, &mut outputs);
+        outputs
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.core.metrics_snapshot()
+    }
+
+    fn digest(&self) -> Vec<(Key, Timestamp, ReplicaId)> {
+        self.core.store.digest()
+    }
+
+    fn store_stats(&self) -> pocc_storage::StoreStats {
+        self.core.store.stats()
+    }
+
+    fn shard_stats(&self) -> Vec<pocc_storage::ShardStats> {
+        self.core.store.shard_stats()
+    }
+
+    fn take_extra_work(&mut self) -> u64 {
+        self.core.take_extra_work()
+    }
+}
+
+/// Implements [`ProtocolServer`] for a named server wrapper around a
+/// [`ProtocolEngine`] stored in a field called `engine`.
+///
+/// ```ignore
+/// pub struct MyServer<C> {
+///     engine: ProtocolEngine<C, MyPolicy>,
+/// }
+/// pocc_engine::delegate_protocol_server!(MyServer);
+/// ```
+#[macro_export]
+macro_rules! delegate_protocol_server {
+    ($server:ident) => {
+        impl<C: $crate::reexports::Clock> $crate::reexports::ProtocolServer for $server<C> {
+            fn server_id(&self) -> $crate::reexports::ServerId {
+                $crate::reexports::ProtocolServer::server_id(&self.engine)
+            }
+
+            fn handle_client_request(
+                &mut self,
+                client: $crate::reexports::ClientId,
+                request: $crate::reexports::ClientRequest,
+            ) -> Vec<$crate::reexports::ServerOutput> {
+                $crate::reexports::ProtocolServer::handle_client_request(
+                    &mut self.engine,
+                    client,
+                    request,
+                )
+            }
+
+            fn handle_server_message(
+                &mut self,
+                from: $crate::reexports::ServerId,
+                message: $crate::reexports::ServerMessage,
+            ) -> Vec<$crate::reexports::ServerOutput> {
+                $crate::reexports::ProtocolServer::handle_server_message(
+                    &mut self.engine,
+                    from,
+                    message,
+                )
+            }
+
+            fn tick(&mut self) -> Vec<$crate::reexports::ServerOutput> {
+                $crate::reexports::ProtocolServer::tick(&mut self.engine)
+            }
+
+            fn metrics(&self) -> $crate::reexports::MetricsSnapshot {
+                $crate::reexports::ProtocolServer::metrics(&self.engine)
+            }
+
+            fn digest(
+                &self,
+            ) -> Vec<(
+                $crate::reexports::Key,
+                $crate::reexports::Timestamp,
+                $crate::reexports::ReplicaId,
+            )> {
+                $crate::reexports::ProtocolServer::digest(&self.engine)
+            }
+
+            fn store_stats(&self) -> $crate::reexports::StoreStats {
+                $crate::reexports::ProtocolServer::store_stats(&self.engine)
+            }
+
+            fn shard_stats(&self) -> Vec<$crate::reexports::ShardStats> {
+                $crate::reexports::ProtocolServer::shard_stats(&self.engine)
+            }
+
+            fn take_extra_work(&mut self) -> u64 {
+                $crate::reexports::ProtocolServer::take_extra_work(&mut self.engine)
+            }
+        }
+    };
+}
+
+/// Paths used by [`delegate_protocol_server!`]; not part of the public API surface.
+#[doc(hidden)]
+pub mod reexports {
+    pub use pocc_clock::Clock;
+    pub use pocc_proto::{
+        ClientRequest, MetricsSnapshot, ProtocolServer, ServerMessage, ServerOutput,
+    };
+    pub use pocc_storage::{ShardStats, StoreStats};
+    pub use pocc_types::{ClientId, Key, ReplicaId, ServerId, Timestamp};
+}

@@ -47,6 +47,16 @@ pub struct PendingOp {
     pub since: Timestamp,
 }
 
+/// How a parked GET is served once its wait condition holds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReadMode {
+    /// Return the freshest version of the key (POCC, Algorithm 2 lines 3–4).
+    Latest,
+    /// Return the freshest version within the GSS extended by the client's session
+    /// history (the Adaptive protocol's stable fall-back path).
+    StableBounded,
+}
+
 /// The internal representation of a parked operation.
 #[derive(Clone, Debug)]
 pub(crate) enum Parked {
@@ -55,6 +65,7 @@ pub(crate) enum Parked {
         client: ClientId,
         key: Key,
         rdv: DependencyVector,
+        mode: ReadMode,
         since: Timestamp,
     },
     /// A PUT waiting for the client's dependencies.
@@ -138,6 +149,7 @@ mod tests {
             client: ClientId(1),
             key: Key(2),
             rdv: DependencyVector::zero(3),
+            mode: ReadMode::Latest,
             since: Timestamp(10),
         };
         let put = Parked::Put {
@@ -191,6 +203,7 @@ mod tests {
             client: ClientId(1),
             key: Key(2),
             rdv: DependencyVector::zero(1),
+            mode: ReadMode::Latest,
             since: Timestamp(0),
         };
         assert!(self_slice.is_client_facing());

@@ -1,21 +1,19 @@
-//! The HA-POCC server: POCC plus partition detection, pessimistic fall-back and recovery.
+//! The HA-POCC server as a visibility policy over the shared protocol engine: POCC plus
+//! partition detection, pessimistic fall-back and recovery.
 
 use pocc_clock::Clock;
+use pocc_engine::{EngineCore, ProtocolEngine, VisibilityPolicy};
 use pocc_proto::{
-    ClientReply, ClientRequest, GetResponse, MetricsSnapshot, ProtocolServer, ServerMessage,
-    ServerOutput, TxId, TxItem,
+    ClientReply, ClientRequest, MetricsSnapshot, ServerMessage, ServerOutput, TxId, TxItem,
 };
-use pocc_protocol::PoccServer;
-use pocc_storage::partition_for_key;
-use pocc_types::{
-    ClientId, Config, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Timestamp,
-    VersionVector,
-};
-use std::collections::HashMap;
+use pocc_protocol::PoccPolicy;
+use pocc_storage::{partition_for_key, ShardedStore};
+use pocc_types::{ClientId, Config, DependencyVector, Key, ServerId, Timestamp, VersionVector};
+use std::collections::{HashMap, HashSet};
 
 /// Transaction ids coordinated by the HA layer (pessimistic mode) live in a disjoint id
-/// space from the ids used by the wrapped optimistic server, so that slice responses can be
-/// routed to the right coordinator.
+/// space from the ids used by the wrapped optimistic machinery, so that slice responses
+/// can be routed to the right coordinator.
 const HA_TX_BIT: u64 = 1 << 63;
 
 /// The operating mode of an HA-POCC server.
@@ -47,27 +45,21 @@ struct HaTxState {
     items: Vec<TxItem>,
 }
 
-/// A POCC server augmented with the availability-recovery machinery of §III-B:
-/// an infrequent stabilization protocol, a partition detector, a pessimistic fall-back
-/// mode and automatic promotion back to optimistic operation.
-pub struct HaPoccServer<C> {
-    inner: PoccServer<C>,
-    clock: C,
-    config: Config,
+/// The highly available visibility policy (§III-B and §IV-C): the optimistic POCC policy
+/// augmented with an infrequent stabilization protocol, a partition detector, a
+/// pessimistic fall-back mode and automatic promotion back to optimistic operation.
+#[derive(Debug)]
+pub struct HaPolicy {
+    /// The optimistic protocol served during normal operation.
+    pocc: PoccPolicy,
     mode: Mode,
     mode_switches: u64,
-
-    /// The Globally Stable Snapshot maintained by the infrequent stabilization protocol.
-    gss: DependencyVector,
-    /// Latest version vector received from each local peer partition.
-    local_vvs: HashMap<PartitionId, VersionVector>,
-    last_stabilization: Timestamp,
 
     /// Partition detector state: the last time each remote replica's entry of the version
     /// vector advanced.
     last_remote_advance: Vec<Timestamp>,
     prev_vv: VersionVector,
-    /// `sessions_aborted` of the inner server at the last tick, to detect new aborts.
+    /// `sessions_aborted` at the last tick, to detect new aborts.
     aborted_seen: u64,
 
     /// Read-only transactions coordinated by the HA layer (pessimistic mode only).
@@ -77,113 +69,45 @@ pub struct HaPoccServer<C> {
     /// closed at their first request after a switch to pessimistic mode, because the
     /// pessimistic protocol cannot honour dependencies on unstable items they may have
     /// observed (§III-B: "it closes the session with c").
-    optimistic_clients: std::collections::HashSet<ClientId>,
-
-    /// Counters for operations served directly by the HA layer (merged into the metrics
-    /// snapshot returned by [`ProtocolServer::metrics`]).
-    overlay: MetricsSnapshot,
+    optimistic_clients: HashSet<ClientId>,
     put_wait_configured: bool,
 }
 
-impl<C: Clock + Clone> HaPoccServer<C> {
-    /// Creates an HA-POCC server for `id`.
-    pub fn new(id: ServerId, config: Config, clock: C) -> Self {
-        let m = config.num_replicas;
-        let now = clock.now();
-        let put_wait_configured = config.put_waits_for_dependencies;
-        HaPoccServer {
-            inner: PoccServer::new(id, config.clone(), clock.clone()),
+impl HaPolicy {
+    fn new(config: &Config, now: Timestamp) -> Self {
+        HaPolicy {
+            pocc: PoccPolicy,
             mode: Mode::Optimistic,
             mode_switches: 0,
-            gss: DependencyVector::zero(m),
-            local_vvs: HashMap::new(),
-            last_stabilization: Timestamp::ZERO,
-            last_remote_advance: vec![now; m],
-            prev_vv: VersionVector::zero(m),
+            last_remote_advance: vec![now; config.num_replicas],
+            prev_vv: VersionVector::zero(config.num_replicas),
             aborted_seen: 0,
             ha_txs: HashMap::new(),
             next_ha_tx: 0,
-            optimistic_clients: std::collections::HashSet::new(),
-            overlay: MetricsSnapshot::default(),
-            put_wait_configured,
-            clock,
-            config,
+            optimistic_clients: HashSet::new(),
+            put_wait_configured: config.put_waits_for_dependencies,
         }
     }
 
-    /// The current operating mode.
-    pub fn mode(&self) -> Mode {
-        self.mode
-    }
-
-    /// How many times the server switched between optimistic and pessimistic mode.
-    pub fn mode_switches(&self) -> u64 {
-        self.mode_switches
-    }
-
-    /// The server's current view of the Globally Stable Snapshot.
-    pub fn gss(&self) -> &DependencyVector {
-        &self.gss
-    }
-
-    /// Read access to the wrapped optimistic server.
-    pub fn inner(&self) -> &PoccServer<C> {
-        &self.inner
-    }
-
-    /// Forces the server into pessimistic mode (used by tests and by operators who know a
-    /// partition is coming, e.g. planned maintenance).
-    pub fn force_pessimistic(&mut self) {
-        self.enter_pessimistic();
-    }
-
-    /// Forces the server back into optimistic mode.
-    pub fn force_optimistic(&mut self) {
-        self.enter_optimistic();
-    }
-
-    fn enter_pessimistic(&mut self) {
+    fn enter_pessimistic<C: Clock>(&mut self, core: &mut EngineCore<C>) {
         if self.mode.is_pessimistic() {
             return;
         }
         self.mode = Mode::Pessimistic {
-            since: self.clock.now(),
+            since: core.clock.now(),
         };
         self.mode_switches += 1;
         // Writes must not block during the partition.
-        self.inner.set_put_waits_for_dependencies(false);
+        core.config.put_waits_for_dependencies = false;
     }
 
-    fn enter_optimistic(&mut self) {
+    fn enter_optimistic<C: Clock>(&mut self, core: &mut EngineCore<C>) {
         if !self.mode.is_pessimistic() {
             return;
         }
         self.mode = Mode::Optimistic;
         self.mode_switches += 1;
-        self.inner
-            .set_put_waits_for_dependencies(self.put_wait_configured);
-    }
-
-    fn local_peers(&self) -> Vec<ServerId> {
-        let id = self.inner.server_id();
-        self.config
-            .partitions()
-            .filter(|p| *p != id.partition)
-            .map(|p| id.local_peer(p))
-            .collect()
-    }
-
-    /// Recomputes the GSS from the latest known version vectors of every local partition.
-    fn recompute_gss(&mut self) {
-        if self.local_vvs.len() < self.config.num_partitions.saturating_sub(1) {
-            return;
-        }
-        let mut gss =
-            DependencyVector::from_entries(self.inner.version_vector().as_slice().to_vec());
-        for vv in self.local_vvs.values() {
-            gss.meet(&DependencyVector::from_entries(vv.as_slice().to_vec()));
-        }
-        self.gss.join(&gss);
+        core.config.put_waits_for_dependencies = self.put_wait_configured;
     }
 
     // -----------------------------------------------------------------------------------
@@ -199,16 +123,24 @@ impl<C: Clock + Clone> HaPoccServer<C> {
     /// optimistic fail this check; their session is closed, exactly as the recovery
     /// procedure of §III-B prescribes (the client re-initialises and continues
     /// pessimistically, possibly no longer seeing some versions it read before).
-    fn serveable_pessimistically(&self, deps: &DependencyVector) -> bool {
-        let local = self.inner.server_id().replica;
+    fn serveable_pessimistically<C: Clock>(
+        &self,
+        core: &EngineCore<C>,
+        deps: &DependencyVector,
+    ) -> bool {
+        let local = core.id.replica;
         deps.iter()
-            .all(|(replica, ts)| replica == local || ts <= self.gss.get(replica))
+            .all(|(replica, ts)| replica == local || ts <= core.gss.get(replica))
     }
 
     /// Closes the session of a client whose optimistic-era dependencies cannot be served
     /// by the pessimistic fall-back.
-    fn abort_session(&mut self, client: ClientId) -> ServerOutput {
-        self.overlay.sessions_aborted += 1;
+    fn abort_session<C: Clock>(
+        &mut self,
+        core: &mut EngineCore<C>,
+        client: ClientId,
+    ) -> ServerOutput {
+        core.metrics.sessions_aborted += 1;
         ServerOutput::reply(
             client,
             ClientReply::SessionAborted {
@@ -221,57 +153,54 @@ impl<C: Clock + Clone> HaPoccServer<C> {
 
     /// A pessimistic GET: the freshest version visible under the GSS (local versions are
     /// always visible, as in Cure). Never blocks.
-    fn pessimistic_get(&mut self, client: ClientId, key: Key) -> ServerOutput {
-        let id = self.inner.server_id();
-        let outcome = self.inner.store().latest_stable(key, &self.gss, id.replica);
-        self.overlay.gets_served += 1;
+    fn pessimistic_get<C: Clock>(
+        &mut self,
+        core: &mut EngineCore<C>,
+        client: ClientId,
+        key: Key,
+    ) -> ServerOutput {
+        let outcome = core.store.latest_stable(key, &core.gss, core.id.replica);
+        core.metrics.gets_served += 1;
         if outcome.is_old() {
-            self.overlay.old_gets += 1;
-            self.overlay.fresher_versions_sum += outcome.stats.fresher_than_returned as u64;
+            core.metrics.old_gets += 1;
+            core.metrics.fresher_versions_sum += outcome.stats.fresher_than_returned as u64;
         }
-        let response = match outcome.version {
-            Some(v) => GetResponse {
-                value: Some(v.value.clone()),
-                update_time: v.update_time,
-                deps: v.deps.clone(),
-                source_replica: v.source_replica,
-            },
-            None => GetResponse {
-                value: None,
-                update_time: Timestamp::ZERO,
-                deps: DependencyVector::zero(self.config.num_replicas),
-                source_replica: id.replica,
-            },
-        };
+        let response = core.response_for(outcome.version.as_ref());
         ServerOutput::reply(client, ClientReply::Get(response))
     }
 
     /// A pessimistic read-only transaction: the snapshot is bounded by the GSS (plus the
     /// client's session history and the coordinator's local clock entry), so participant
     /// slices never wait for remote replication.
-    fn pessimistic_ro_tx(
+    ///
+    /// This deliberately does *not* reuse [`EngineCore::start_ro_tx`]: pessimistic-mode
+    /// transactions live in a disjoint tx-id space (`HA_TX_BIT`), must never be aborted
+    /// by the partition-detection timeout (the partition is exactly when they run), and
+    /// must not hold back the GC lower bound of the optimistic machinery.
+    fn pessimistic_ro_tx<C: Clock>(
         &mut self,
+        core: &mut EngineCore<C>,
         client: ClientId,
         keys: Vec<Key>,
         rdv: DependencyVector,
         outputs: &mut Vec<ServerOutput>,
     ) {
         if keys.is_empty() {
-            self.overlay.rotx_served += 1;
+            core.metrics.rotx_served += 1;
             outputs.push(ServerOutput::reply(
                 client,
                 ClientReply::RoTx { items: Vec::new() },
             ));
             return;
         }
-        let id = self.inner.server_id();
-        let mut snapshot = self.gss.joined(&rdv);
-        snapshot.advance(id.replica, self.inner.version_vector().get(id.replica));
+        let id = core.id;
+        let mut snapshot = core.gss.joined(&rdv);
+        snapshot.advance(id.replica, core.vv.get(id.replica));
 
-        let mut by_partition: HashMap<PartitionId, Vec<Key>> = HashMap::new();
+        let mut by_partition: HashMap<pocc_types::PartitionId, Vec<Key>> = HashMap::new();
         for key in keys {
             by_partition
-                .entry(partition_for_key(key, self.config.num_partitions))
+                .entry(partition_for_key(key, core.config.num_partitions))
                 .or_default()
                 .push(key);
         }
@@ -295,7 +224,7 @@ impl<C: Clock + Clone> HaPoccServer<C> {
             if partition == id.partition {
                 local_keys = Some(keys);
             } else {
-                self.overlay.bytes_sent += (keys.len() * 8 + snapshot.wire_size()) as u64;
+                core.metrics.bytes_sent += (keys.len() * 8 + snapshot.wire_size()) as u64;
                 outputs.push(ServerOutput::send(
                     id.local_peer(partition),
                     ServerMessage::SliceRequest {
@@ -308,41 +237,38 @@ impl<C: Clock + Clone> HaPoccServer<C> {
             }
         }
         if let Some(keys) = local_keys {
-            let items = self.read_local_slice(&keys, &snapshot);
-            self.complete_ha_slice(tx, items, outputs);
+            let items = self.read_local_slice(core, &keys, &snapshot);
+            self.complete_ha_slice(&mut core.metrics, tx, items, outputs);
         }
     }
 
     /// Reads a slice of a pessimistic transaction against the local store.
-    fn read_local_slice(&mut self, keys: &[Key], snapshot: &DependencyVector) -> Vec<TxItem> {
-        let id = self.inner.server_id();
+    fn read_local_slice<C: Clock>(
+        &mut self,
+        core: &mut EngineCore<C>,
+        keys: &[Key],
+        snapshot: &DependencyVector,
+    ) -> Vec<TxItem> {
         let mut items = Vec::with_capacity(keys.len());
         for &key in keys {
-            let outcome = self.inner.store().latest_in_snapshot(key, snapshot);
-            self.overlay.tx_items_returned += 1;
+            let outcome = core.store.latest_in_snapshot(key, snapshot);
+            core.metrics.tx_items_returned += 1;
             if outcome.is_old() {
-                self.overlay.old_tx_items += 1;
+                core.metrics.old_tx_items += 1;
             }
-            let response = match outcome.version {
-                Some(v) => GetResponse {
-                    value: Some(v.value.clone()),
-                    update_time: v.update_time,
-                    deps: v.deps.clone(),
-                    source_replica: v.source_replica,
-                },
-                None => GetResponse {
-                    value: None,
-                    update_time: Timestamp::ZERO,
-                    deps: DependencyVector::zero(self.config.num_replicas),
-                    source_replica: id.replica,
-                },
-            };
+            let response = core.response_for(outcome.version.as_ref());
             items.push(TxItem { key, response });
         }
         items
     }
 
-    fn complete_ha_slice(&mut self, tx: TxId, items: Vec<TxItem>, outputs: &mut Vec<ServerOutput>) {
+    fn complete_ha_slice(
+        &mut self,
+        metrics: &mut MetricsSnapshot,
+        tx: TxId,
+        items: Vec<TxItem>,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
         let finished = {
             let Some(state) = self.ha_txs.get_mut(&tx) else {
                 return;
@@ -353,7 +279,7 @@ impl<C: Clock + Clone> HaPoccServer<C> {
         };
         if finished {
             let state = self.ha_txs.remove(&tx).expect("tx present");
-            self.overlay.rotx_served += 1;
+            metrics.rotx_served += 1;
             outputs.push(ServerOutput::reply(
                 state.client,
                 ClientReply::RoTx { items: state.items },
@@ -366,10 +292,9 @@ impl<C: Clock + Clone> HaPoccServer<C> {
     // -----------------------------------------------------------------------------------
 
     /// Updates the partition detector, possibly switching modes.
-    fn detect_and_recover(&mut self) {
-        let now = self.clock.now();
-        let vv = self.inner.version_vector().clone();
-        let local = self.inner.server_id().replica;
+    fn detect_and_recover<C: Clock>(&mut self, core: &mut EngineCore<C>, now: Timestamp) {
+        let vv = core.vv.clone();
+        let local = core.id.replica;
         for (replica, ts) in vv.iter() {
             if replica != local && ts > self.prev_vv.get(replica) {
                 self.last_remote_advance[replica.index()] = now;
@@ -377,8 +302,9 @@ impl<C: Clock + Clone> HaPoccServer<C> {
         }
         self.prev_vv = vv;
 
-        // Detection signal 1: the optimistic server aborted a blocked session.
-        let aborted = self.inner.metrics().sessions_aborted;
+        // Detection signal 1: a blocked session was aborted (only the optimistic
+        // machinery aborts sessions while the server is in optimistic mode).
+        let aborted = core.metrics.sessions_aborted;
         let new_aborts = aborted > self.aborted_seen;
         self.aborted_seen = aborted;
 
@@ -390,20 +316,20 @@ impl<C: Clock + Clone> HaPoccServer<C> {
             .enumerate()
             .any(|(i, last)| {
                 i != local.index()
-                    && now.saturating_since(*last) >= self.config.partition_detection_timeout
+                    && now.saturating_since(*last) >= core.config.partition_detection_timeout
             });
 
         match self.mode {
             Mode::Optimistic => {
                 if new_aborts || silent_replica {
-                    self.enter_pessimistic();
+                    self.enter_pessimistic(core);
                 }
             }
             Mode::Pessimistic { since } => {
                 // Recovery: every remote replica has been heard from recently and the
                 // server has spent at least one detection period in pessimistic mode (to
                 // avoid flapping).
-                let healthy_window = self.config.heartbeat_interval * 8;
+                let healthy_window = core.config.heartbeat_interval * 8;
                 let all_healthy = self
                     .last_remote_advance
                     .iter()
@@ -412,55 +338,52 @@ impl<C: Clock + Clone> HaPoccServer<C> {
                         i == local.index() || now.saturating_since(*last) <= healthy_window
                     });
                 let settled =
-                    now.saturating_since(since) >= self.config.partition_detection_timeout;
+                    now.saturating_since(since) >= core.config.partition_detection_timeout;
                 if all_healthy && settled && !silent_replica {
-                    self.enter_optimistic();
+                    self.enter_optimistic(core);
                 }
             }
         }
     }
 }
 
-impl<C: Clock + Clone> ProtocolServer for HaPoccServer<C> {
-    fn server_id(&self) -> ServerId {
-        self.inner.server_id()
-    }
-
+impl<C: Clock> VisibilityPolicy<C> for HaPolicy {
     fn handle_client_request(
         &mut self,
+        core: &mut EngineCore<C>,
         client: ClientId,
         request: ClientRequest,
     ) -> Vec<ServerOutput> {
         if !self.mode.is_pessimistic() {
             self.optimistic_clients.insert(client);
-            return self.inner.handle_client_request(client, request);
+            return self.pocc.handle_client_request(core, client, request);
         }
         // First contact from a client whose session predates the fall-back: close it, so
         // the client re-initialises and continues with a dependency-free pessimistic
         // session (phase 2 of the recovery procedure).
         if self.optimistic_clients.remove(&client) {
-            return vec![self.abort_session(client)];
+            return vec![self.abort_session(core, client)];
         }
         let mut outputs = Vec::new();
         match request {
             ClientRequest::Get { key, rdv } => {
-                let out = if self.serveable_pessimistically(&rdv) {
-                    self.pessimistic_get(client, key)
+                let out = if self.serveable_pessimistically(core, &rdv) {
+                    self.pessimistic_get(core, client, key)
                 } else {
-                    self.abort_session(client)
+                    self.abort_session(core, client)
                 };
                 outputs.push(out);
             }
             ClientRequest::Put { .. } => {
-                // Writes are applied by the optimistic server; the dependency wait is
+                // Writes are applied by the optimistic machinery; the dependency wait is
                 // disabled while in pessimistic mode so the PUT cannot block.
-                outputs = self.inner.handle_client_request(client, request);
+                outputs = self.pocc.handle_client_request(core, client, request);
             }
             ClientRequest::RoTx { keys, rdv } => {
-                if self.serveable_pessimistically(&rdv) {
-                    self.pessimistic_ro_tx(client, keys, rdv, &mut outputs);
+                if self.serveable_pessimistically(core, &rdv) {
+                    self.pessimistic_ro_tx(core, client, keys, rdv, &mut outputs);
                 } else {
-                    let out = self.abort_session(client);
+                    let out = self.abort_session(core, client);
                     outputs.push(out);
                 }
             }
@@ -468,81 +391,130 @@ impl<C: Clock + Clone> ProtocolServer for HaPoccServer<C> {
         outputs
     }
 
-    fn handle_server_message(
+    fn on_stabilization_vector(
         &mut self,
+        core: &mut EngineCore<C>,
         from: ServerId,
-        message: ServerMessage,
-    ) -> Vec<ServerOutput> {
-        match message {
-            ServerMessage::StabilizationVector { vv } => {
-                self.overlay.stabilization_messages += 1;
-                self.local_vvs.insert(from.partition, vv);
-                self.recompute_gss();
-                Vec::new()
-            }
-            ServerMessage::SliceResponse { tx, items } if tx.0 & HA_TX_BIT != 0 => {
-                let mut outputs = Vec::new();
-                self.complete_ha_slice(tx, items, &mut outputs);
-                outputs
-            }
-            other => self.inner.handle_server_message(from, other),
+        vv: VersionVector,
+        _outputs: &mut Vec<ServerOutput>,
+    ) {
+        core.local_vvs.insert(from.partition, vv);
+        core.recompute_gss(false);
+    }
+
+    fn on_gc_vector(&mut self, core: &mut EngineCore<C>, from: ServerId, vector: DependencyVector) {
+        VisibilityPolicy::<C>::on_gc_vector(&mut self.pocc, core, from, vector);
+    }
+
+    fn claim_slice_response(
+        &mut self,
+        core: &mut EngineCore<C>,
+        tx: TxId,
+        items: Vec<TxItem>,
+        outputs: &mut Vec<ServerOutput>,
+    ) -> Option<Vec<TxItem>> {
+        if tx.0 & HA_TX_BIT != 0 {
+            self.complete_ha_slice(&mut core.metrics, tx, items, outputs);
+            None
+        } else {
+            Some(items)
         }
     }
 
-    fn tick(&mut self) -> Vec<ServerOutput> {
-        let mut outputs = self.inner.tick();
-        let now = self.clock.now();
+    fn on_tick(
+        &mut self,
+        core: &mut EngineCore<C>,
+        now: Timestamp,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        // The optimistic machinery's periodic work (GC exchange, partition timeouts).
+        self.pocc.on_tick(core, now, outputs);
 
         // The infrequent stabilization protocol: this is what makes the pessimistic
         // fall-back possible at all, and because it runs orders of magnitude less often
         // than Cure's it costs almost nothing during normal operation (§IV-C).
-        if now.saturating_since(self.last_stabilization) >= self.config.ha_stabilization_interval {
-            self.last_stabilization = now;
-            let vv = self.inner.version_vector().clone();
-            for peer in self.local_peers() {
-                self.overlay.stabilization_messages += 1;
-                self.overlay.bytes_sent += vv.wire_size() as u64;
+        if now.saturating_since(core.last_stabilization) >= core.config.ha_stabilization_interval {
+            core.last_stabilization = now;
+            let vv = core.vv.clone();
+            for peer in core.local_peers() {
+                core.metrics.stabilization_messages += 1;
+                core.metrics.bytes_sent += vv.wire_size() as u64;
                 outputs.push(ServerOutput::send(
                     peer,
                     ServerMessage::StabilizationVector { vv: vv.clone() },
                 ));
             }
-            self.recompute_gss();
+            core.recompute_gss(false);
         }
 
-        self.detect_and_recover();
-        outputs
-    }
-
-    fn metrics(&self) -> MetricsSnapshot {
-        let mut m = self.inner.metrics();
-        m.merge(&self.overlay);
-        m
-    }
-
-    fn digest(&self) -> Vec<(Key, Timestamp, ReplicaId)> {
-        self.inner.digest()
-    }
-
-    fn store_stats(&self) -> pocc_storage::StoreStats {
-        self.inner.store().stats()
-    }
-
-    fn shard_stats(&self) -> Vec<pocc_storage::ShardStats> {
-        self.inner.store().shard_stats()
-    }
-
-    fn take_extra_work(&mut self) -> u64 {
-        self.inner.take_extra_work()
+        self.detect_and_recover(core, now);
     }
 }
+
+/// A POCC server augmented with the availability-recovery machinery of §III-B:
+/// an infrequent stabilization protocol, a partition detector, a pessimistic fall-back
+/// mode and automatic promotion back to optimistic operation.
+pub struct HaPoccServer<C> {
+    engine: ProtocolEngine<C, HaPolicy>,
+}
+
+impl<C: Clock> HaPoccServer<C> {
+    /// Creates an HA-POCC server for `id`.
+    pub fn new(id: ServerId, config: Config, clock: C) -> Self {
+        let now = clock.now();
+        let policy = HaPolicy::new(&config, now);
+        HaPoccServer {
+            engine: ProtocolEngine::new(id, config, clock, policy),
+        }
+    }
+
+    /// The current operating mode.
+    pub fn mode(&self) -> Mode {
+        self.engine.policy().mode
+    }
+
+    /// How many times the server switched between optimistic and pessimistic mode.
+    pub fn mode_switches(&self) -> u64 {
+        self.engine.policy().mode_switches
+    }
+
+    /// The server's current view of the Globally Stable Snapshot.
+    pub fn gss(&self) -> &DependencyVector {
+        &self.engine.core().gss
+    }
+
+    /// The server's current version vector.
+    pub fn version_vector(&self) -> &VersionVector {
+        &self.engine.core().vv
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &ShardedStore {
+        &self.engine.core().store
+    }
+
+    /// Forces the server into pessimistic mode (used by tests and by operators who know a
+    /// partition is coming, e.g. planned maintenance).
+    pub fn force_pessimistic(&mut self) {
+        let (core, policy) = self.engine.parts_mut();
+        policy.enter_pessimistic(core);
+    }
+
+    /// Forces the server back into optimistic mode.
+    pub fn force_optimistic(&mut self) {
+        let (core, policy) = self.engine.parts_mut();
+        policy.enter_optimistic(core);
+    }
+}
+
+pocc_engine::delegate_protocol_server!(HaPoccServer);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pocc_clock::ManualClock;
-    use pocc_proto::expect_reply;
-    use pocc_types::{Value, Version};
+    use pocc_proto::{expect_reply, ProtocolServer};
+    use pocc_types::{ReplicaId, Value, Version};
     use std::time::Duration;
 
     const MS: u64 = 1_000;

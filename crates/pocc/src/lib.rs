@@ -65,11 +65,10 @@
 #![warn(missing_docs)]
 
 mod client;
-mod pending;
 mod server;
 
 pub use client::Client;
-pub use pending::{BlockReason, PendingOp};
-pub use server::{PoccServer, ServerStatus};
+pub use server::{PoccPolicy, PoccServer, ServerStatus};
 
+pub use pocc_engine::{BlockReason, PendingOp};
 pub use pocc_proto::{ProtocolClient, ProtocolServer};

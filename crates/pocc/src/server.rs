@@ -1,31 +1,11 @@
-//! The POCC server state machine (Algorithm 2 of the paper).
+//! The POCC server (Algorithm 2 of the paper) as a visibility policy over the shared
+//! protocol engine.
 
-use crate::pending::{Parked, PendingOp};
 use pocc_clock::Clock;
-use pocc_proto::{
-    ClientReply, ClientRequest, GetResponse, MessageBatcher, MetricsSnapshot, ProtocolServer,
-    ServerMessage, ServerOutput, TxId, TxItem,
-};
-use pocc_storage::{partition_for_key, ShardedStore};
-use pocc_types::{
-    ClientId, Config, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Timestamp, Version,
-    VersionVector,
-};
-use std::collections::HashMap;
-
-/// State of a read-only transaction this server coordinates.
-#[derive(Clone, Debug)]
-struct TxState {
-    client: ClientId,
-    /// Number of slice responses still expected (including the local slice, if parked).
-    outstanding_slices: usize,
-    /// Items collected so far.
-    items: Vec<TxItem>,
-    /// The transaction snapshot vector `TV` (contributes to the GC lower bound).
-    snapshot: DependencyVector,
-    /// When the transaction started (server clock), for the partition detector.
-    started: Timestamp,
-}
+use pocc_engine::{EngineCore, PendingOp, ProtocolEngine, ReadMode, VisibilityPolicy};
+use pocc_proto::{ClientRequest, ServerOutput};
+use pocc_storage::ShardedStore;
+use pocc_types::{ClientId, Config, PartitionId, ReplicaId, ServerId, Timestamp, VersionVector};
 
 /// An observability snapshot of a POCC server's internal state.
 #[derive(Clone, Debug)]
@@ -40,79 +20,115 @@ pub struct ServerStatus {
     pub store: pocc_storage::StoreStats,
 }
 
+/// The optimistic visibility policy (Algorithm 2): a GET returns the *freshest* version
+/// the server has received — stable or not — and parks when the client's dependencies
+/// have not been installed yet; PUTs optionally wait for their dependencies; read-only
+/// transactions read from `VV ∨ RDV`; garbage collection runs the vector exchange of
+/// §IV-B.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoccPolicy;
+
+impl<C: Clock> VisibilityPolicy<C> for PoccPolicy {
+    fn handle_client_request(
+        &mut self,
+        core: &mut EngineCore<C>,
+        client: ClientId,
+        request: ClientRequest,
+    ) -> Vec<ServerOutput> {
+        let mut outputs = Vec::new();
+        match request {
+            ClientRequest::Get { key, rdv } => {
+                // Algorithm 2 lines 2–4: serve the chain head once the client's remote
+                // dependencies are covered, park otherwise.
+                if core.covers_remote_deps(&rdv) {
+                    let out = core.serve_get_latest(client, key);
+                    outputs.push(out);
+                } else {
+                    core.park_get(client, key, rdv, ReadMode::Latest);
+                }
+            }
+            ClientRequest::Put { key, value, dv } => {
+                // Lines 6–15, with the dependency wait configurable as in the paper's
+                // evaluation.
+                if !core.config.put_waits_for_dependencies || core.covers_remote_deps(&dv) {
+                    core.serve_put(client, key, value, dv, &mut outputs);
+                } else {
+                    core.park_put(client, key, value, dv);
+                }
+                // A PUT advances the local clock entry, which can unblock parked slices.
+                core.unpark(&mut outputs);
+            }
+            ClientRequest::RoTx { keys, rdv } => {
+                // Line 32: the snapshot visible to the transaction is the entry-wise
+                // maximum of the coordinator's version vector and the client's read
+                // dependencies.
+                let snapshot = core.vv.snapshot_with(&rdv);
+                core.start_ro_tx(client, keys, snapshot, &mut outputs);
+            }
+        }
+        outputs
+    }
+
+    fn on_gc_vector(
+        &mut self,
+        core: &mut EngineCore<C>,
+        from: ServerId,
+        vector: pocc_types::DependencyVector,
+    ) {
+        core.gc_contributions.insert(from.partition, vector);
+    }
+
+    fn on_tick(
+        &mut self,
+        core: &mut EngineCore<C>,
+        now: Timestamp,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        // Garbage collection exchange (§IV-B).
+        if now.saturating_since(core.last_gc) >= core.config.gc_interval {
+            core.last_gc = now;
+            core.gc_exchange_round(outputs);
+        }
+        // Partition detection (§III-B).
+        core.enforce_partition_timeouts(now, outputs);
+    }
+}
+
 /// A POCC server `p^m_n`: one replica (data center `m`) of one partition (`n`).
 ///
 /// The server is a sans-IO state machine: feed it client requests, server messages and
 /// periodic ticks; it returns the replies and messages to deliver. See the crate-level
 /// documentation for an end-to-end example.
 pub struct PoccServer<C> {
-    id: ServerId,
-    config: Config,
-    clock: C,
-    store: ShardedStore,
-    /// The version vector `VV^m_n`.
-    vv: VersionVector,
-    /// Parked operations, in arrival order.
-    parked: Vec<Parked>,
-    /// Read-only transactions this server coordinates.
-    transactions: HashMap<TxId, TxState>,
-    next_tx: TxId,
-    /// Latest garbage-collection contribution received from each local peer partition.
-    gc_contributions: HashMap<PartitionId, DependencyVector>,
-    /// When the last garbage-collection exchange was initiated.
-    last_gc_exchange: Timestamp,
-    /// Coalesces replication/GC traffic per destination when batching is enabled
-    /// (`Config::replication_batching`); flushed at the start of every tick.
-    batcher: MessageBatcher,
-    metrics: MetricsSnapshot,
-    /// Extra CPU work units (chain elements traversed beyond the head) since the last
-    /// [`ProtocolServer::take_extra_work`] call.
-    extra_work: u64,
+    engine: ProtocolEngine<C, PoccPolicy>,
 }
 
 impl<C: Clock> PoccServer<C> {
     /// Creates a POCC server for `id` with the given deployment configuration and clock.
     pub fn new(id: ServerId, config: Config, clock: C) -> Self {
-        let m = config.num_replicas;
         PoccServer {
-            store: ShardedStore::with_shards(
-                id.partition,
-                config.num_partitions,
-                config.storage_shards,
-            ),
-            vv: VersionVector::zero(m),
-            parked: Vec::new(),
-            transactions: HashMap::new(),
-            next_tx: TxId(0),
-            gc_contributions: HashMap::new(),
-            last_gc_exchange: Timestamp::ZERO,
-            batcher: MessageBatcher::new(config.replication_batching),
-            metrics: MetricsSnapshot::default(),
-            extra_work: 0,
-            id,
-            config,
-            clock,
+            engine: ProtocolEngine::new(id, config, clock, PoccPolicy),
         }
     }
 
     /// The replica (data center) this server belongs to.
     pub fn replica(&self) -> ReplicaId {
-        self.id.replica
+        self.engine.core().replica()
     }
 
     /// The partition this server is responsible for.
     pub fn partition(&self) -> PartitionId {
-        self.id.partition
+        self.engine.core().partition()
     }
 
     /// The server's current version vector.
     pub fn version_vector(&self) -> &VersionVector {
-        &self.vv
+        &self.engine.core().vv
     }
 
     /// Read access to the underlying store (used by tests and the convergence checker).
     pub fn store(&self) -> &ShardedStore {
-        &self.store
+        &self.engine.core().store
     }
 
     /// Enables or disables the PUT-side dependency wait (Algorithm 2 line 6) at runtime.
@@ -121,660 +137,33 @@ impl<C: Clock> PoccServer<C> {
     /// during a network partition, so writes never block on dependencies that may be stuck
     /// behind the partition.
     pub fn set_put_waits_for_dependencies(&mut self, yes: bool) {
-        self.config.put_waits_for_dependencies = yes;
+        self.engine.core_mut().config.put_waits_for_dependencies = yes;
     }
 
     /// An observability snapshot of the server's state.
     pub fn status(&self) -> ServerStatus {
+        let core = self.engine.core();
         ServerStatus {
-            version_vector: self.vv.clone(),
-            pending: self.parked.iter().map(Parked::view).collect(),
-            active_transactions: self.transactions.len(),
-            store: self.store.stats(),
-        }
-    }
-
-    // -----------------------------------------------------------------------------------
-    // Helpers
-    // -----------------------------------------------------------------------------------
-
-    /// Builds a `Send` output while accounting for the traffic in the metrics.
-    fn send(&mut self, to: ServerId, message: ServerMessage) -> ServerOutput {
-        self.metrics.bytes_sent += message.wire_size() as u64;
-        match &message {
-            ServerMessage::Replicate { .. } => self.metrics.replicate_sent += 1,
-            ServerMessage::Heartbeat { .. } => self.metrics.heartbeats_sent += 1,
-            ServerMessage::StabilizationVector { .. } => self.metrics.stabilization_messages += 1,
-            ServerMessage::GcVector { .. } => self.metrics.gc_messages += 1,
-            _ => {}
-        }
-        ServerOutput::send(to, message)
-    }
-
-    /// Sends a message through the replication batcher: delivered immediately when
-    /// batching is off (or the message is latency-sensitive), deferred to the next tick's
-    /// flush otherwise. Per-message metrics are accounted either way.
-    fn send_via_batcher(
-        &mut self,
-        to: ServerId,
-        message: ServerMessage,
-        outputs: &mut Vec<ServerOutput>,
-    ) {
-        let out = self.send(to, message);
-        if let Some(out) = self.batcher.stage_one(out) {
-            outputs.push(out);
-        }
-    }
-
-    /// The sibling replicas of this server: same partition, every other data center.
-    fn siblings(&self) -> Vec<ServerId> {
-        self.config
-            .replicas()
-            .filter(|r| *r != self.id.replica)
-            .map(|r| self.id.sibling(r))
-            .collect()
-    }
-
-    /// The local peers of this server: same data center, every other partition.
-    fn local_peers(&self) -> Vec<ServerId> {
-        self.config
-            .partitions()
-            .filter(|p| *p != self.id.partition)
-            .map(|p| self.id.local_peer(p))
-            .collect()
-    }
-
-    /// Whether the server has installed every dependency in `deps` originated at a remote
-    /// data center (the wait condition of Algorithm 2 lines 2 and 6).
-    fn covers_remote_deps(&self, deps: &DependencyVector) -> bool {
-        self.vv
-            .covers_dependencies_except_local(deps, self.id.replica)
-    }
-
-    /// Builds the reply payload for a read of `key` at the head of its version chain.
-    fn freshest_response(&self, key: Key) -> GetResponse {
-        match self.store.latest(key) {
-            Some(v) => GetResponse {
-                value: Some(v.value.clone()),
-                update_time: v.update_time,
-                deps: v.deps.clone(),
-                source_replica: v.source_replica,
-            },
-            None => GetResponse {
-                value: None,
-                update_time: Timestamp::ZERO,
-                deps: DependencyVector::zero(self.config.num_replicas),
-                source_replica: self.id.replica,
-            },
-        }
-    }
-
-    // -----------------------------------------------------------------------------------
-    // GET
-    // -----------------------------------------------------------------------------------
-
-    fn handle_get(
-        &mut self,
-        client: ClientId,
-        key: Key,
-        rdv: DependencyVector,
-        outputs: &mut Vec<ServerOutput>,
-    ) {
-        if self.covers_remote_deps(&rdv) {
-            outputs.push(self.serve_get(client, key));
-        } else {
-            self.metrics.blocked_operations += 1;
-            self.parked.push(Parked::Get {
-                client,
-                key,
-                rdv,
-                since: self.clock.now(),
-            });
-        }
-    }
-
-    /// Serves a GET whose wait condition holds: return the freshest version
-    /// (Algorithm 2 lines 3–4).
-    fn serve_get(&mut self, client: ClientId, key: Key) -> ServerOutput {
-        self.metrics.gets_served += 1;
-        let resp = self.freshest_response(key);
-        ServerOutput::reply(client, ClientReply::Get(resp))
-    }
-
-    // -----------------------------------------------------------------------------------
-    // PUT
-    // -----------------------------------------------------------------------------------
-
-    fn handle_put(
-        &mut self,
-        client: ClientId,
-        key: Key,
-        value: pocc_types::Value,
-        dv: DependencyVector,
-        outputs: &mut Vec<ServerOutput>,
-    ) {
-        if !self.config.put_waits_for_dependencies || self.covers_remote_deps(&dv) {
-            self.serve_put(client, key, value, dv, outputs);
-        } else {
-            self.metrics.blocked_operations += 1;
-            self.parked.push(Parked::Put {
-                client,
-                key,
-                value,
-                dv,
-                since: self.clock.now(),
-            });
-        }
-    }
-
-    /// Serves a PUT whose (optional) dependency wait condition holds
-    /// (Algorithm 2 lines 7–15).
-    fn serve_put(
-        &mut self,
-        client: ClientId,
-        key: Key,
-        value: pocc_types::Value,
-        dv: DependencyVector,
-        outputs: &mut Vec<ServerOutput>,
-    ) {
-        // Line 7: wait until the local clock exceeds every dependency timestamp, so the new
-        // version's update time is strictly larger than anything it depends on. The wait is
-        // bounded by the clock skew (microseconds); we account for it and jump the
-        // timestamp forward instead of parking the request.
-        let now = self.clock.now();
-        let max_dep = dv.max_entry();
-        let update_time = if now > max_dep {
-            now
-        } else {
-            self.metrics.clock_wait_time +=
-                max_dep.saturating_since(now) + std::time::Duration::from_micros(1);
-            max_dep.tick()
-        };
-
-        // Line 8: advance the local entry of the version vector.
-        self.vv.advance(self.id.replica, update_time);
-
-        // Lines 9–11: create the version and insert it into the chain.
-        let version = Version::new(key, value, self.id.replica, update_time, dv);
-        self.store
-            .insert(version.clone())
-            .expect("PUT routed to the wrong partition");
-
-        // Lines 12–14: asynchronously replicate to the sibling replicas, in timestamp order
-        // (guaranteed because PUTs are processed in clock order and channels are FIFO;
-        // the batcher preserves buffer order, so batching keeps the guarantee).
-        for sibling in self.siblings() {
-            let msg = ServerMessage::Replicate {
-                version: version.clone(),
-            };
-            self.send_via_batcher(sibling, msg, outputs);
-        }
-
-        // Line 15: reply with the new update time.
-        self.metrics.puts_served += 1;
-        outputs.push(ServerOutput::reply(
-            client,
-            ClientReply::Put { update_time },
-        ));
-    }
-
-    // -----------------------------------------------------------------------------------
-    // RO-TX (coordinator side)
-    // -----------------------------------------------------------------------------------
-
-    fn handle_ro_tx(
-        &mut self,
-        client: ClientId,
-        keys: Vec<Key>,
-        rdv: DependencyVector,
-        outputs: &mut Vec<ServerOutput>,
-    ) {
-        if keys.is_empty() {
-            self.metrics.rotx_served += 1;
-            outputs.push(ServerOutput::reply(
-                client,
-                ClientReply::RoTx { items: Vec::new() },
-            ));
-            return;
-        }
-
-        // Algorithm 2 line 32: the snapshot visible to the transaction is the entry-wise
-        // maximum of the coordinator's version vector and the client's read dependencies.
-        let snapshot = self.vv.snapshot_with(&rdv);
-
-        // Group the requested keys by owning partition (line 30).
-        let mut by_partition: HashMap<PartitionId, Vec<Key>> = HashMap::new();
-        for key in keys {
-            by_partition
-                .entry(partition_for_key(key, self.config.num_partitions))
-                .or_default()
-                .push(key);
-        }
-
-        let tx = self.next_tx;
-        self.next_tx = self.next_tx.next();
-        self.transactions.insert(
-            tx,
-            TxState {
-                client,
-                outstanding_slices: by_partition.len(),
-                items: Vec::new(),
-                snapshot: snapshot.clone(),
-                started: self.clock.now(),
-            },
-        );
-
-        // Lines 33–37: ask every involved partition for its slice of the snapshot. The
-        // local partition is served in-process (possibly parking until the snapshot is
-        // installed locally).
-        // Deterministic fan-out order (HashMap iteration order is randomised per process).
-        let mut groups: Vec<_> = by_partition.into_iter().collect();
-        groups.sort_by_key(|(partition, _)| *partition);
-        let mut local_keys = None;
-        for (partition, keys) in groups {
-            if partition == self.id.partition {
-                local_keys = Some(keys);
-            } else {
-                let msg = ServerMessage::SliceRequest {
-                    tx,
-                    client,
-                    keys,
-                    snapshot: snapshot.clone(),
-                };
-                let to = self.id.local_peer(partition);
-                outputs.push(self.send(to, msg));
-            }
-        }
-        if let Some(keys) = local_keys {
-            self.serve_or_park_slice(None, tx, client, keys, snapshot, outputs);
-        }
-    }
-
-    /// Folds a completed slice into the transaction state and replies to the client when
-    /// every slice has arrived.
-    fn complete_slice(&mut self, tx: TxId, items: Vec<TxItem>, outputs: &mut Vec<ServerOutput>) {
-        let finished = {
-            let Some(state) = self.transactions.get_mut(&tx) else {
-                // The transaction was aborted by the partition detector; drop the late slice.
-                return;
-            };
-            state.items.extend(items);
-            state.outstanding_slices = state.outstanding_slices.saturating_sub(1);
-            state.outstanding_slices == 0
-        };
-        if finished {
-            let state = self
-                .transactions
-                .remove(&tx)
-                .expect("transaction present while completing");
-            self.metrics.rotx_served += 1;
-            outputs.push(ServerOutput::reply(
-                state.client,
-                ClientReply::RoTx { items: state.items },
-            ));
-        }
-    }
-
-    // -----------------------------------------------------------------------------------
-    // Slice reads (participant side)
-    // -----------------------------------------------------------------------------------
-
-    /// Serves a transactional slice read if the snapshot is installed locally, parks it
-    /// otherwise (Algorithm 2 lines 39–47).
-    fn serve_or_park_slice(
-        &mut self,
-        origin: Option<ServerId>,
-        tx: TxId,
-        client: ClientId,
-        keys: Vec<Key>,
-        snapshot: DependencyVector,
-        outputs: &mut Vec<ServerOutput>,
-    ) {
-        if self.vv.covers(&snapshot) {
-            let items = self.read_slice(&keys, &snapshot);
-            self.metrics.slices_served += 1;
-            match origin {
-                Some(origin) => {
-                    let msg = ServerMessage::SliceResponse { tx, items };
-                    outputs.push(self.send(origin, msg));
-                }
-                None => self.complete_slice(tx, items, outputs),
-            }
-        } else {
-            self.metrics.blocked_operations += 1;
-            self.parked.push(Parked::Slice {
-                origin,
-                tx,
-                client,
-                keys,
-                snapshot,
-                since: self.clock.now(),
-            });
-        }
-    }
-
-    /// Reads every key of a slice within the snapshot, collecting staleness statistics
-    /// (Algorithm 2 lines 41–46).
-    fn read_slice(&mut self, keys: &[Key], snapshot: &DependencyVector) -> Vec<TxItem> {
-        let mut items = Vec::with_capacity(keys.len());
-        for &key in keys {
-            let outcome = self.store.latest_in_snapshot(key, snapshot);
-            self.extra_work += outcome.stats.traversed.saturating_sub(1) as u64;
-            self.metrics.tx_items_returned += 1;
-            if outcome.is_old() {
-                self.metrics.old_tx_items += 1;
-                // In POCC every version older than the returned one is already merged, so
-                // "old" and "unmerged" coincide for transactional reads (§V-C).
-                self.metrics.unmerged_tx_items += 1;
-            }
-            let response = match outcome.version {
-                Some(v) => GetResponse {
-                    value: Some(v.value.clone()),
-                    update_time: v.update_time,
-                    deps: v.deps.clone(),
-                    source_replica: v.source_replica,
-                },
-                None => GetResponse {
-                    value: None,
-                    update_time: Timestamp::ZERO,
-                    deps: DependencyVector::zero(self.config.num_replicas),
-                    source_replica: self.id.replica,
-                },
-            };
-            items.push(TxItem { key, response });
-        }
-        items
-    }
-
-    // -----------------------------------------------------------------------------------
-    // Unparking and timeouts
-    // -----------------------------------------------------------------------------------
-
-    /// Re-evaluates every parked operation after the version vector advanced, serving the
-    /// ones whose wait condition now holds.
-    fn unpark(&mut self, outputs: &mut Vec<ServerOutput>) {
-        if self.parked.is_empty() {
-            return;
-        }
-        let parked = std::mem::take(&mut self.parked);
-        let now = self.clock.now();
-        for op in parked {
-            let ready = match &op {
-                Parked::Get { rdv, .. } => self.covers_remote_deps(rdv),
-                Parked::Put { dv, .. } => self.covers_remote_deps(dv),
-                Parked::Slice { snapshot, .. } => self.vv.covers(snapshot),
-            };
-            if !ready {
-                self.parked.push(op);
-                continue;
-            }
-            self.metrics.total_block_time += now.saturating_since(op.since());
-            match op {
-                Parked::Get { client, key, .. } => {
-                    let out = self.serve_get(client, key);
-                    outputs.push(out);
-                }
-                Parked::Put {
-                    client,
-                    key,
-                    value,
-                    dv,
-                    ..
-                } => self.serve_put(client, key, value, dv, outputs),
-                Parked::Slice {
-                    origin,
-                    tx,
-                    client,
-                    keys,
-                    snapshot,
-                    ..
-                } => {
-                    // Serve directly: the wait condition has just been checked.
-                    let items = self.read_slice(&keys, &snapshot);
-                    self.metrics.slices_served += 1;
-                    match origin {
-                        Some(origin) => {
-                            let msg = ServerMessage::SliceResponse { tx, items };
-                            let out = self.send(origin, msg);
-                            outputs.push(out);
-                        }
-                        None => {
-                            let _ = client;
-                            self.complete_slice(tx, items, outputs);
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Aborts parked client-facing operations and coordinated transactions that exceeded
-    /// the partition-detection timeout (§III-B phase 1: the server closes the session).
-    fn enforce_partition_timeouts(&mut self, outputs: &mut Vec<ServerOutput>) {
-        let timeout = self.config.partition_detection_timeout;
-        let now = self.clock.now();
-
-        let parked = std::mem::take(&mut self.parked);
-        for op in parked {
-            let expired = now.saturating_since(op.since()) >= timeout;
-            if expired && op.is_client_facing() {
-                self.metrics.sessions_aborted += 1;
-                outputs.push(ServerOutput::reply(
-                    op.client(),
-                    ClientReply::SessionAborted {
-                        reason: format!("blocked on {} beyond the partition timeout", op.reason()),
-                    },
-                ));
-            } else if expired {
-                // A slice read on behalf of a remote coordinator: the coordinator's own
-                // timeout aborts the client session; the parked slice is simply dropped.
-            } else {
-                self.parked.push(op);
-            }
-        }
-
-        let expired_txs: Vec<TxId> = self
-            .transactions
-            .iter()
-            .filter(|(_, st)| now.saturating_since(st.started) >= timeout)
-            .map(|(tx, _)| *tx)
-            .collect();
-        for tx in expired_txs {
-            let state = self.transactions.remove(&tx).expect("tx present");
-            self.metrics.sessions_aborted += 1;
-            outputs.push(ServerOutput::reply(
-                state.client,
-                ClientReply::SessionAborted {
-                    reason: "read-only transaction blocked beyond the partition timeout".into(),
-                },
-            ));
-        }
-    }
-
-    // -----------------------------------------------------------------------------------
-    // Garbage collection (§IV-B)
-    // -----------------------------------------------------------------------------------
-
-    /// This server's contribution to the garbage-collection vector: the entry-wise minimum
-    /// of the snapshot vectors of its active transactions, or its version vector when it
-    /// coordinates none.
-    ///
-    /// The paper exchanges the aggregate *maximum* of the active snapshot vectors; we use
-    /// the minimum, which is never less conservative and guarantees that no version
-    /// readable by an active transaction is ever collected (see DESIGN.md).
-    fn gc_contribution(&self) -> DependencyVector {
-        let mut contribution = DependencyVector::from_entries(self.vv.as_slice().to_vec());
-        for tx in self.transactions.values() {
-            contribution.meet(&tx.snapshot);
-        }
-        contribution
-    }
-
-    /// Runs one garbage-collection exchange round and collects garbage if contributions
-    /// from every local peer are known.
-    fn gc_round(&mut self, outputs: &mut Vec<ServerOutput>) {
-        let contribution = self.gc_contribution();
-        for peer in self.local_peers() {
-            let msg = ServerMessage::GcVector {
-                vector: contribution.clone(),
-            };
-            self.send_via_batcher(peer, msg, outputs);
-        }
-        self.gc_contributions
-            .insert(self.id.partition, contribution);
-
-        if self.gc_contributions.len() == self.config.num_partitions {
-            let mut gv = self
-                .gc_contributions
-                .values()
-                .next()
-                .expect("at least the local contribution")
-                .clone();
-            for v in self.gc_contributions.values() {
-                gv.meet(v);
-            }
-            let removed = self.store.collect_garbage(&gv);
-            self.metrics.gc_versions_removed += removed as u64;
+            version_vector: core.vv.clone(),
+            pending: core.pending_ops(),
+            active_transactions: core.active_transactions(),
+            store: core.store.stats(),
         }
     }
 }
 
-impl<C: Clock> ProtocolServer for PoccServer<C> {
-    fn server_id(&self) -> ServerId {
-        self.id
-    }
-
-    fn handle_client_request(
-        &mut self,
-        client: ClientId,
-        request: ClientRequest,
-    ) -> Vec<ServerOutput> {
-        let mut outputs = Vec::new();
-        match request {
-            ClientRequest::Get { key, rdv } => self.handle_get(client, key, rdv, &mut outputs),
-            ClientRequest::Put { key, value, dv } => {
-                self.handle_put(client, key, value, dv, &mut outputs);
-                // A PUT advances the local clock entry, which can unblock parked slices.
-                self.unpark(&mut outputs);
-            }
-            ClientRequest::RoTx { keys, rdv } => self.handle_ro_tx(client, keys, rdv, &mut outputs),
-        }
-        outputs
-    }
-
-    fn handle_server_message(
-        &mut self,
-        from: ServerId,
-        message: ServerMessage,
-    ) -> Vec<ServerOutput> {
-        let mut outputs = Vec::new();
-        match message {
-            ServerMessage::Replicate { version } => {
-                // Algorithm 2 lines 16–18.
-                self.metrics.replicate_received += 1;
-                self.vv.advance(from.replica, version.update_time);
-                self.store
-                    .insert(version)
-                    .expect("replicated update routed to the wrong partition");
-                self.unpark(&mut outputs);
-            }
-            ServerMessage::Heartbeat { clock } => {
-                // Algorithm 2 lines 27–28.
-                self.metrics.heartbeats_received += 1;
-                self.vv.advance(from.replica, clock);
-                self.unpark(&mut outputs);
-            }
-            ServerMessage::SliceRequest {
-                tx,
-                client,
-                keys,
-                snapshot,
-            } => {
-                self.serve_or_park_slice(Some(from), tx, client, keys, snapshot, &mut outputs);
-            }
-            ServerMessage::SliceResponse { tx, items } => {
-                self.complete_slice(tx, items, &mut outputs);
-            }
-            ServerMessage::StabilizationVector { .. } => {
-                // Plain POCC does not run the stabilization protocol; HA-POCC (pocc-ha)
-                // consumes these. Count it so misconfigurations are visible in metrics.
-                self.metrics.stabilization_messages += 1;
-            }
-            ServerMessage::GcVector { vector } => {
-                self.metrics.gc_messages += 1;
-                self.gc_contributions.insert(from.partition, vector);
-            }
-            ServerMessage::Batch { messages } => {
-                for inner in messages {
-                    outputs.extend(self.handle_server_message(from, inner));
-                }
-            }
-        }
-        outputs
-    }
-
-    fn tick(&mut self) -> Vec<ServerOutput> {
-        let mut outputs = Vec::new();
-        // Ship the traffic coalesced since the last tick first, so heartbeats emitted
-        // below cannot overtake buffered replication on the FIFO channels.
-        self.batcher.flush_into(&mut self.metrics, &mut outputs);
-        let now = self.clock.now();
-
-        // Heartbeats (Algorithm 2 lines 19–26): if no local update advanced VV[m] for the
-        // last ∆, broadcast the clock so sibling replicas can advance their vectors.
-        let local = self.id.replica;
-        if now >= self.vv.get(local) + self.config.heartbeat_interval {
-            self.vv.set(local, now);
-            for sibling in self.siblings() {
-                let msg = ServerMessage::Heartbeat { clock: now };
-                outputs.push(self.send(sibling, msg));
-            }
-            // The local entry advanced: parked slices constrained by it may now proceed.
-            self.unpark(&mut outputs);
-        }
-
-        // Garbage collection exchange (§IV-B).
-        if now.saturating_since(self.last_gc_exchange) >= self.config.gc_interval {
-            self.last_gc_exchange = now;
-            self.gc_round(&mut outputs);
-        }
-
-        // Partition detection (§III-B).
-        self.enforce_partition_timeouts(&mut outputs);
-
-        outputs
-    }
-
-    fn metrics(&self) -> MetricsSnapshot {
-        let mut m = self.metrics.clone();
-        m.currently_blocked = self.parked.len() as u64;
-        m
-    }
-
-    fn digest(&self) -> Vec<(Key, Timestamp, ReplicaId)> {
-        self.store.digest()
-    }
-
-    fn store_stats(&self) -> pocc_storage::StoreStats {
-        self.store.stats()
-    }
-
-    fn shard_stats(&self) -> Vec<pocc_storage::ShardStats> {
-        self.store.shard_stats()
-    }
-
-    fn take_extra_work(&mut self) -> u64 {
-        std::mem::take(&mut self.extra_work)
-    }
-}
+pocc_engine::delegate_protocol_server!(PoccServer);
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Client;
     use pocc_clock::ManualClock;
-    use pocc_proto::{expect_reply, ProtocolClient};
-    use pocc_types::Value;
+    use pocc_proto::{
+        expect_reply, ClientReply, ProtocolClient, ProtocolServer, ServerMessage, TxId,
+    };
+    use pocc_storage::partition_for_key;
+    use pocc_types::{DependencyVector, Key, Value, Version};
     use std::time::Duration;
 
     const MS: u64 = 1_000;

@@ -47,6 +47,10 @@ pub struct MetricsSnapshot {
     pub fresher_versions_sum: u64,
     /// Sum over unmerged GETs of the number of unmerged versions in the chain.
     pub unmerged_versions_sum: u64,
+    /// GET operations served through a GSS-stable fall-back read instead of the
+    /// freshest version (the Adaptive protocol's per-key pessimism; always zero for the
+    /// paper's three protocols).
+    pub stable_fallback_gets: u64,
     /// Transactional read results that returned an old version (Figure 3d).
     pub old_tx_items: u64,
     /// Transactional read results for which some version of the item was unmerged.
@@ -174,6 +178,7 @@ impl MetricsSnapshot {
         self.unmerged_gets += other.unmerged_gets;
         self.fresher_versions_sum += other.fresher_versions_sum;
         self.unmerged_versions_sum += other.unmerged_versions_sum;
+        self.stable_fallback_gets += other.stable_fallback_gets;
         self.old_tx_items += other.old_tx_items;
         self.unmerged_tx_items += other.unmerged_tx_items;
         self.tx_items_returned += other.tx_items_returned;
@@ -205,6 +210,7 @@ impl MetricsSnapshot {
             unmerged_gets: self.unmerged_gets - earlier.unmerged_gets,
             fresher_versions_sum: self.fresher_versions_sum - earlier.fresher_versions_sum,
             unmerged_versions_sum: self.unmerged_versions_sum - earlier.unmerged_versions_sum,
+            stable_fallback_gets: self.stable_fallback_gets - earlier.stable_fallback_gets,
             old_tx_items: self.old_tx_items - earlier.old_tx_items,
             unmerged_tx_items: self.unmerged_tx_items - earlier.unmerged_tx_items,
             tx_items_returned: self.tx_items_returned - earlier.tx_items_returned,

@@ -3,6 +3,7 @@
 use crate::client::ClusterClient;
 use crate::router::{Delayed, Inbound, Router};
 use crossbeam::channel::{Receiver, RecvTimeoutError};
+use pocc_adaptive::AdaptiveServer;
 use pocc_clock::{MonotonicClock, SystemClock};
 use pocc_cure::CureServer;
 use pocc_ha::HaPoccServer;
@@ -24,6 +25,8 @@ pub enum RuntimeProtocol {
     Cure,
     /// POCC with the availability fall-back (HA-POCC).
     HaPocc,
+    /// Per-key optimism with a GSS-stable fall-back for keys under remote churn.
+    Adaptive,
 }
 
 /// A running in-process cluster: one thread per server plus a network-delay thread.
@@ -141,6 +144,7 @@ fn server_thread(
         RuntimeProtocol::Pocc => Box::new(PoccServer::new(id, config.clone(), clock)),
         RuntimeProtocol::Cure => Box::new(CureServer::new(id, config.clone(), clock)),
         RuntimeProtocol::HaPocc => Box::new(HaPoccServer::new(id, config.clone(), clock)),
+        RuntimeProtocol::Adaptive => Box::new(AdaptiveServer::new(id, config.clone(), clock)),
     };
 
     let tick_every = config.heartbeat_interval;
@@ -288,6 +292,20 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(found.expect("value replicates").as_slice(), b"geo");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn adaptive_cluster_serves_the_same_api() {
+        let cluster = Cluster::start(small_config(), RuntimeProtocol::Adaptive);
+        let mut client = cluster.client(ReplicaId(0));
+        client.put(Key(11), Value::from("adaptive")).unwrap();
+        assert_eq!(
+            client.get(Key(11)).unwrap().unwrap().as_slice(),
+            b"adaptive"
+        );
+        let tx = client.ro_tx(vec![Key(11), Key(12)]).unwrap();
+        assert_eq!(tx.len(), 2);
         cluster.shutdown();
     }
 

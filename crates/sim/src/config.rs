@@ -13,6 +13,9 @@ pub enum ProtocolKind {
     Cure,
     /// POCC with the availability fall-back of §III-B.
     HaPocc,
+    /// Per-key optimism: POCC reads for calm keys, GSS-stable-bounded reads for keys
+    /// under remote churn.
+    Adaptive,
 }
 
 impl std::fmt::Display for ProtocolKind {
@@ -21,6 +24,7 @@ impl std::fmt::Display for ProtocolKind {
             ProtocolKind::Pocc => "POCC",
             ProtocolKind::Cure => "Cure*",
             ProtocolKind::HaPocc => "HA-POCC",
+            ProtocolKind::Adaptive => "Adaptive",
         };
         f.write_str(s)
     }
@@ -386,5 +390,6 @@ mod tests {
         assert_eq!(ProtocolKind::Pocc.to_string(), "POCC");
         assert_eq!(ProtocolKind::Cure.to_string(), "Cure*");
         assert_eq!(ProtocolKind::HaPocc.to_string(), "HA-POCC");
+        assert_eq!(ProtocolKind::Adaptive.to_string(), "Adaptive");
     }
 }

@@ -5,6 +5,7 @@ use crate::consistency::ConsistencyChecker;
 use crate::event::{Event, EventQueue};
 use crate::metrics::LatencyStats;
 use crate::report::SimReport;
+use pocc_adaptive::AdaptiveServer;
 use pocc_clock::{ClockFactory, ManualClock, SkewModel};
 use pocc_cure::CureServer;
 use pocc_ha::HaPoccServer;
@@ -111,6 +112,9 @@ impl Simulation {
                 ProtocolKind::Pocc => Box::new(PoccServer::new(id, deployment.clone(), clock)),
                 ProtocolKind::Cure => Box::new(CureServer::new(id, deployment.clone(), clock)),
                 ProtocolKind::HaPocc => Box::new(HaPoccServer::new(id, deployment.clone(), clock)),
+                ProtocolKind::Adaptive => {
+                    Box::new(AdaptiveServer::new(id, deployment.clone(), clock))
+                }
             };
             servers.insert(
                 id,
@@ -636,6 +640,16 @@ mod tests {
         assert!(report.operations_completed > 50);
         assert_eq!(report.consistency_violations, 0);
         assert!(report.converged);
+    }
+
+    #[test]
+    fn adaptive_simulation_completes_operations_without_violations() {
+        let report = Simulation::new(quick_config(ProtocolKind::Adaptive)).run();
+        assert!(report.operations_completed > 50);
+        assert_eq!(report.consistency_violations, 0);
+        assert!(report.converged);
+        // The stabilization protocol behind the stable fall-back must actually run.
+        assert!(report.server_metrics.stabilization_messages > 0);
     }
 
     #[test]

@@ -148,6 +148,13 @@ pub struct Config {
     /// write. Off by default: batching trades up to one heartbeat interval of extra
     /// replication delay for far fewer messages on the inter-DC links.
     pub replication_batching: bool,
+    /// Adaptive protocol only: number of remote updates a key must receive within one
+    /// churn window before its reads fall back to GSS-stable-bounded visibility.
+    pub adaptive_churn_threshold: u32,
+    /// Adaptive protocol only: length of the sliding window over which per-key remote
+    /// churn is counted (scores halve at every window boundary, so classification decays
+    /// once a key cools down).
+    pub adaptive_churn_window: Duration,
 }
 
 impl Config {
@@ -235,6 +242,11 @@ impl Config {
                 reason: "stabilization_interval must be positive".into(),
             });
         }
+        if self.adaptive_churn_window.is_zero() {
+            return Err(Error::InvalidConfig {
+                reason: "adaptive_churn_window must be positive".into(),
+            });
+        }
         self.latency.validate(self.num_replicas)
     }
 }
@@ -263,6 +275,8 @@ pub struct ConfigBuilder {
     put_waits_for_dependencies: bool,
     storage_shards: usize,
     replication_batching: bool,
+    adaptive_churn_threshold: u32,
+    adaptive_churn_window: Duration,
 }
 
 impl Default for ConfigBuilder {
@@ -283,6 +297,8 @@ impl Default for ConfigBuilder {
             put_waits_for_dependencies: true,
             storage_shards: 8,
             replication_batching: false,
+            adaptive_churn_threshold: 3,
+            adaptive_churn_window: Duration::from_millis(20),
         }
     }
 }
@@ -378,6 +394,20 @@ impl ConfigBuilder {
         self
     }
 
+    /// Sets the remote-churn threshold above which the Adaptive protocol serves a key's
+    /// reads from the stable snapshot instead of optimistically.
+    pub fn adaptive_churn_threshold(mut self, n: u32) -> Self {
+        self.adaptive_churn_threshold = n;
+        self
+    }
+
+    /// Sets the sliding window over which the Adaptive protocol counts per-key remote
+    /// churn.
+    pub fn adaptive_churn_window(mut self, d: Duration) -> Self {
+        self.adaptive_churn_window = d;
+        self
+    }
+
     /// Builds and validates the configuration.
     pub fn build(self) -> Result<Config> {
         let latency = self.latency.unwrap_or_else(|| {
@@ -407,6 +437,8 @@ impl ConfigBuilder {
             put_waits_for_dependencies: self.put_waits_for_dependencies,
             storage_shards: self.storage_shards,
             replication_batching: self.replication_batching,
+            adaptive_churn_threshold: self.adaptive_churn_threshold,
+            adaptive_churn_window: self.adaptive_churn_window,
         };
         config.validate()?;
         Ok(config)

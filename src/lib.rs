@@ -10,9 +10,11 @@
 //! | [`clock`] | `pocc-clock` | Physical clock abstractions (real, simulated, skewed, monotonic) |
 //! | [`storage`] | `pocc-storage` | Multi-version store: version chains, visibility, garbage collection |
 //! | [`proto`] | `pocc-proto` | Wire messages, binary codec, the sans-IO server/client API |
+//! | [`engine`] | `pocc-engine` | The shared protocol engine: replication/heartbeat/GC/transaction machinery behind pluggable visibility policies |
 //! | [`protocol`] | `pocc-protocol` | **POCC** — the paper's optimistic protocol (Algorithms 1 & 2) |
 //! | [`cure`] | `pocc-cure` | **Cure\*** — the pessimistic baseline (GSS stabilization) |
 //! | [`ha`] | `pocc-ha` | **HA-POCC** — partition detection, pessimistic fall-back, recovery |
+//! | [`adaptive`] | `pocc-adaptive` | **Adaptive-POCC** — per-key optimism with a GSS-stable fall-back under remote churn |
 //! | [`net`] | `pocc-net` | Simulated geo network: latency model, FIFO links, partition injection |
 //! | [`workload`] | `pocc-workload` | Zipfian key choice, GET:PUT and transactional mixes |
 //! | [`sim`] | `pocc-sim` | Deterministic discrete-event simulator (regenerates the paper's figures) |
@@ -57,8 +59,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use pocc_adaptive as adaptive;
 pub use pocc_clock as clock;
 pub use pocc_cure as cure;
+pub use pocc_engine as engine;
 pub use pocc_ha as ha;
 pub use pocc_net as net;
 pub use pocc_proto as proto;
@@ -69,7 +73,9 @@ pub use pocc_storage as storage;
 pub use pocc_types as types;
 pub use pocc_workload as workload;
 
+pub use pocc_adaptive::AdaptiveServer;
 pub use pocc_cure::CureServer;
+pub use pocc_engine::{EngineCore, ProtocolEngine, VisibilityPolicy};
 pub use pocc_ha::{HaPoccServer, HaSession};
 pub use pocc_proto::{ProtocolClient, ProtocolServer};
 pub use pocc_protocol::{Client, PoccServer};

@@ -1,0 +1,305 @@
+//! Refactor-safety net: golden per-protocol simulation digests for fixed seeds.
+//!
+//! Each test runs one small, fully deterministic simulation and compares a
+//! comprehensive fingerprint of the resulting [`SimReport`] — every protocol-level
+//! counter, the network totals, the latency distribution shape and the end-of-run
+//! store statistics — against a value generated before the protocol-engine
+//! refactor. Any change to message ordering, metric accounting, parking, timers,
+//! GC or replication shows up as a digest mismatch, which is exactly the point:
+//! the engine-based servers must be observationally identical to the hand-rolled
+//! ones they replaced.
+//!
+//! To regenerate after an *intentional* behaviour change, run
+//!
+//! ```text
+//! cargo test -q --test golden_digests -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed constants back into this file (explaining the change in
+//! the commit message).
+
+use pocc::sim::{FaultEvent, ProtocolKind, SimConfig, SimReport, Simulation};
+use pocc::types::{Config, ReplicaId};
+use pocc::workload::WorkloadMix;
+use std::time::Duration;
+
+/// A deterministic fingerprint of everything observable about a simulation run.
+fn digest(r: &SimReport) -> String {
+    let m = &r.server_metrics;
+    format!(
+        "ops={} gets={} puts={} rotx={} reinit={} viol={} conv={} \
+         net_msgs={} net_wan={} net_bytes={} net_held={} \
+         lat_n={} lat_mean_us={} lat_max_us={} \
+         keys={} versions={} max_chain={} store_gc={} \
+         m_gets={} m_puts={} m_rotx={} m_slices={} \
+         blocked={} block_us={} clock_us={} \
+         old_g={} unm_g={} fresher={} unm_sum={} old_tx={} unm_tx={} tx_items={} \
+         repl_rx={} repl_tx={} hb_rx={} hb_tx={} stab={} batches={} gc_msgs={} gc_rm={} \
+         aborted={} bytes={}",
+        r.operations_completed,
+        r.gets_completed,
+        r.puts_completed,
+        r.rotx_completed,
+        r.sessions_reinitialized,
+        r.consistency_violations,
+        r.converged,
+        r.network.messages_sent,
+        r.network.wan_messages,
+        r.network.bytes_sent,
+        r.network.held_messages,
+        r.latency_all.count(),
+        r.latency_all.mean().as_micros(),
+        r.latency_all.max().as_micros(),
+        r.store.keys,
+        r.store.versions,
+        r.store.max_chain_len,
+        r.store.gc_removed,
+        m.gets_served,
+        m.puts_served,
+        m.rotx_served,
+        m.slices_served,
+        m.blocked_operations,
+        m.total_block_time.as_micros(),
+        m.clock_wait_time.as_micros(),
+        m.old_gets,
+        m.unmerged_gets,
+        m.fresher_versions_sum,
+        m.unmerged_versions_sum,
+        m.old_tx_items,
+        m.unmerged_tx_items,
+        m.tx_items_returned,
+        m.replicate_received,
+        m.replicate_sent,
+        m.heartbeats_received,
+        m.heartbeats_sent,
+        m.stabilization_messages,
+        m.batches_sent,
+        m.gc_messages,
+        m.gc_versions_removed,
+        m.sessions_aborted,
+        m.bytes_sent,
+    )
+}
+
+/// The shared GET/PUT configuration every single-protocol golden run uses.
+fn get_put_config(protocol: ProtocolKind) -> SimConfig {
+    SimConfig::builder()
+        .protocol(protocol)
+        .replicas(3)
+        .partitions(2)
+        .clients_per_partition(2)
+        .keys_per_partition(100)
+        .mix(WorkloadMix::GetPut { gets_per_put: 3 })
+        .think_time(Duration::from_millis(5))
+        .warmup(Duration::from_millis(100))
+        .duration(Duration::from_millis(400))
+        .drain(Duration::from_millis(400))
+        .check_consistency(true)
+        .seed(11)
+        .build()
+}
+
+fn pocc_getput() -> SimConfig {
+    get_put_config(ProtocolKind::Pocc)
+}
+
+fn cure_getput() -> SimConfig {
+    get_put_config(ProtocolKind::Cure)
+}
+
+fn ha_getput() -> SimConfig {
+    get_put_config(ProtocolKind::HaPocc)
+}
+
+fn adaptive_getput() -> SimConfig {
+    get_put_config(ProtocolKind::Adaptive)
+}
+
+fn pocc_batched() -> SimConfig {
+    SimConfig::builder()
+        .protocol(ProtocolKind::Pocc)
+        .replicas(3)
+        .partitions(2)
+        .clients_per_partition(2)
+        .keys_per_partition(100)
+        .storage_shards(4)
+        .replication_batching(true)
+        .mix(WorkloadMix::GetPut { gets_per_put: 3 })
+        .think_time(Duration::from_millis(5))
+        .warmup(Duration::from_millis(100))
+        .duration(Duration::from_millis(400))
+        .drain(Duration::from_millis(400))
+        .check_consistency(true)
+        .seed(11)
+        .build()
+}
+
+fn pocc_txput() -> SimConfig {
+    SimConfig::builder()
+        .protocol(ProtocolKind::Pocc)
+        .replicas(3)
+        .partitions(4)
+        .clients_per_partition(2)
+        .keys_per_partition(100)
+        .mix(WorkloadMix::TxPut {
+            partitions_per_tx: 3,
+        })
+        .think_time(Duration::from_millis(5))
+        .warmup(Duration::from_millis(100))
+        .duration(Duration::from_millis(400))
+        .drain(Duration::from_millis(400))
+        .check_consistency(true)
+        .seed(3)
+        .build()
+}
+
+fn cure_txput() -> SimConfig {
+    SimConfig::builder()
+        .protocol(ProtocolKind::Cure)
+        .replicas(3)
+        .partitions(4)
+        .clients_per_partition(2)
+        .keys_per_partition(100)
+        .mix(WorkloadMix::TxPut {
+            partitions_per_tx: 3,
+        })
+        .think_time(Duration::from_millis(5))
+        .warmup(Duration::from_millis(100))
+        .duration(Duration::from_millis(400))
+        .drain(Duration::from_millis(400))
+        .check_consistency(true)
+        .seed(3)
+        .build()
+}
+
+/// HA-POCC through a WAN partition and heal: exercises the partition detector, the
+/// pessimistic fall-back, session closing and the promotion back to optimistic mode.
+fn ha_partition() -> SimConfig {
+    let deployment = Config::builder()
+        .num_replicas(3)
+        .num_partitions(2)
+        .partition_detection_timeout(Duration::from_millis(120))
+        .ha_stabilization_interval(Duration::from_millis(20))
+        .build()
+        .unwrap();
+    SimConfig::builder()
+        .deployment(deployment)
+        .protocol(ProtocolKind::HaPocc)
+        .clients_per_partition(2)
+        .keys_per_partition(100)
+        .mix(WorkloadMix::GetPut { gets_per_put: 3 })
+        .think_time(Duration::from_millis(5))
+        .warmup(Duration::from_millis(100))
+        .duration(Duration::from_millis(600))
+        .drain(Duration::from_millis(500))
+        .check_consistency(true)
+        .fault(FaultEvent::Partition {
+            at: Duration::from_millis(250),
+            a: ReplicaId(0),
+            b: ReplicaId(1),
+        })
+        .fault(FaultEvent::Heal {
+            at: Duration::from_millis(500),
+            a: ReplicaId(0),
+            b: ReplicaId(1),
+        })
+        .seed(5)
+        .build()
+}
+
+/// Every golden run: `(name, config builder, expected digest)`.
+fn golden_runs() -> Vec<(&'static str, SimConfig, &'static str)> {
+    vec![
+        ("pocc_getput", pocc_getput(), GOLDEN_POCC_GETPUT),
+        ("cure_getput", cure_getput(), GOLDEN_CURE_GETPUT),
+        ("ha_getput", ha_getput(), GOLDEN_HA_GETPUT),
+        ("adaptive_getput", adaptive_getput(), GOLDEN_ADAPTIVE_GETPUT),
+        ("pocc_batched", pocc_batched(), GOLDEN_POCC_BATCHED),
+        ("pocc_txput", pocc_txput(), GOLDEN_POCC_TXPUT),
+        ("cure_txput", cure_txput(), GOLDEN_CURE_TXPUT),
+        ("ha_partition", ha_partition(), GOLDEN_HA_PARTITION),
+    ]
+}
+
+const GOLDEN_POCC_GETPUT: &str = "ops=905 gets=605 puts=300 rotx=0 reinit=0 viol=0 conv=true net_msgs=10719 net_wan=10670 net_bytes=128503 net_held=0 lat_n=905 lat_mean_us=289 lat_max_us=563 keys=357 versions=357 max_chain=1 store_gc=759 m_gets=607 m_puts=300 m_rotx=0 m_slices=0 blocked=0 block_us=0 clock_us=0 old_g=0 unm_g=0 fresher=0 unm_sum=0 old_tx=0 unm_tx=0 tx_items=0 repl_rx=677 repl_tx=600 hb_rx=8810 hb_tx=8880 stab=0 batches=0 gc_msgs=97 gc_rm=759 aborted=0 bytes=111745";
+const GOLDEN_CURE_GETPUT: &str = "ops=905 gets=605 puts=300 rotx=0 reinit=0 viol=0 conv=true net_msgs=11745 net_wan=10674 net_bytes=154089 net_held=0 lat_n=905 lat_mean_us=290 lat_max_us=573 keys=357 versions=357 max_chain=1 store_gc=759 m_gets=607 m_puts=300 m_rotx=0 m_slices=0 blocked=0 block_us=0 clock_us=0 old_g=11 unm_g=27 fresher=11 unm_sum=33 old_tx=0 unm_tx=0 tx_items=0 repl_rx=676 repl_tx=600 hb_rx=8810 hb_tx=8888 stab=1914 batches=0 gc_msgs=0 gc_rm=759 aborted=0 bytes=134517";
+const GOLDEN_HA_GETPUT: &str = "ops=905 gets=605 puts=300 rotx=0 reinit=0 viol=0 conv=true net_msgs=10727 net_wan=10672 net_bytes=128671 net_held=0 lat_n=905 lat_mean_us=289 lat_max_us=563 keys=357 versions=357 max_chain=1 store_gc=759 m_gets=607 m_puts=300 m_rotx=0 m_slices=0 blocked=0 block_us=0 clock_us=0 old_g=0 unm_g=0 fresher=0 unm_sum=0 old_tx=0 unm_tx=0 tx_items=0 repl_rx=677 repl_tx=600 hb_rx=8816 hb_tx=8882 stab=12 batches=0 gc_msgs=97 gc_rm=759 aborted=0 bytes=111907";
+const GOLDEN_ADAPTIVE_GETPUT: &str = "ops=905 gets=605 puts=300 rotx=0 reinit=0 viol=0 conv=true net_msgs=11767 net_wan=10646 net_bytes=155087 net_held=0 lat_n=905 lat_mean_us=290 lat_max_us=563 keys=357 versions=357 max_chain=1 store_gc=759 m_gets=607 m_puts=300 m_rotx=0 m_slices=0 blocked=0 block_us=0 clock_us=0 old_g=0 unm_g=8 fresher=0 unm_sum=13 old_tx=0 unm_tx=0 tx_items=0 repl_rx=676 repl_tx=600 hb_rx=8786 hb_tx=8860 stab=1916 batches=0 gc_msgs=97 gc_rm=759 aborted=0 bytes=135515";
+const GOLDEN_POCC_BATCHED: &str = "ops=905 gets=605 puts=300 rotx=0 reinit=0 viol=0 conv=true net_msgs=10612 net_wan=10564 net_bytes=128744 net_held=0 lat_n=905 lat_mean_us=289 lat_max_us=555 keys=357 versions=357 max_chain=1 store_gc=759 m_gets=607 m_puts=300 m_rotx=0 m_slices=0 blocked=0 block_us=0 clock_us=0 old_g=0 unm_g=0 fresher=0 unm_sum=0 old_tx=0 unm_tx=0 tx_items=0 repl_rx=679 repl_tx=600 hb_rx=8791 hb_tx=8868 stab=0 batches=64 gc_msgs=97 gc_rm=759 aborted=0 bytes=111957";
+const GOLDEN_POCC_TXPUT: &str = "ops=1556 gets=0 puts=781 rotx=775 reinit=0 viol=0 conv=true net_msgs=25476 net_wan=21232 net_bytes=496756 net_held=0 lat_n=1556 lat_mean_us=1157 lat_max_us=4408 keys=804 versions=804 max_chain=1 store_gc=2121 m_gets=0 m_puts=781 m_rotx=778 m_slices=2332 blocked=1234 block_us=1019424 clock_us=0 old_g=0 unm_g=0 fresher=0 unm_sum=0 old_tx=31 unm_tx=31 tx_items=2332 repl_rx=1760 repl_tx=1562 hb_rx=17119 hb_tx=17316 stab=0 batches=0 gc_msgs=576 gc_rm=2121 aborted=0 bytes=414189";
+const GOLDEN_CURE_TXPUT: &str = "ops=1651 gets=0 puts=830 rotx=821 reinit=0 viol=0 conv=true net_msgs=31898 net_wan=21312 net_bytes=666694 net_held=0 lat_n=1651 lat_mean_us=806 lat_max_us=3311 keys=834 versions=834 max_chain=1 store_gc=2253 m_gets=0 m_puts=830 m_rotx=825 m_slices=2475 blocked=547 block_us=224960 clock_us=0 old_g=0 unm_g=0 fresher=0 unm_sum=0 old_tx=82 unm_tx=212 tx_items=2475 repl_rx=1866 repl_tx=1660 hb_rx=17097 hb_tx=17266 stab=11484 batches=0 gc_msgs=0 gc_rm=2253 aborted=0 bytes=565636";
+const GOLDEN_HA_PARTITION: &str = "ops=1342 gets=894 puts=448 rotx=0 reinit=16 viol=0 conv=true net_msgs=14630 net_wan=14210 net_bytes=182154 net_held=0 lat_n=1342 lat_mean_us=297 lat_max_us=1551 keys=399 versions=399 max_chain=1 store_gc=1164 m_gets=896 m_puts=449 m_rotx=0 m_slices=0 blocked=0 block_us=0 clock_us=0 old_g=19 unm_g=0 fresher=22 unm_sum=0 old_tx=0 unm_tx=0 tx_items=0 repl_rx=975 repl_tx=898 hb_rx=12054 hb_tx=12108 stab=660 batches=0 gc_msgs=132 gc_rm=1164 aborted=16 bytes=164340";
+
+#[test]
+fn pocc_getput_digest_matches_golden() {
+    let report = Simulation::new(pocc_getput()).run();
+    assert_eq!(digest(&report), GOLDEN_POCC_GETPUT);
+}
+
+#[test]
+fn cure_getput_digest_matches_golden() {
+    let report = Simulation::new(cure_getput()).run();
+    assert_eq!(digest(&report), GOLDEN_CURE_GETPUT);
+}
+
+#[test]
+fn ha_getput_digest_matches_golden() {
+    let report = Simulation::new(ha_getput()).run();
+    assert_eq!(digest(&report), GOLDEN_HA_GETPUT);
+}
+
+#[test]
+fn adaptive_getput_digest_matches_golden() {
+    let report = Simulation::new(adaptive_getput()).run();
+    assert_eq!(digest(&report), GOLDEN_ADAPTIVE_GETPUT);
+}
+
+#[test]
+fn pocc_batched_digest_matches_golden() {
+    let report = Simulation::new(pocc_batched()).run();
+    assert_eq!(digest(&report), GOLDEN_POCC_BATCHED);
+}
+
+#[test]
+fn pocc_txput_digest_matches_golden() {
+    let report = Simulation::new(pocc_txput()).run();
+    assert_eq!(digest(&report), GOLDEN_POCC_TXPUT);
+}
+
+#[test]
+fn cure_txput_digest_matches_golden() {
+    let report = Simulation::new(cure_txput()).run();
+    assert_eq!(digest(&report), GOLDEN_CURE_TXPUT);
+}
+
+#[test]
+fn ha_partition_digest_matches_golden() {
+    let report = Simulation::new(ha_partition()).run();
+    assert_eq!(digest(&report), GOLDEN_HA_PARTITION);
+}
+
+/// Every golden run must be causally clean and convergent regardless of the digest,
+/// so a regenerated golden can never silently bake in a violation.
+#[test]
+fn golden_runs_are_checker_clean_and_convergent() {
+    for (name, config, _) in golden_runs() {
+        let report = Simulation::new(config).run();
+        assert_eq!(report.consistency_violations, 0, "{name}: violations");
+        assert!(report.converged, "{name}: replicas did not converge");
+        assert!(report.operations_completed > 0, "{name}: no operations");
+    }
+}
+
+/// Regenerator: prints the constants to paste above.
+#[test]
+#[ignore = "regenerates the golden digests; run with --ignored --nocapture"]
+fn print_current_digests() {
+    for (name, config, _) in golden_runs() {
+        let report = Simulation::new(config).run();
+        println!(
+            "const GOLDEN_{}: &str = \"{}\";",
+            name.to_uppercase(),
+            digest(&report)
+        );
+    }
+}
