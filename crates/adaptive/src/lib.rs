@@ -105,6 +105,7 @@ impl<C: Clock> VisibilityPolicy<C> for AdaptivePolicy {
                 if core.covers_remote_deps(&rdv) {
                     let out = match mode {
                         ReadMode::Latest => core.serve_get_latest(client, key),
+                        ReadMode::Stable => core.serve_get_stable(client, key, &rdv),
                         ReadMode::StableBounded => core.serve_get_stable_bounded(client, key, &rdv),
                     };
                     outputs.push(out);
@@ -468,6 +469,76 @@ mod tests {
             }
         );
         assert_eq!(s.metrics().stable_fallback_gets, 0);
+    }
+
+    #[test]
+    fn a_score_exactly_at_the_threshold_counts_as_churny() {
+        // The classification is `score >= adaptive_churn_threshold`: with the test
+        // threshold of 2, the first remote update must stay optimistic and the second —
+        // landing exactly on the boundary — must flip the key to stable-bounded reads.
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(&clock);
+        let key = key_in(0, 1);
+        replicate(&mut s, key, "r1", 8 * MS);
+        assert_eq!(s.churny_keys(), 0, "one below the threshold is calm");
+        replicate(&mut s, key, "r2", 9 * MS);
+        assert_eq!(s.churny_keys(), 1, "exactly at the threshold is churny");
+    }
+
+    #[test]
+    fn decay_fires_exactly_at_the_window_edge_and_not_before() {
+        // The decay guard is `elapsed < window`, with the first window measured from
+        // time zero: a tick one microsecond short of the 50 ms churn window must leave
+        // the score untouched, a tick exactly at the edge must halve it.
+        let clock = ManualClock::at_zero();
+        let mut s = server(&clock);
+        let key = key_in(0, 1);
+        replicate(&mut s, key, "r1", 1);
+        replicate(&mut s, key, "r2", 2);
+        assert_eq!(s.churny_keys(), 1);
+
+        clock.set(Timestamp(50 * MS - 1));
+        s.tick();
+        assert_eq!(s.churny_keys(), 1, "one tick short of the window: no decay");
+
+        clock.set(Timestamp(50 * MS));
+        s.tick();
+        assert_eq!(
+            s.churny_keys(),
+            0,
+            "exactly one window elapsed: score halves"
+        );
+    }
+
+    #[test]
+    fn a_cooled_key_restarts_scoring_from_zero() {
+        // Decay drops a key once its score reaches zero; fresh churn afterwards must
+        // climb from zero (one update: calm), not resume from a stale retained score
+        // (which would make 1 + 1 cross the threshold again immediately).
+        let clock = ManualClock::new(Timestamp(10 * MS));
+        let mut s = server(&clock);
+        let key = key_in(0, 1);
+        replicate(&mut s, key, "r1", 8 * MS);
+        replicate(&mut s, key, "r2", 9 * MS);
+        assert_eq!(s.churny_keys(), 1);
+
+        // Two quiet windows: 2 >> 2 == 0, the key is dropped from the score map.
+        clock.set(Timestamp(110 * MS));
+        s.tick();
+        assert_eq!(s.churny_keys(), 0);
+
+        replicate(&mut s, key, "r3", 105 * MS);
+        assert_eq!(
+            s.churny_keys(),
+            0,
+            "scoring restarted from zero, not from 1"
+        );
+        replicate(&mut s, key, "r4", 106 * MS);
+        assert_eq!(
+            s.churny_keys(),
+            1,
+            "two fresh updates cross the threshold again"
+        );
     }
 
     #[test]

@@ -3,15 +3,18 @@
 //! ```text
 //! compare_bench <baseline.json> <current.json> [--threshold 0.25]
 //! compare_bench --validate <file.json>...
+//! compare_bench --digests <baseline DIGESTS.json> <current DIGESTS.json>
 //! ```
 //!
-//! Exit codes: 0 = no regression (or all files valid), 1 = regression found,
-//! 2 = usage or input error. CI runs the comparison as a blocking gate: the simulator
-//! is seeded and deterministic, so a >25% throughput regression of the baseline
-//! scenario is a real code-path change, not noise. A deliberate trade-off ships with a
-//! regenerated `BENCH_baseline.json` and an explanation in the PR.
+//! Exit codes: 0 = no regression (or all files valid / no digest drift), 1 = regression
+//! or digest drift found, 2 = usage or input error. CI runs the comparison as a blocking
+//! gate: the simulator is seeded and deterministic, so a >25% throughput regression of
+//! the baseline scenario is a real code-path change, not noise — and any digest drift is
+//! a real behaviour change. A deliberate trade-off ships with a regenerated
+//! `BENCH_baseline.json` (or `DIGESTS.json`) and an explanation in the PR.
 
 use pocc_bench::compare::{compare, DEFAULT_THRESHOLD};
+use pocc_bench::digest::DigestCorpus;
 use pocc_bench::json;
 use std::process::ExitCode;
 
@@ -19,6 +22,7 @@ const USAGE: &str = "\
 USAGE:
   compare_bench <baseline.json> <current.json> [--threshold <fraction>]
   compare_bench --validate <file.json>...
+  compare_bench --digests <baseline.json> <current.json>
 ";
 
 fn load(path: &str) -> Result<json::Json, String> {
@@ -49,6 +53,50 @@ fn main() -> ExitCode {
             println!("{path}: schema v{} OK", json::SCHEMA_VERSION);
         }
         return ExitCode::SUCCESS;
+    }
+
+    if args.first().map(String::as_str) == Some("--digests") {
+        if args.len() != 3 {
+            eprintln!("error: --digests needs a baseline and a current corpus\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        let corpus = |path: &str| -> Result<DigestCorpus, String> {
+            DigestCorpus::from_json(&load(path)?).map_err(|e| format!("{path}: {e}"))
+        };
+        let (baseline, current) = match (corpus(&args[1]), corpus(&args[2])) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(err), _) | (_, Err(err)) => {
+                eprintln!("error: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let diff = baseline.diff(&current);
+        return if diff.is_empty() {
+            println!(
+                "digest corpora agree: {} scenarios, {} points",
+                baseline.scenarios.len(),
+                baseline
+                    .scenarios
+                    .iter()
+                    .map(|s| s.points.len())
+                    .sum::<usize>()
+            );
+            ExitCode::SUCCESS
+        } else {
+            for line in &diff {
+                println!("{line}");
+            }
+            println!(
+                "\n{} digest difference(s): behaviour drifted from the checked-in corpus.",
+                diff.len()
+            );
+            println!(
+                "If the change is intentional, regenerate with: \
+                 runner --scenario all --scale {} --digests DIGESTS.json",
+                baseline.scale
+            );
+            ExitCode::FAILURE
+        };
     }
 
     let mut paths = Vec::new();

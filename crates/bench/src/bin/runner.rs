@@ -9,6 +9,7 @@
 //! Every report is validated against the versioned schema before it is written, so a
 //! malformed report fails the run instead of poisoning downstream tooling.
 
+use pocc_bench::digest::DigestCorpus;
 use pocc_bench::scenarios::{self, PointResult};
 use pocc_bench::{fmt_ms, fmt_tput, json, Scale};
 use std::process::ExitCode;
@@ -18,6 +19,7 @@ struct Args {
     scale: Scale,
     out: Option<String>,
     out_dir: String,
+    digests: Option<String>,
     list: bool,
 }
 
@@ -26,10 +28,13 @@ USAGE: runner [OPTIONS]
 
 OPTIONS:
   --list                 list registered scenarios and exit
-  --scenario <name>      scenario to run (repeatable; 'all' runs the whole registry)
+  --scenario <sel>       scenario to run (repeatable); a selector is an exact name,
+                         a trailing-* prefix glob such as 'chaos_*', or 'all'
   --scale <scale>        smoke | quick | full (default: POCC_BENCH_SCALE or quick)
   --out <file>           output path (single scenario only; default BENCH_<name>.json)
   --out-dir <dir>        directory for BENCH_<name>.json files (default: .)
+  --digests <file>       also write a digest corpus (DIGESTS.json) covering every
+                         scenario run
   -h, --help             show this help
 ";
 
@@ -39,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         scale: Scale::from_env(),
         out: None,
         out_dir: ".".into(),
+        digests: None,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -55,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
                     Scale::parse(&name).ok_or_else(|| format!("unknown scale {name:?}"))?;
             }
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--digests" => args.digests = Some(it.next().ok_or("--digests needs a path")?),
             "--out-dir" => args.out_dir = it.next().ok_or("--out-dir needs a path")?,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -110,25 +117,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let run_all = args.scenarios.iter().any(|s| s == "all");
-    let selected: Vec<scenarios::Scenario> = if run_all {
-        scenarios::all()
-    } else {
-        let mut selected = Vec::new();
-        for name in &args.scenarios {
-            match scenarios::find(name) {
-                Some(s) => selected.push(s),
-                None => {
-                    eprintln!("error: unknown scenario {name:?}\n\nregistered scenarios:");
-                    for scenario in scenarios::all() {
-                        eprintln!("  {:<24} {}", scenario.name, scenario.title);
-                    }
-                    eprintln!("\nuse 'all' to run the whole registry, or --list for details");
-                    return ExitCode::from(2);
-                }
+    let selected = match scenarios::select(&args.scenarios) {
+        Ok(selected) => selected,
+        Err(err) => {
+            eprintln!("error: {err}\n\nregistered scenarios:");
+            for scenario in scenarios::all() {
+                eprintln!("  {:<24} {}", scenario.name, scenario.title);
             }
+            eprintln!("\nuse 'all' to run the whole registry, or --list for details");
+            return ExitCode::from(2);
         }
-        selected
     };
 
     if args.out.is_some() && selected.len() != 1 {
@@ -144,6 +142,7 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut corpus = DigestCorpus::new(args.scale.name());
     for scenario in &selected {
         println!(
             "=== {} ({} scale) — {}",
@@ -152,6 +151,7 @@ fn main() -> ExitCode {
             scenario.title
         );
         let report = scenario.run(args.scale, print_point);
+        corpus.add_report(&report);
         let doc = report.to_json();
         if let Err(err) = json::validate_report(&doc) {
             eprintln!("error: {}: schema validation failed: {err}", scenario.name);
@@ -166,6 +166,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("    -> {path} (schema v{} OK)\n", json::SCHEMA_VERSION);
+    }
+    if let Some(path) = &args.digests {
+        if let Err(err) = std::fs::write(path, corpus.to_json().to_pretty()) {
+            eprintln!("error: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "digest corpus -> {path} ({} scenarios, digest schema v{})",
+            corpus.scenarios.len(),
+            pocc_bench::digest::DIGEST_SCHEMA_VERSION
+        );
     }
     ExitCode::SUCCESS
 }

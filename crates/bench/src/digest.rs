@@ -1,0 +1,359 @@
+//! Behaviour digests and the per-scenario digest corpus (`DIGESTS.json`).
+//!
+//! A behaviour digest is a one-line fingerprint of everything observable about a
+//! deterministic simulation run: every protocol-level counter, the network totals, the
+//! latency distribution shape and the end-of-run store statistics. Two runs of the same
+//! scenario point produce the same digest if and only if they are observationally
+//! identical — any change to message ordering, metric accounting, parking, timers, GC or
+//! replication shows up as a digest mismatch.
+//!
+//! The [`DigestCorpus`] collects one digest per scenario point into the versioned
+//! `DIGESTS.json` document checked in at the repository root. The benchmark runner emits
+//! a fresh corpus (`runner --scenario all --digests DIGESTS.json`), and
+//! `compare_bench --digests <baseline> <current>` diffs two corpora — CI runs that diff
+//! as a blocking gate, replacing the former golden-digest test file as the single drift
+//! detector. A deliberate behaviour change ships with a regenerated `DIGESTS.json` and
+//! an explanation in the commit message.
+
+use crate::json::Json;
+use crate::scenarios::ScenarioReport;
+use pocc_sim::SimReport;
+
+/// The version of the `DIGESTS.json` schema. The digest *format* is part of the schema:
+/// adding, removing or reordering digest fields bumps this version, and corpora of
+/// different versions refuse to diff.
+pub const DIGEST_SCHEMA_VERSION: u64 = 1;
+
+/// A deterministic fingerprint of everything observable about a simulation run.
+pub fn behaviour_digest(r: &SimReport) -> String {
+    let m = &r.server_metrics;
+    format!(
+        "ops={} gets={} puts={} rotx={} reinit={} viol={} conv={} \
+         net_msgs={} net_wan={} net_bytes={} net_held={} \
+         lat_n={} lat_mean_us={} lat_max_us={} \
+         keys={} versions={} max_chain={} store_gc={} \
+         m_gets={} m_puts={} m_rotx={} m_slices={} \
+         blocked={} block_us={} clock_us={} \
+         old_g={} unm_g={} fresher={} unm_sum={} old_tx={} unm_tx={} tx_items={} \
+         repl_rx={} repl_tx={} hb_rx={} hb_tx={} stab={} batches={} gc_msgs={} gc_rm={} \
+         aborted={} bytes={}",
+        r.operations_completed,
+        r.gets_completed,
+        r.puts_completed,
+        r.rotx_completed,
+        r.sessions_reinitialized,
+        r.consistency_violations,
+        r.converged,
+        r.network.messages_sent,
+        r.network.wan_messages,
+        r.network.bytes_sent,
+        r.network.held_messages,
+        r.latency_all.count(),
+        r.latency_all.mean().as_micros(),
+        r.latency_all.max().as_micros(),
+        r.store.keys,
+        r.store.versions,
+        r.store.max_chain_len,
+        r.store.gc_removed,
+        m.gets_served,
+        m.puts_served,
+        m.rotx_served,
+        m.slices_served,
+        m.blocked_operations,
+        m.total_block_time.as_micros(),
+        m.clock_wait_time.as_micros(),
+        m.old_gets,
+        m.unmerged_gets,
+        m.fresher_versions_sum,
+        m.unmerged_versions_sum,
+        m.old_tx_items,
+        m.unmerged_tx_items,
+        m.tx_items_returned,
+        m.replicate_received,
+        m.replicate_sent,
+        m.heartbeats_received,
+        m.heartbeats_sent,
+        m.stabilization_messages,
+        m.batches_sent,
+        m.gc_messages,
+        m.gc_versions_removed,
+        m.sessions_aborted,
+        m.bytes_sent,
+    )
+}
+
+/// The digests of one scenario run: `(point label, digest)` in sweep order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioDigests {
+    /// The scenario's registry name.
+    pub scenario: String,
+    /// One `(label, digest)` entry per scenario point, in sweep order.
+    pub points: Vec<(String, String)>,
+}
+
+/// A digest-per-scenario corpus: the serialisable content of `DIGESTS.json`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DigestCorpus {
+    /// The scale every digest in the corpus was produced at.
+    pub scale: String,
+    /// One entry per scenario, in registry order.
+    pub scenarios: Vec<ScenarioDigests>,
+}
+
+impl DigestCorpus {
+    /// An empty corpus for runs at `scale`.
+    pub fn new(scale: &str) -> Self {
+        DigestCorpus {
+            scale: scale.into(),
+            scenarios: Vec::new(),
+        }
+    }
+
+    /// Appends the digests of a finished scenario run.
+    pub fn add_report(&mut self, report: &ScenarioReport) {
+        self.scenarios.push(ScenarioDigests {
+            scenario: report.scenario.into(),
+            points: report
+                .points
+                .iter()
+                .map(|p| (p.label.clone(), behaviour_digest(&p.report)))
+                .collect(),
+        });
+    }
+
+    /// Serialises the corpus to the versioned `DIGESTS.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "digest_schema_version".into(),
+                Json::u64(DIGEST_SCHEMA_VERSION),
+            ),
+            ("scale".into(), Json::str(self.scale.clone())),
+            (
+                "scenarios".into(),
+                Json::Arr(
+                    self.scenarios
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("scenario".into(), Json::str(s.scenario.clone())),
+                                (
+                                    "points".into(),
+                                    Json::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|(label, digest)| {
+                                                Json::Obj(vec![
+                                                    ("label".into(), Json::str(label.clone())),
+                                                    ("digest".into(), Json::str(digest.clone())),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a `DIGESTS.json` document, rejecting unknown schema versions and malformed
+    /// entries with a readable path-qualified error.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let version = doc
+            .get("digest_schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("$.digest_schema_version: missing or not a whole number")?;
+        if version != DIGEST_SCHEMA_VERSION {
+            return Err(format!(
+                "$.digest_schema_version: expected {DIGEST_SCHEMA_VERSION}, found {version}"
+            ));
+        }
+        let scale = doc
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or("$.scale: missing or not a string")?
+            .to_string();
+        let scenarios = doc
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .ok_or("$.scenarios: missing or not an array")?;
+        let mut corpus = DigestCorpus::new(&scale);
+        for (i, entry) in scenarios.iter().enumerate() {
+            let path = format!("$.scenarios[{i}]");
+            let scenario = entry
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or(format!("{path}.scenario: missing or not a string"))?
+                .to_string();
+            let points = entry
+                .get("points")
+                .and_then(Json::as_array)
+                .ok_or(format!("{path}.points: missing or not an array"))?;
+            let mut digests = Vec::with_capacity(points.len());
+            for (j, point) in points.iter().enumerate() {
+                let ppath = format!("{path}.points[{j}]");
+                let label = point
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("{ppath}.label: missing or not a string"))?;
+                let digest = point
+                    .get("digest")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("{ppath}.digest: missing or not a string"))?;
+                digests.push((label.to_string(), digest.to_string()));
+            }
+            corpus.scenarios.push(ScenarioDigests {
+                scenario,
+                points: digests,
+            });
+        }
+        Ok(corpus)
+    }
+
+    /// Diffs this corpus (the baseline) against `current`. Returns one human-readable
+    /// line per difference: scale mismatches, scenarios present on only one side, points
+    /// present on only one side, and digest drift (with both digests printed so the
+    /// changed fields are visible side by side). An empty result means the corpora agree
+    /// exactly.
+    pub fn diff(&self, current: &DigestCorpus) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.scale != current.scale {
+            out.push(format!(
+                "scale mismatch: baseline ran at {:?}, current at {:?}",
+                self.scale, current.scale
+            ));
+        }
+        for base in &self.scenarios {
+            let Some(cur) = current
+                .scenarios
+                .iter()
+                .find(|s| s.scenario == base.scenario)
+            else {
+                out.push(format!("{}: missing from current corpus", base.scenario));
+                continue;
+            };
+            for (label, base_digest) in &base.points {
+                match cur.points.iter().find(|(l, _)| l == label) {
+                    None => out.push(format!(
+                        "{}/{}: missing from current corpus",
+                        base.scenario, label
+                    )),
+                    Some((_, cur_digest)) if cur_digest != base_digest => {
+                        out.push(format!(
+                            "{}/{}: digest drift\n  baseline: {}\n  current:  {}",
+                            base.scenario, label, base_digest, cur_digest
+                        ));
+                    }
+                    Some(_) => {}
+                }
+            }
+            for (label, _) in &cur.points {
+                if !base.points.iter().any(|(l, _)| l == label) {
+                    out.push(format!(
+                        "{}/{}: not in baseline corpus (new point)",
+                        base.scenario, label
+                    ));
+                }
+            }
+        }
+        for cur in &current.scenarios {
+            if !self.scenarios.iter().any(|s| s.scenario == cur.scenario) {
+                out.push(format!(
+                    "{}: not in baseline corpus (new scenario)",
+                    cur.scenario
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(entries: &[(&str, &[(&str, &str)])]) -> DigestCorpus {
+        DigestCorpus {
+            scale: "smoke".into(),
+            scenarios: entries
+                .iter()
+                .map(|(name, points)| ScenarioDigests {
+                    scenario: name.to_string(),
+                    points: points
+                        .iter()
+                        .map(|(l, d)| (l.to_string(), d.to_string()))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn corpus_round_trips_through_json() {
+        let c = corpus(&[
+            (
+                "baseline",
+                &[("POCC/clients=6", "ops=1"), ("Cure*/clients=6", "ops=2")],
+            ),
+            ("chaos_mixed", &[("POCC/seed=1", "ops=3")]),
+        ]);
+        let parsed = DigestCorpus::from_json(&c.to_json()).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_version_and_malformed_entries() {
+        let mut doc = corpus(&[]).to_json();
+        if let Json::Obj(members) = &mut doc {
+            members[0].1 = Json::u64(DIGEST_SCHEMA_VERSION + 1);
+        }
+        let err = DigestCorpus::from_json(&doc).unwrap_err();
+        assert!(err.contains("digest_schema_version"), "{err}");
+
+        let err = DigestCorpus::from_json(&Json::Obj(vec![])).unwrap_err();
+        assert!(err.contains("digest_schema_version"), "{err}");
+
+        let doc = crate::json::parse(
+            r#"{"digest_schema_version": 1, "scale": "smoke",
+                "scenarios": [{"scenario": "x", "points": [{"label": "p"}]}]}"#,
+        )
+        .unwrap();
+        let err = DigestCorpus::from_json(&doc).unwrap_err();
+        assert!(err.contains("$.scenarios[0].points[0].digest"), "{err}");
+    }
+
+    #[test]
+    fn diff_reports_drift_missing_and_new_entries() {
+        let base = corpus(&[
+            ("a", &[("p1", "d1"), ("p2", "d2")]),
+            ("gone", &[("p", "d")]),
+        ]);
+        let cur = corpus(&[
+            ("a", &[("p1", "d1-changed"), ("p3", "d3")]),
+            ("new", &[("p", "d")]),
+        ]);
+        let diff = base.diff(&cur);
+        let text = diff.join("\n");
+        assert!(text.contains("a/p1: digest drift"), "{text}");
+        assert!(text.contains("a/p2: missing"), "{text}");
+        assert!(text.contains("a/p3: not in baseline"), "{text}");
+        assert!(text.contains("gone: missing"), "{text}");
+        assert!(text.contains("new: not in baseline"), "{text}");
+        assert_eq!(diff.len(), 5, "{text}");
+
+        assert!(base.diff(&base).is_empty(), "a corpus agrees with itself");
+    }
+
+    #[test]
+    fn diff_flags_scale_mismatch() {
+        let base = corpus(&[]);
+        let mut cur = base.clone();
+        cur.scale = "full".into();
+        let diff = base.diff(&cur);
+        assert_eq!(diff.len(), 1);
+        assert!(diff[0].contains("scale mismatch"), "{}", diff[0]);
+    }
+}

@@ -412,9 +412,21 @@ fn require<'j>(obj: &'j Json, path: &str, key: &str) -> Result<&'j Json, String>
 }
 
 fn require_num(obj: &Json, path: &str, key: &str) -> Result<f64, String> {
-    require(obj, path, key)?
+    let v = require(obj, path, key)?
         .as_f64()
-        .ok_or_else(|| format!("{path}.{key}: expected a number"))
+        .ok_or_else(|| format!("{path}.{key}: expected a number"))?;
+    // Every numeric field of the schema is a non-negative quantity (a count, duration,
+    // throughput, probability or sweep coordinate). NaN and infinities additionally
+    // have no JSON representation, so they would poison the written file.
+    if !v.is_finite() {
+        return Err(format!("{path}.{key}: expected a finite number, found {v}"));
+    }
+    if v < 0.0 {
+        return Err(format!(
+            "{path}.{key}: expected a non-negative number, found {v}"
+        ));
+    }
+    Ok(v)
 }
 
 fn require_str(obj: &Json, path: &str, key: &str) -> Result<(), String> {

@@ -12,6 +12,9 @@
 //!   validator the runner and CI use.
 //! * [`compare`] — regression detection between two benchmark reports (used by CI to
 //!   diff a fresh smoke run against the checked-in `BENCH_baseline.json`).
+//! * [`digest`] — one behaviour digest per scenario point, collected into the versioned
+//!   `DIGESTS.json` corpus; `compare_bench --digests` diffs two corpora and CI runs that
+//!   diff as a blocking drift gate.
 //!
 //! The `runner` binary drives it all: `cargo run --release -p pocc-bench --bin runner --
 //! --scenario <name> --out BENCH_<name>.json`. The simulator is deterministic, so the
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod digest;
 pub mod json;
 pub mod scenarios;
 

@@ -18,7 +18,9 @@
 
 use crate::json::{Json, SCHEMA_VERSION};
 use crate::{deployment, get_put, point, tx_put, Scale};
-use pocc_sim::{FaultEvent, ProtocolKind, SimConfig, SimReport, Simulation};
+use pocc_sim::{
+    ChaosGen, ChaosSchedule, ChaosStep, FaultEvent, ProtocolKind, SimConfig, SimReport, Simulation,
+};
 use pocc_types::ReplicaId;
 use pocc_workload::WorkloadMix;
 use std::time::Duration;
@@ -422,6 +424,24 @@ pub fn all() -> Vec<Scenario> {
             points_fn: partition_heal,
         },
         Scenario {
+            name: "chaos_partition_storm",
+            title: "Chaos: seeded random partition/lag/drop storms (ChaosGen schedules)",
+            x_axis: "chaos_seed",
+            points_fn: chaos_partition_storm,
+        },
+        Scenario {
+            name: "chaos_lag_drop",
+            title: "Chaos: scripted lag spike + drop window + duplication window, all protocols",
+            x_axis: "protocol_index",
+            points_fn: chaos_lag_drop,
+        },
+        Scenario {
+            name: "chaos_restart",
+            title: "Chaos: whole-DC restart (frozen processing, retained state) vs outage length",
+            x_axis: "outage_ms",
+            points_fn: chaos_restart,
+        },
+        Scenario {
             name: "baseline",
             title: "Seed-equivalent configuration (1 shard, no batching): the regression baseline",
             x_axis: "clients_per_partition",
@@ -433,6 +453,41 @@ pub fn all() -> Vec<Scenario> {
 /// Looks a scenario up by name.
 pub fn find(name: &str) -> Option<Scenario> {
     all().into_iter().find(|s| s.name == name)
+}
+
+/// Resolves a list of scenario selectors, preserving selection order and deduplicating.
+///
+/// A selector is the literal `all`, an exact registry name, or a trailing-`*` prefix
+/// glob (`chaos_*`, `fig3*`). A selector that matches nothing is an error — a typo in
+/// `--scenario` must not silently select an empty run.
+pub fn select(patterns: &[String]) -> Result<Vec<Scenario>, String> {
+    let mut selected: Vec<Scenario> = Vec::new();
+    for pattern in patterns {
+        let matches: Vec<Scenario> = if pattern == "all" {
+            all()
+        } else if let Some(prefix) = pattern.strip_suffix('*') {
+            all()
+                .into_iter()
+                .filter(|s| s.name.starts_with(prefix))
+                .collect()
+        } else {
+            all().into_iter().filter(|s| s.name == *pattern).collect()
+        };
+        if matches.is_empty() {
+            return Err(format!(
+                "no scenario matches {pattern:?} (--list shows the registry)"
+            ));
+        }
+        for scenario in matches {
+            if !selected.iter().any(|s| s.name == scenario.name) {
+                selected.push(scenario);
+            }
+        }
+    }
+    if selected.is_empty() {
+        return Err("no scenarios selected".into());
+    }
+    Ok(selected)
 }
 
 // ---------------------------------------------------------------------------------------
@@ -948,6 +1003,108 @@ fn partition_heal(scale: Scale) -> Vec<ScenarioPoint> {
         .collect()
 }
 
+/// The chaos scenarios disturb only the measured window — every schedule is fully over
+/// by `warmup + duration` — and extend the drain so held, lagged and backlogged traffic
+/// delivers before the convergence check. All of them run the exact causal checker.
+fn chaos_point(scale: Scale, protocol: ProtocolKind, schedule: ChaosSchedule) -> SimConfig {
+    debug_assert!(schedule.ends_by(scale.warmup() + scale.duration()));
+    point(scale, protocol)
+        .clients_per_partition(moderate_clients(scale))
+        .mix(get_put(3))
+        .check_consistency(true)
+        .drain(scale.drain() + Duration::from_millis(300))
+        .chaos(schedule)
+        .build()
+}
+
+fn chaos_partition_storm(scale: Scale) -> Vec<ScenarioPoint> {
+    let (seeds, events): (Vec<u64>, usize) = match scale {
+        Scale::Smoke => (vec![1, 2], 3),
+        Scale::Quick => (vec![1, 2, 3], 6),
+        Scale::Full => (vec![1, 2, 3, 4], 10),
+    };
+    let mut points = Vec::new();
+    for &seed in &seeds {
+        for protocol in BOTH {
+            let schedule = ChaosGen::new(seed, 3).sample(
+                scale.warmup(),
+                scale.warmup() + scale.duration(),
+                events,
+            );
+            points.push(ScenarioPoint {
+                label: label(protocol, "chaos_seed", seed),
+                x: seed as f64,
+                config: chaos_point(scale, protocol, schedule),
+            });
+        }
+    }
+    points
+}
+
+fn chaos_lag_drop(scale: Scale) -> Vec<ScenarioPoint> {
+    const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::Pocc,
+        ProtocolKind::Cure,
+        ProtocolKind::HaPocc,
+        ProtocolKind::Adaptive,
+    ];
+    let w = scale.warmup();
+    let d = scale.duration();
+    let schedule = ChaosSchedule::new()
+        .step(ChaosStep::LagSpike {
+            at: w + d / 8,
+            until: w + d * 3 / 8,
+            a: ReplicaId(0),
+            b: ReplicaId(1),
+            extra: Duration::from_millis(40),
+        })
+        .step(ChaosStep::DropWindow {
+            at: w + d / 4,
+            until: w + d / 2,
+            a: ReplicaId(0),
+            b: ReplicaId(2),
+        })
+        .step(ChaosStep::DupWindow {
+            at: w + d / 2,
+            until: w + d * 3 / 4,
+            a: ReplicaId(1),
+            b: ReplicaId(2),
+        });
+    ALL.into_iter()
+        .enumerate()
+        .map(|(i, protocol)| ScenarioPoint {
+            label: label(protocol, "chaos", "scripted"),
+            x: i as f64,
+            config: chaos_point(scale, protocol, schedule.clone()),
+        })
+        .collect()
+}
+
+fn chaos_restart(scale: Scale) -> Vec<ScenarioPoint> {
+    let outages_ms: Vec<u64> = match scale {
+        Scale::Smoke => vec![20, 60],
+        Scale::Quick | Scale::Full => vec![50, 150],
+    };
+    let w = scale.warmup();
+    let d = scale.duration();
+    let mut points = Vec::new();
+    for &outage_ms in &outages_ms {
+        for protocol in [ProtocolKind::HaPocc, ProtocolKind::Adaptive] {
+            let schedule = ChaosSchedule::new().step(ChaosStep::Restart {
+                at: w + d / 4,
+                replica: ReplicaId(1),
+                outage: Duration::from_millis(outage_ms),
+            });
+            points.push(ScenarioPoint {
+                label: label(protocol, "outage_ms", outage_ms),
+                x: outage_ms as f64,
+                config: chaos_point(scale, protocol, schedule),
+            });
+        }
+    }
+    points
+}
+
 fn baseline(scale: Scale) -> Vec<ScenarioPoint> {
     let clients = moderate_clients(scale);
     BOTH.into_iter()
@@ -1003,6 +1160,70 @@ mod tests {
                     scenario.name,
                     scale
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn select_resolves_names_globs_and_all() {
+        let to_names = |scenarios: Vec<Scenario>| -> Vec<&'static str> {
+            scenarios.into_iter().map(|s| s.name).collect()
+        };
+        let args =
+            |patterns: &[&str]| -> Vec<String> { patterns.iter().map(|p| p.to_string()).collect() };
+
+        assert_eq!(
+            to_names(select(&args(&["all"])).unwrap()).len(),
+            all().len()
+        );
+        assert_eq!(
+            to_names(select(&args(&["baseline"])).unwrap()),
+            vec!["baseline"]
+        );
+        assert_eq!(
+            to_names(select(&args(&["chaos_*"])).unwrap()),
+            vec!["chaos_partition_storm", "chaos_lag_drop", "chaos_restart"]
+        );
+        // Duplicates collapse; selection order is preserved.
+        assert_eq!(
+            to_names(select(&args(&["baseline", "chaos_restart", "baseline"])).unwrap()),
+            vec!["baseline", "chaos_restart"]
+        );
+        // A selector that matches nothing is an error, not an empty run — and without
+        // the trailing `*`, a prefix is just a misspelled exact name.
+        assert!(select(&args(&["chaos_"])).is_err());
+        assert!(select(&args(&["no_such_*"])).is_err());
+        assert!(select(&args(&["no_such_scenario"])).is_err());
+        assert!(select(&args(&["all", "no_such_scenario"])).is_err());
+        assert!(select(&[]).is_err());
+    }
+
+    #[test]
+    fn chaos_scenarios_check_consistency_and_end_before_the_drain() {
+        for scenario in all().into_iter().filter(|s| s.name.starts_with("chaos_")) {
+            for scale in [Scale::Smoke, Scale::Quick, Scale::Full] {
+                let points = scenario.points(scale);
+                assert!(!points.is_empty(), "{} at {:?}", scenario.name, scale);
+                for point in points {
+                    assert!(
+                        point.config.check_consistency,
+                        "{}/{}: chaos runs must keep the exact causal checker on",
+                        scenario.name, point.label
+                    );
+                    assert!(
+                        !point.config.chaos.is_empty() || scenario.name == "chaos_partition_storm",
+                        "{}/{}: scripted chaos scenarios must schedule disturbances",
+                        scenario.name,
+                        point.label
+                    );
+                    let drain_start = point.config.warmup + point.config.duration;
+                    assert!(
+                        point.config.chaos.ends_by(drain_start),
+                        "{}/{}: chaos must be over when the drain starts",
+                        scenario.name,
+                        point.label
+                    );
+                }
             }
         }
     }

@@ -1,7 +1,7 @@
 //! The Cure\* server as a visibility policy over the shared protocol engine.
 
 use pocc_clock::Clock;
-use pocc_engine::{EngineCore, ProtocolEngine, SliceUnmergedMode, VisibilityPolicy};
+use pocc_engine::{EngineCore, ProtocolEngine, ReadMode, SliceUnmergedMode, VisibilityPolicy};
 use pocc_proto::{ClientRequest, ServerOutput};
 use pocc_storage::ShardedStore;
 use pocc_types::{ClientId, Config, DependencyVector, ServerId, Timestamp, VersionVector};
@@ -21,11 +21,13 @@ pub struct CureStatus {
     pub store: pocc_storage::StoreStats,
 }
 
-/// The pessimistic visibility policy (Cure\*, §V): a GET never blocks but returns the
-/// freshest *stable* version under the GSS; a periodic stabilization protocol exchanges
-/// version vectors every few milliseconds to advance the GSS; read-only transaction
-/// snapshots are bounded by the GSS (extended with the client's session history);
-/// garbage is collected from the GSS directly, with no extra message exchange.
+/// The pessimistic visibility policy (Cure\*, §V): a GET returns the freshest version in
+/// the snapshot `GSS ∨ RDV ∨ local` — it never waits for a version to become *stable*
+/// (unstable versions outside the client's history are simply not returned), only for the
+/// client's own session history to be present locally; a periodic stabilization protocol
+/// exchanges version vectors every few milliseconds to advance the GSS; read-only
+/// transaction snapshots are bounded by the GSS (extended with the client's session
+/// history); garbage is collected from the GSS directly, with no extra message exchange.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CurePolicy;
 
@@ -42,12 +44,22 @@ impl<C: Clock> VisibilityPolicy<C> for CurePolicy {
     ) -> Vec<ServerOutput> {
         let mut outputs = Vec::new();
         match request {
-            ClientRequest::Get { key, .. } => {
-                // Pessimistic GET: the client's read dependency vector is *not* checked —
-                // the GSS guarantees that every visible version's dependencies are already
-                // installed everywhere in the data center, so no wait is ever needed.
-                let out = core.serve_get_stable(client, key);
-                outputs.push(out);
+            ClientRequest::Get { key, rdv } => {
+                // Pessimistic GET, served from the snapshot `GSS ∨ RDV ∨ local` as in
+                // Cure proper (the request vector is the client's full session history,
+                // see `Client::new_snapshot_reads`), so that session guarantees hold
+                // across plain reads and transaction snapshots alike. The GET never
+                // waits on *stability* — the GSS guarantees that every stable version's
+                // dependencies are installed everywhere — but it must wait for the
+                // session history to be *present* locally: the snapshot may cover a
+                // version this partition has not received yet, and serving early would
+                // silently fall back to an older version the client has already seen.
+                if core.covers_remote_deps(&rdv) {
+                    let out = core.serve_get_stable(client, key, &rdv);
+                    outputs.push(out);
+                } else {
+                    core.park_get(client, key, rdv, ReadMode::Stable);
+                }
             }
             ClientRequest::Put { key, value, dv } => {
                 // Identical to POCC's PUT, minus the optional dependency wait.
@@ -99,13 +111,13 @@ impl<C: Clock> VisibilityPolicy<C> for CurePolicy {
             core.gc_from_gss();
         }
 
-        // Transactions blocked beyond the partition timeout abort the client session, as
-        // in POCC (Cure itself would not need this, but the shared harness expects the
-        // same session semantics from both systems). Parked slices held for remote
-        // coordinators are kept; expired client-facing ones are dropped silently — the
-        // transaction-level abort above already closed the session.
-        core.abort_expired_transactions(now, outputs);
-        core.drop_expired_client_parked(now);
+        // Operations blocked beyond the partition timeout abort the client session, as in
+        // POCC (Cure itself would not need this, but the shared harness expects the same
+        // session semantics from both systems): parked GETs waiting for session history
+        // and coordinated transactions reply `SessionAborted`; expired slices held for
+        // remote coordinators are dropped silently — the coordinator's own timeout
+        // closes the client session.
+        core.enforce_partition_timeouts(now, outputs);
     }
 }
 
@@ -338,25 +350,45 @@ mod tests {
     }
 
     #[test]
-    fn gets_never_block_even_with_unsatisfied_client_dependencies() {
+    fn gets_wait_for_session_history_presence_not_stability() {
         let cfg = config(3, 1);
         let clock = ManualClock::new(Timestamp(10 * MS));
         let mut s = server(0, 0, &cfg, &clock);
         let key = key_in(0, 1);
-        // The client claims a dependency far in the future; Cure* serves the GET anyway
-        // (the visible snapshot already contains every dependency of what it returns).
+
+        // The client's history claims a remote version this server has not received:
+        // the GET parks (serving now could regress below what the client already saw).
         let outputs = s.handle_client_request(
             ClientId(1),
             ClientRequest::Get {
                 key,
-                rdv: dv(&[0, 999 * MS, 0]),
+                rdv: dv(&[0, 20 * MS, 0]),
             },
         );
-        assert!(matches!(
+        assert!(extract_reply(&outputs, ClientId(1)).is_none());
+        assert_eq!(s.metrics().blocked_operations, 1);
+
+        // The remote version arrives (advancing VV[1] past the request vector): the GET
+        // is served — and returns the *unstable* version, because the client's session
+        // history extends visibility past the GSS. No stabilization round is needed.
+        let remote = Version::new(
+            key,
+            Value::from("seen-by-client"),
+            ReplicaId(1),
+            Timestamp(20 * MS),
+            dv(&[0, 0, 0]),
+        );
+        let outputs = s.handle_server_message(
+            ServerId::new(1u16, 0u32),
+            ServerMessage::Replicate { version: remote },
+        );
+        expect_reply!(
             extract_reply(&outputs, ClientId(1)),
-            Some(ClientReply::Get(_))
-        ));
-        assert_eq!(s.metrics().blocked_operations, 0);
+            Some(ClientReply::Get(resp)) => {
+                assert_eq!(resp.value.unwrap().as_slice(), b"seen-by-client");
+            }
+        );
+        assert_eq!(s.gss(), &dv(&[0, 0, 0]), "nothing stabilized");
     }
 
     #[test]

@@ -238,25 +238,25 @@ impl<C: Clock> EngineCore<C> {
         ServerOutput::reply(client, ClientReply::Get(resp))
     }
 
-    /// Serves a GET pessimistically: the freshest *stable* version under the GSS, never
-    /// blocking, with the full staleness accounting of Cure\* (§V-B). Walking past
-    /// unstable versions is the CPU cost of pessimism the paper calls out.
-    pub fn serve_get_stable(&mut self, client: ClientId, key: Key) -> ServerOutput {
-        let local = self.id.replica;
-        let outcome = self.store.latest_stable(key, &self.gss, local);
-        self.extra_work += outcome.stats.traversed.saturating_sub(1) as u64;
-        self.metrics.gets_served += 1;
-        if outcome.is_old() {
-            self.metrics.old_gets += 1;
-            self.metrics.fresher_versions_sum += outcome.stats.fresher_than_returned as u64;
-        }
-        let unmerged = self.store.unmerged_count(key, &self.gss, local);
-        if unmerged > 0 {
-            self.metrics.unmerged_gets += 1;
-            self.metrics.unmerged_versions_sum += unmerged as u64;
-        }
-        let response = self.response_for(outcome.version.as_ref());
-        ServerOutput::reply(client, ClientReply::Get(response))
+    /// Serves a GET pessimistically: the freshest version in the snapshot
+    /// `GSS ∨ RDV ∨ local`, never blocking, with the full staleness accounting of Cure\*
+    /// (§V-B). Walking past unstable versions is the CPU cost of pessimism the paper
+    /// calls out.
+    ///
+    /// The client's read dependency vector never delays the read — the GSS guarantees
+    /// that every stable version's dependencies are installed everywhere — but it must
+    /// *extend* visibility: the session may causally know versions above the GSS (its own
+    /// reads and writes, and everything they transitively depend on), and serving from
+    /// the GSS alone would let a GET regress below a version an earlier session-extended
+    /// read (a transaction snapshot, or a plain read at a moment the GSS was further
+    /// along on another entry) already returned.
+    pub fn serve_get_stable(
+        &mut self,
+        client: ClientId,
+        key: Key,
+        rdv: &DependencyVector,
+    ) -> ServerOutput {
+        self.serve_get_snapshot(client, key, rdv)
     }
 
     /// Serves a GET from the snapshot `GSS ∨ RDV ∨ local`: the freshest version that is
@@ -269,13 +269,22 @@ impl<C: Clock> EngineCore<C> {
         key: Key,
         rdv: &DependencyVector,
     ) -> ServerOutput {
+        self.metrics.stable_fallback_gets += 1;
+        self.serve_get_snapshot(client, key, rdv)
+    }
+
+    fn serve_get_snapshot(
+        &mut self,
+        client: ClientId,
+        key: Key,
+        rdv: &DependencyVector,
+    ) -> ServerOutput {
         let local = self.id.replica;
         let mut snapshot = self.gss.joined(rdv);
         snapshot.advance(local, self.vv.get(local));
         let outcome = self.store.latest_in_snapshot(key, &snapshot);
         self.extra_work += outcome.stats.traversed.saturating_sub(1) as u64;
         self.metrics.gets_served += 1;
-        self.metrics.stable_fallback_gets += 1;
         if outcome.is_old() {
             self.metrics.old_gets += 1;
             self.metrics.fresher_versions_sum += outcome.stats.fresher_than_returned as u64;
@@ -336,14 +345,22 @@ impl<C: Clock> EngineCore<C> {
         // version's update time is strictly larger than anything it depends on. The wait is
         // bounded by the clock skew (microseconds); we account for it and jump the
         // timestamp forward instead of parking the request.
+        //
+        // The floor also covers the local VV entry: a heartbeat broadcast at clock T
+        // promises that everything this replica sends afterwards is strictly newer than T,
+        // and with a coarse clock (two events can observe the same reading) `now` alone
+        // would let a version tie with an already-sent heartbeat — a sibling that applied
+        // the heartbeat would serve optimistic reads claiming coverage of a version still
+        // in flight. The same floor keeps update times strictly increasing per server, so
+        // (update_time, replica) stays a unique version identity under any clock.
         let now = self.clock.now();
-        let max_dep = dv.max_entry();
-        let update_time = if now > max_dep {
+        let floor = dv.max_entry().max(self.vv.get(self.id.replica));
+        let update_time = if now > floor {
             now
         } else {
             self.metrics.clock_wait_time +=
-                max_dep.saturating_since(now) + std::time::Duration::from_micros(1);
-            max_dep.tick()
+                floor.saturating_since(now) + std::time::Duration::from_micros(1);
+            floor.tick()
         };
 
         // Line 8: advance the local entry of the version vector.
@@ -490,15 +507,19 @@ impl<C: Clock> EngineCore<C> {
         outputs: &mut Vec<ServerOutput>,
     ) {
         if self.vv.covers(&snapshot) {
-            let items = self.read_slice(&keys, &snapshot);
-            self.metrics.slices_served += 1;
-            match origin {
-                Some(origin) => {
-                    let msg = ServerMessage::SliceResponse { tx, items };
-                    let out = self.send(origin, msg);
-                    outputs.push(out);
+            match self.read_slice(&keys, &snapshot) {
+                Some(items) => {
+                    self.metrics.slices_served += 1;
+                    match origin {
+                        Some(origin) => {
+                            let msg = ServerMessage::SliceResponse { tx, items };
+                            let out = self.send(origin, msg);
+                            outputs.push(out);
+                        }
+                        None => self.complete_slice(tx, items, outputs),
+                    }
                 }
-                None => self.complete_slice(tx, items, outputs),
+                None => self.abort_unanswerable_slice(origin, tx, outputs),
             }
         } else {
             self.metrics.blocked_operations += 1;
@@ -515,11 +536,22 @@ impl<C: Clock> EngineCore<C> {
 
     /// Reads every key of a slice within the snapshot, collecting staleness statistics
     /// (Algorithm 2 lines 41–46).
-    pub fn read_slice(&mut self, keys: &[Key], snapshot: &DependencyVector) -> Vec<TxItem> {
+    ///
+    /// Returns `None` when the slice cannot be answered exactly: garbage collection may
+    /// have removed the version the snapshot needs for one of the keys ("snapshot too
+    /// old"). This happens when a coordinator whose GSS lags behind this server's assigns
+    /// a snapshot below versions already collected here — exchange-free GC (Cure\*'s
+    /// `gc_from_gss`) cannot see transactions coordinated at other partitions, so the
+    /// race is resolved at serve time by aborting the transaction instead of returning a
+    /// read the snapshot cannot justify.
+    pub fn read_slice(&mut self, keys: &[Key], snapshot: &DependencyVector) -> Option<Vec<TxItem>> {
         let local = self.id.replica;
         let mut items = Vec::with_capacity(keys.len());
         for &key in keys {
             let outcome = self.store.latest_in_snapshot(key, snapshot);
+            if outcome.version.is_none() && self.store.snapshot_may_predate_gc(key, snapshot) {
+                return None;
+            }
             self.extra_work += outcome.stats.traversed.saturating_sub(1) as u64;
             self.metrics.tx_items_returned += 1;
             match self.slice_unmerged {
@@ -541,7 +573,41 @@ impl<C: Clock> EngineCore<C> {
             let response = self.response_for(outcome.version.as_ref());
             items.push(TxItem { key, response });
         }
-        items
+        Some(items)
+    }
+
+    /// Resolves a slice that [`read_slice`](Self::read_slice) refused to answer: tells a
+    /// remote coordinator to abort the transaction, or aborts it directly when this
+    /// server coordinates it.
+    fn abort_unanswerable_slice(
+        &mut self,
+        origin: Option<ServerId>,
+        tx: TxId,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        match origin {
+            Some(origin) => {
+                let msg = ServerMessage::SliceAbort { tx };
+                let out = self.send(origin, msg);
+                outputs.push(out);
+            }
+            None => self.abort_tx_snapshot_too_old(tx, outputs),
+        }
+    }
+
+    /// Aborts a coordinated transaction whose snapshot preceded garbage collection on a
+    /// participant, closing the client session (§III-B: the client re-establishes its
+    /// session and retries). Late aborts for already-completed transactions are ignored.
+    pub fn abort_tx_snapshot_too_old(&mut self, tx: TxId, outputs: &mut Vec<ServerOutput>) {
+        if let Some(state) = self.transactions.remove(&tx) {
+            self.metrics.sessions_aborted += 1;
+            outputs.push(ServerOutput::reply(
+                state.client,
+                ClientReply::SessionAborted {
+                    reason: "transaction snapshot preceded garbage collection".into(),
+                },
+            ));
+        }
     }
 
     // -----------------------------------------------------------------------------------
@@ -577,6 +643,7 @@ impl<C: Clock> EngineCore<C> {
                 } => {
                     let out = match mode {
                         ReadMode::Latest => self.serve_get_latest(client, key),
+                        ReadMode::Stable => self.serve_get_stable(client, key, &rdv),
                         ReadMode::StableBounded => self.serve_get_stable_bounded(client, key, &rdv),
                     };
                     outputs.push(out);
@@ -596,19 +663,22 @@ impl<C: Clock> EngineCore<C> {
                     snapshot,
                     ..
                 } => {
-                    // Serve directly: the wait condition has just been checked.
-                    let items = self.read_slice(&keys, &snapshot);
-                    self.metrics.slices_served += 1;
-                    match origin {
-                        Some(origin) => {
-                            let msg = ServerMessage::SliceResponse { tx, items };
-                            let out = self.send(origin, msg);
-                            outputs.push(out);
+                    let _ = client;
+                    // Serve directly: the wait condition has just been checked. GC may
+                    // have run while the slice was parked, so the read can still refuse.
+                    match self.read_slice(&keys, &snapshot) {
+                        Some(items) => {
+                            self.metrics.slices_served += 1;
+                            match origin {
+                                Some(origin) => {
+                                    let msg = ServerMessage::SliceResponse { tx, items };
+                                    let out = self.send(origin, msg);
+                                    outputs.push(out);
+                                }
+                                None => self.complete_slice(tx, items, outputs),
+                            }
                         }
-                        None => {
-                            let _ = client;
-                            self.complete_slice(tx, items, outputs);
-                        }
+                        None => self.abort_unanswerable_slice(origin, tx, outputs),
                     }
                 }
             }

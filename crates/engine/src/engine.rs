@@ -77,6 +77,21 @@ pub trait VisibilityPolicy<C: Clock>: Send {
         Some(items)
     }
 
+    /// Offers the policy a slice abort ("snapshot too old", see
+    /// [`EngineCore::read_slice`]) before the engine aborts the core-coordinated
+    /// transaction. Return `true` if the policy owns the transaction and handled the
+    /// abort (HA-POCC's pessimistic-mode transactions), `false` to let the engine abort
+    /// the transaction in [`EngineCore::abort_tx_snapshot_too_old`].
+    fn claim_slice_abort(
+        &mut self,
+        core: &mut EngineCore<C>,
+        tx: TxId,
+        outputs: &mut Vec<ServerOutput>,
+    ) -> bool {
+        let _ = (core, tx, outputs);
+        false
+    }
+
     /// Protocol-specific periodic work, run at the end of every tick (after the batcher
     /// flush and heartbeat emission): stabilization rounds, garbage collection, timeout
     /// enforcement, partition detection.
@@ -168,6 +183,11 @@ impl<C: Clock, P: VisibilityPolicy<C>> ProtocolEngine<C, P> {
                         .claim_slice_response(&mut self.core, tx, items, outputs)
                 {
                     self.core.complete_slice(tx, items, outputs);
+                }
+            }
+            ServerMessage::SliceAbort { tx } => {
+                if !self.policy.claim_slice_abort(&mut self.core, tx, outputs) {
+                    self.core.abort_tx_snapshot_too_old(tx, outputs);
                 }
             }
             ServerMessage::StabilizationVector { vv } => {

@@ -53,7 +53,9 @@ pub enum ReadMode {
     /// Return the freshest version of the key (POCC, Algorithm 2 lines 3–4).
     Latest,
     /// Return the freshest version within the GSS extended by the client's session
-    /// history (the Adaptive protocol's stable fall-back path).
+    /// history (the Cure\* read path).
+    Stable,
+    /// Like [`ReadMode::Stable`] but counted as the Adaptive protocol's stable fall-back.
     StableBounded,
 }
 

@@ -237,21 +237,28 @@ impl HaPolicy {
             }
         }
         if let Some(keys) = local_keys {
-            let items = self.read_local_slice(core, &keys, &snapshot);
-            self.complete_ha_slice(&mut core.metrics, tx, items, outputs);
+            match self.read_local_slice(core, &keys, &snapshot) {
+                Some(items) => self.complete_ha_slice(&mut core.metrics, tx, items, outputs),
+                None => self.abort_ha_tx(&mut core.metrics, tx, outputs),
+            }
         }
     }
 
-    /// Reads a slice of a pessimistic transaction against the local store.
+    /// Reads a slice of a pessimistic transaction against the local store. Returns `None`
+    /// when garbage collection may have removed the version the snapshot needs for one of
+    /// the keys (see [`EngineCore::read_slice`]) — the transaction must abort.
     fn read_local_slice<C: Clock>(
         &mut self,
         core: &mut EngineCore<C>,
         keys: &[Key],
         snapshot: &DependencyVector,
-    ) -> Vec<TxItem> {
+    ) -> Option<Vec<TxItem>> {
         let mut items = Vec::with_capacity(keys.len());
         for &key in keys {
             let outcome = core.store.latest_in_snapshot(key, snapshot);
+            if outcome.version.is_none() && core.store.snapshot_may_predate_gc(key, snapshot) {
+                return None;
+            }
             core.metrics.tx_items_returned += 1;
             if outcome.is_old() {
                 core.metrics.old_tx_items += 1;
@@ -259,7 +266,26 @@ impl HaPolicy {
             let response = core.response_for(outcome.version.as_ref());
             items.push(TxItem { key, response });
         }
-        items
+        Some(items)
+    }
+
+    /// Aborts a pessimistic-mode transaction whose snapshot preceded garbage collection
+    /// on a participant, closing the client session. Late aborts are ignored.
+    fn abort_ha_tx(
+        &mut self,
+        metrics: &mut MetricsSnapshot,
+        tx: TxId,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        if let Some(state) = self.ha_txs.remove(&tx) {
+            metrics.sessions_aborted += 1;
+            outputs.push(ServerOutput::reply(
+                state.client,
+                ClientReply::SessionAborted {
+                    reason: "transaction snapshot preceded garbage collection".into(),
+                },
+            ));
+        }
     }
 
     fn complete_ha_slice(
@@ -418,6 +444,20 @@ impl<C: Clock> VisibilityPolicy<C> for HaPolicy {
             None
         } else {
             Some(items)
+        }
+    }
+
+    fn claim_slice_abort(
+        &mut self,
+        core: &mut EngineCore<C>,
+        tx: TxId,
+        outputs: &mut Vec<ServerOutput>,
+    ) -> bool {
+        if tx.0 & HA_TX_BIT != 0 {
+            self.abort_ha_tx(&mut core.metrics, tx, outputs);
+            true
+        } else {
+            false
         }
     }
 

@@ -1,9 +1,10 @@
-//! The simulated network: FIFO lossless links with partition injection.
+//! The simulated network: FIFO lossless links with partition injection and optional
+//! chaos windows (lag spikes, drop windows, duplication windows).
 
 use crate::LatencyModel;
-use pocc_proto::Envelope;
+use pocc_proto::{Envelope, ServerMessage};
 use pocc_types::{ReplicaId, ServerId, Timestamp};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Duration;
 
 /// Aggregate statistics of the simulated network.
@@ -17,6 +18,10 @@ pub struct NetworkStats {
     pub bytes_sent: u64,
     /// Messages currently held because their link is partitioned.
     pub held_messages: u64,
+    /// Idempotent periodic messages dropped inside an active drop window.
+    pub dropped_messages: u64,
+    /// Extra deliveries produced by an active duplication window.
+    pub duplicated_messages: u64,
 }
 
 /// The simulated network.
@@ -26,7 +31,17 @@ pub struct NetworkStats {
 /// * guarantee per-link FIFO: a message never overtakes an earlier message on the same
 ///   `(from, to)` link, even when jitter would reorder them,
 /// * hold (never drop) traffic between partitioned data-center pairs and release it in
-///   order when the partition heals.
+///   order when the partition heals,
+/// * apply chaos windows per data-center pair: lag spikes (extra one-way delay), drop
+///   windows and duplication windows.
+///
+/// Drop and duplication windows only affect *idempotent periodic* traffic (heartbeats,
+/// stabilization vectors, GC vectors): the protocols assume reliable FIFO channels with
+/// no retransmission, so losing a `Replicate` or slice message would wedge clients or
+/// permanently diverge replicas — that failure mode is modelled by partitions (which
+/// hold traffic) instead. Periodic messages, by contrast, are superseded by the next
+/// round, so dropping or duplicating them probes real degraded-network behaviour while
+/// convergence stays provable.
 #[derive(Debug)]
 pub struct SimNetwork {
     latency: LatencyModel,
@@ -34,10 +49,16 @@ pub struct SimNetwork {
     last_delivery: HashMap<(ServerId, ServerId), Timestamp>,
     /// Pairs of data centers currently partitioned from each other (stored with both
     /// orderings for O(1) lookup).
-    partitions: std::collections::HashSet<(ReplicaId, ReplicaId)>,
+    partitions: HashSet<(ReplicaId, ReplicaId)>,
     /// Messages held because their link is partitioned, per directed DC pair, in send
     /// order.
     held: HashMap<(ReplicaId, ReplicaId), VecDeque<Envelope>>,
+    /// Extra one-way delay per directed DC pair (lag spikes).
+    extra_delay: HashMap<(ReplicaId, ReplicaId), Duration>,
+    /// DC pairs currently dropping idempotent periodic messages.
+    dropping: HashSet<(ReplicaId, ReplicaId)>,
+    /// DC pairs currently duplicating idempotent periodic messages.
+    duplicating: HashSet<(ReplicaId, ReplicaId)>,
     stats: NetworkStats,
 }
 
@@ -47,8 +68,11 @@ impl SimNetwork {
         SimNetwork {
             latency,
             last_delivery: HashMap::new(),
-            partitions: std::collections::HashSet::new(),
+            partitions: HashSet::new(),
             held: HashMap::new(),
+            extra_delay: HashMap::new(),
+            dropping: HashSet::new(),
+            duplicating: HashSet::new(),
             stats: NetworkStats::default(),
         }
     }
@@ -72,9 +96,63 @@ impl SimNetwork {
         self.partitions.insert((b, a));
     }
 
-    /// Accepts a message and returns its scheduled delivery, or `None` if the link is
-    /// partitioned (the message is held, not dropped).
-    pub fn send(&mut self, envelope: Envelope, now: Timestamp) -> Option<(Timestamp, Envelope)> {
+    /// Adds `extra` one-way delay to every message between `a` and `b` (both directions)
+    /// until [`SimNetwork::clear_lag`] is called.
+    pub fn set_lag(&mut self, a: ReplicaId, b: ReplicaId, extra: Duration) {
+        self.extra_delay.insert((a, b), extra);
+        self.extra_delay.insert((b, a), extra);
+    }
+
+    /// Removes the lag spike between `a` and `b`.
+    pub fn clear_lag(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.extra_delay.remove(&(a, b));
+        self.extra_delay.remove(&(b, a));
+    }
+
+    /// Starts dropping idempotent periodic messages between `a` and `b` (both
+    /// directions). Non-droppable traffic is unaffected.
+    pub fn set_drop(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.dropping.insert((a, b));
+        self.dropping.insert((b, a));
+    }
+
+    /// Ends the drop window between `a` and `b`.
+    pub fn clear_drop(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.dropping.remove(&(a, b));
+        self.dropping.remove(&(b, a));
+    }
+
+    /// Starts duplicating idempotent periodic messages between `a` and `b` (both
+    /// directions): each such message is delivered twice, the duplicate strictly after
+    /// the original (per-link FIFO is preserved).
+    pub fn set_duplicate(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.duplicating.insert((a, b));
+        self.duplicating.insert((b, a));
+    }
+
+    /// Ends the duplication window between `a` and `b`.
+    pub fn clear_duplicate(&mut self, a: ReplicaId, b: ReplicaId) {
+        self.duplicating.remove(&(a, b));
+        self.duplicating.remove(&(b, a));
+    }
+
+    /// Whether a message kind may be dropped or duplicated by a chaos window: only
+    /// idempotent periodic traffic that the next protocol round supersedes. Replication
+    /// and transaction traffic rides reliable FIFO channels with no retransmission, so
+    /// the network never drops or duplicates it.
+    fn is_expendable(message: &ServerMessage) -> bool {
+        matches!(
+            message,
+            ServerMessage::Heartbeat { .. }
+                | ServerMessage::StabilizationVector { .. }
+                | ServerMessage::GcVector { .. }
+        )
+    }
+
+    /// Accepts a message and returns its scheduled deliveries: empty if the link is
+    /// partitioned (held, not dropped) or an active drop window consumed the message,
+    /// one entry on a healthy link, two inside a duplication window.
+    pub fn send(&mut self, envelope: Envelope, now: Timestamp) -> Vec<(Timestamp, Envelope)> {
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += envelope.message.wire_size() as u64;
         if envelope.crosses_dc() {
@@ -83,9 +161,26 @@ impl SimNetwork {
         let pair = (envelope.from.replica, envelope.to.replica);
         if self.partitions.contains(&pair) {
             self.held.entry(pair).or_default().push_back(envelope);
-            return None;
+            return Vec::new();
         }
-        Some(self.schedule(envelope, now))
+        if self.dropping.contains(&pair) && Self::is_expendable(&envelope.message) {
+            self.stats.dropped_messages += 1;
+            return Vec::new();
+        }
+        let duplicate = (self.duplicating.contains(&pair)
+            && Self::is_expendable(&envelope.message))
+        .then(|| envelope.clone());
+        let mut deliveries = vec![self.schedule(envelope, now)];
+        if let Some(copy) = duplicate {
+            self.stats.duplicated_messages += 1;
+            self.stats.bytes_sent += copy.message.wire_size() as u64;
+            if copy.crosses_dc() {
+                self.stats.wan_messages += 1;
+            }
+            // Scheduled after the original: the FIFO bump in `schedule` guarantees it.
+            deliveries.push(self.schedule(copy, now));
+        }
+        deliveries
     }
 
     /// Heals the partition between `a` and `b`, returning the held traffic with fresh
@@ -111,7 +206,13 @@ impl SimNetwork {
 
     /// Computes the delivery time for a message on a healthy link.
     fn schedule(&mut self, envelope: Envelope, now: Timestamp) -> (Timestamp, Envelope) {
-        let delay = self.latency.delay(envelope.from, envelope.to);
+        let mut delay = self.latency.delay(envelope.from, envelope.to);
+        if let Some(extra) = self
+            .extra_delay
+            .get(&(envelope.from.replica, envelope.to.replica))
+        {
+            delay += *extra;
+        }
         let mut at = now + delay;
         let link = (envelope.from, envelope.to);
         if let Some(last) = self.last_delivery.get(&link) {
@@ -128,7 +229,7 @@ impl SimNetwork {
 mod tests {
     use super::*;
     use pocc_proto::ServerMessage;
-    use pocc_types::LatencyMatrix;
+    use pocc_types::{DependencyVector, Key, LatencyMatrix, Value, Version};
 
     fn network(jitter: f64) -> SimNetwork {
         let model = if jitter == 0.0 {
@@ -150,12 +251,34 @@ mod tests {
         )
     }
 
+    fn replicate_envelope(from_dc: u16, to_dc: u16, ts: u64) -> Envelope {
+        Envelope::new(
+            ServerId::new(from_dc, 0u32),
+            ServerId::new(to_dc, 0u32),
+            Timestamp(ts),
+            ServerMessage::Replicate {
+                version: Version::new(
+                    Key(1),
+                    Value::from(ts),
+                    ReplicaId(from_dc),
+                    Timestamp(ts),
+                    DependencyVector::zero(3),
+                ),
+            },
+        )
+    }
+
+    fn single(deliveries: Vec<(Timestamp, Envelope)>) -> (Timestamp, Envelope) {
+        assert_eq!(deliveries.len(), 1, "expected exactly one delivery");
+        deliveries.into_iter().next().unwrap()
+    }
+
     #[test]
     fn delivery_time_reflects_the_latency_matrix() {
         let mut net = network(0.0);
-        let (at, _) = net.send(envelope(0, 2, 1), Timestamp::ZERO).unwrap();
+        let (at, _) = single(net.send(envelope(0, 2, 1), Timestamp::ZERO));
         assert_eq!(at, Timestamp::from_millis(70));
-        let (at, _) = net.send(envelope(0, 0, 1), Timestamp::ZERO).unwrap();
+        let (at, _) = single(net.send(envelope(0, 0, 1), Timestamp::ZERO));
         assert_eq!(at, Timestamp(250));
     }
 
@@ -164,7 +287,7 @@ mod tests {
         let mut net = network(0.5);
         let mut last = Timestamp::ZERO;
         for i in 0..200u64 {
-            let (at, _) = net.send(envelope(0, 1, i), Timestamp(i)).unwrap();
+            let (at, _) = single(net.send(envelope(0, 1, i), Timestamp(i)));
             assert!(at > last, "message {i} delivered at {at} before {last}");
             last = at;
         }
@@ -178,10 +301,10 @@ mod tests {
         assert!(net.is_partitioned(ReplicaId(1), ReplicaId(0)));
 
         for i in 0..5u64 {
-            assert!(net.send(envelope(0, 1, i), Timestamp(i)).is_none());
+            assert!(net.send(envelope(0, 1, i), Timestamp(i)).is_empty());
         }
         // Other links keep working.
-        assert!(net.send(envelope(0, 2, 9), Timestamp(9)).is_some());
+        assert!(!net.send(envelope(0, 2, 9), Timestamp(9)).is_empty());
         assert_eq!(net.stats().held_messages, 5);
 
         let released = net.heal(ReplicaId(0), ReplicaId(1), Timestamp::from_millis(500));
@@ -218,5 +341,78 @@ mod tests {
         assert!(net
             .heal(ReplicaId(0), ReplicaId(1), Timestamp::ZERO)
             .is_empty());
+    }
+
+    #[test]
+    fn lag_spikes_add_delay_and_clear_cleanly() {
+        let mut net = network(0.0);
+        net.set_lag(ReplicaId(0), ReplicaId(2), Duration::from_millis(30));
+        let (at, _) = single(net.send(envelope(0, 2, 1), Timestamp::ZERO));
+        assert_eq!(at, Timestamp::from_millis(100), "70ms base + 30ms spike");
+        // The reverse direction lags too.
+        let (at, _) = single(net.send(envelope(2, 0, 1), Timestamp::ZERO));
+        assert_eq!(at, Timestamp::from_millis(100));
+        // Other pairs are unaffected.
+        let (at, _) = single(net.send(envelope(0, 1, 1), Timestamp::ZERO));
+        assert_eq!(at, Timestamp::from_millis(36));
+
+        net.clear_lag(ReplicaId(0), ReplicaId(2));
+        let (at, _) = net
+            .send(envelope(0, 2, 2), Timestamp::from_millis(200))
+            .pop()
+            .unwrap();
+        assert_eq!(at, Timestamp::from_millis(270));
+    }
+
+    #[test]
+    fn drop_windows_consume_only_expendable_messages() {
+        let mut net = network(0.0);
+        net.set_drop(ReplicaId(0), ReplicaId(1));
+        assert!(net.send(envelope(0, 1, 1), Timestamp::ZERO).is_empty());
+        assert!(net.send(envelope(1, 0, 1), Timestamp::ZERO).is_empty());
+        // Replication traffic is never dropped.
+        assert_eq!(
+            net.send(replicate_envelope(0, 1, 5), Timestamp::ZERO).len(),
+            1
+        );
+        // Other pairs are unaffected.
+        assert_eq!(net.send(envelope(0, 2, 1), Timestamp::ZERO).len(), 1);
+        assert_eq!(net.stats().dropped_messages, 2);
+
+        net.clear_drop(ReplicaId(0), ReplicaId(1));
+        assert_eq!(net.send(envelope(0, 1, 2), Timestamp::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn duplication_windows_deliver_expendable_messages_twice_in_order() {
+        let mut net = network(0.0);
+        net.set_duplicate(ReplicaId(0), ReplicaId(1));
+        let deliveries = net.send(envelope(0, 1, 1), Timestamp::ZERO);
+        assert_eq!(deliveries.len(), 2);
+        assert!(
+            deliveries[0].0 < deliveries[1].0,
+            "the duplicate arrives strictly after the original"
+        );
+        // Replication traffic is never duplicated.
+        assert_eq!(
+            net.send(replicate_envelope(0, 1, 5), Timestamp::ZERO).len(),
+            1
+        );
+        assert_eq!(net.stats().duplicated_messages, 1);
+
+        net.clear_duplicate(ReplicaId(0), ReplicaId(1));
+        assert_eq!(net.send(envelope(0, 1, 2), Timestamp::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn partition_takes_precedence_over_drop_and_duplication() {
+        let mut net = network(0.0);
+        net.partition(ReplicaId(0), ReplicaId(1));
+        net.set_drop(ReplicaId(0), ReplicaId(1));
+        net.set_duplicate(ReplicaId(0), ReplicaId(1));
+        assert!(net.send(envelope(0, 1, 1), Timestamp::ZERO).is_empty());
+        // Held, not dropped: the heal releases it.
+        assert_eq!(net.stats().held_messages, 1);
+        assert_eq!(net.stats().dropped_messages, 0);
     }
 }

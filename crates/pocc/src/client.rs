@@ -25,6 +25,8 @@ pub struct Client {
     dv: DependencyVector,
     /// `RDV_c`: dependencies established through reads (transitively).
     rdv: DependencyVector,
+    /// Ship the full `DV_c` with GETs instead of `RDV_c` (see [`Client::new_snapshot_reads`]).
+    snapshot_reads: bool,
     /// Number of operations issued in this session (diagnostics only).
     ops_issued: u64,
     /// Whether the server aborted this session (partition recovery, §III-B).
@@ -33,15 +35,34 @@ pub struct Client {
 
 impl Client {
     /// Creates a new session for `id`, attached to server `home`, in a deployment of
-    /// `num_replicas` data centers.
+    /// `num_replicas` data centers. GETs ship `RDV_c`, as in Algorithm 1 — the right
+    /// metadata for chain-head-serving protocols (POCC, HA-POCC).
     pub fn new(id: ClientId, home: ServerId, num_replicas: usize) -> Self {
         Client {
             id,
             home,
             dv: DependencyVector::zero(num_replicas),
             rdv: DependencyVector::zero(num_replicas),
+            snapshot_reads: false,
             ops_issued: 0,
             aborted: false,
+        }
+    }
+
+    /// Creates a session whose GETs ship the full dependency vector `DV_c` instead of
+    /// `RDV_c`, for protocols that serve reads from a *snapshot* (Cure\*, and the Adaptive
+    /// protocol's stable fall-back) rather than from the head of the version chain.
+    ///
+    /// A snapshot read returns the freshest version *covered by the request vector* (plus
+    /// the GSS and locally originated versions), so session guarantees require that
+    /// vector to cover every item the client has read or written — `RDV_c` covers only
+    /// their dependencies. This is the same argument that makes [`Client::ro_tx`] ship
+    /// `DV_c` (see its comment); both vectors have one entry per data center, so the
+    /// choice does not change the wire size.
+    pub fn new_snapshot_reads(id: ClientId, home: ServerId, num_replicas: usize) -> Self {
+        Client {
+            snapshot_reads: true,
+            ..Client::new(id, home, num_replicas)
         }
     }
 
@@ -103,10 +124,15 @@ impl ProtocolClient for Client {
     }
 
     fn get(&self, key: Key) -> ClientRequest {
-        ClientRequest::Get {
-            key,
-            rdv: self.rdv.clone(),
-        }
+        // Chain-head protocols need only the read dependencies (Algorithm 1 line 2);
+        // snapshot-serving protocols need the whole session history in the vector (see
+        // `new_snapshot_reads`).
+        let rdv = if self.snapshot_reads {
+            self.dv.clone()
+        } else {
+            self.rdv.clone()
+        };
+        ClientRequest::Get { key, rdv }
     }
 
     fn put(&self, key: Key, value: Value) -> ClientRequest {

@@ -236,4 +236,123 @@ mod tests {
         assert_eq!(b.pending_messages(), 1);
         assert_eq!(b.flush().len(), 1);
     }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of an arbitrary staging script.
+        #[derive(Clone, Debug)]
+        enum Step {
+            /// A batchable send: `replicate(ut)` or a GC vector.
+            Batchable { dest: u8, ut: u64 },
+            /// A latency-sensitive send (heartbeat).
+            PassThrough { dest: u8 },
+            /// A client reply.
+            Reply { client: u64 },
+        }
+
+        fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+            proptest::collection::vec(
+                prop_oneof![
+                    (0u8..4, 1u64..1000).prop_map(|(dest, ut)| Step::Batchable { dest, ut }),
+                    (0u8..4).prop_map(|dest| Step::PassThrough { dest }),
+                    (0u64..8).prop_map(|client| Step::Reply { client }),
+                ],
+                0..40,
+            )
+        }
+
+        fn dest_id(dest: u8) -> ServerId {
+            ServerId::new(dest as u16, 0u32)
+        }
+
+        fn output_for(step: &Step) -> ServerOutput {
+            match step {
+                Step::Batchable { dest, ut } if ut % 2 == 0 => {
+                    ServerOutput::send(dest_id(*dest), replicate(*ut))
+                }
+                Step::Batchable { dest, .. } => ServerOutput::send(
+                    dest_id(*dest),
+                    ServerMessage::GcVector {
+                        vector: DependencyVector::zero(3),
+                    },
+                ),
+                Step::PassThrough { dest } => ServerOutput::send(dest_id(*dest), heartbeat()),
+                Step::Reply { client } => ServerOutput::reply(
+                    ClientId(*client),
+                    crate::ClientReply::Put {
+                        update_time: Timestamp(1),
+                    },
+                ),
+            }
+        }
+
+        proptest! {
+            /// The flush-order contract: non-batchable outputs pass through in their
+            /// original relative order; a flush emits at most one send per destination,
+            /// in destination order; within each destination, batchable messages keep
+            /// exact staging order; and nothing is lost, duplicated or re-addressed.
+            #[test]
+            fn flush_preserves_per_destination_order_and_loses_nothing(steps in arb_steps()) {
+                let mut b = MessageBatcher::new(true);
+                let outputs: Vec<ServerOutput> = steps.iter().map(output_for).collect();
+
+                let expected_immediate: Vec<ServerOutput> = steps
+                    .iter()
+                    .filter(|s| !matches!(s, Step::Batchable { .. }))
+                    .map(output_for)
+                    .collect();
+                let mut expected_buffered: BTreeMap<ServerId, Vec<ServerMessage>> =
+                    BTreeMap::new();
+                for step in &steps {
+                    if let Step::Batchable { dest, .. } = step {
+                        if let ServerOutput::Send { to, message } = output_for(step) {
+                            prop_assert_eq!(to, dest_id(*dest));
+                            expected_buffered.entry(to).or_default().push(message);
+                        }
+                    }
+                }
+
+                let immediate = stage_all(&mut b, outputs);
+                prop_assert_eq!(&immediate, &expected_immediate);
+                prop_assert_eq!(
+                    b.pending_messages(),
+                    expected_buffered.values().map(Vec::len).sum::<usize>()
+                );
+
+                let flushed = b.flush();
+                prop_assert_eq!(flushed.len(), expected_buffered.len());
+                for (out, (to, expected)) in flushed.iter().zip(&expected_buffered) {
+                    // Flush unwraps single messages and envelopes the rest; either way
+                    // the per-destination sequence must be the exact staging order.
+                    let (sent_to, sent) = match out {
+                        ServerOutput::Send { to, message: ServerMessage::Batch { messages } } => {
+                            prop_assert!(messages.len() > 1, "envelopes are never singleton");
+                            (to, messages.clone())
+                        }
+                        ServerOutput::Send { to, message } => (to, vec![message.clone()]),
+                        other => panic!("reply in flush: {other:?}"),
+                    };
+                    prop_assert_eq!(sent_to, to);
+                    prop_assert_eq!(&sent, expected);
+                }
+
+                // The flush drained everything; a second flush is a no-op.
+                prop_assert_eq!(b.pending_messages(), 0);
+                prop_assert!(b.flush().is_empty());
+            }
+
+            /// A disabled batcher is observationally a pass-through for every script.
+            #[test]
+            fn disabled_batcher_never_reorders_or_buffers(steps in arb_steps()) {
+                let mut b = MessageBatcher::new(false);
+                let outputs: Vec<ServerOutput> = steps.iter().map(output_for).collect();
+                let staged = stage_all(&mut b, outputs.clone());
+                prop_assert_eq!(staged, outputs);
+                prop_assert_eq!(b.pending_messages(), 0);
+                prop_assert!(b.flush().is_empty());
+            }
+        }
+    }
 }

@@ -338,6 +338,7 @@ const MSG_SLICE_RESP: u8 = 4;
 const MSG_STABILIZATION: u8 = 5;
 const MSG_GC: u8 = 6;
 const MSG_BATCH: u8 = 7;
+const MSG_SLICE_ABORT: u8 = 8;
 
 fn put_server_message(buf: &mut BytesMut, msg: &ServerMessage) {
     match msg {
@@ -365,6 +366,10 @@ fn put_server_message(buf: &mut BytesMut, msg: &ServerMessage) {
             buf.put_u8(MSG_SLICE_RESP);
             buf.put_u64_le(tx.0);
             put_tx_items(buf, items);
+        }
+        ServerMessage::SliceAbort { tx } => {
+            buf.put_u8(MSG_SLICE_ABORT);
+            buf.put_u64_le(tx.0);
         }
         ServerMessage::StabilizationVector { vv } => {
             buf.put_u8(MSG_STABILIZATION);
@@ -425,6 +430,12 @@ fn get_server_message(data: &mut Bytes, in_batch: bool) -> Result<ServerMessage>
             ServerMessage::SliceResponse {
                 tx,
                 items: get_tx_items(data)?,
+            }
+        }
+        MSG_SLICE_ABORT => {
+            ensure(data, 8)?;
+            ServerMessage::SliceAbort {
+                tx: TxId(data.get_u64_le()),
             }
         }
         MSG_STABILIZATION => ServerMessage::StabilizationVector {
@@ -772,6 +783,7 @@ mod proptests {
                     vv: VersionVector::from_entries(v.into_iter().map(Timestamp).collect()),
                 }
             }),
+            any::<u64>().prop_map(|tx| ServerMessage::SliceAbort { tx: TxId(tx) }),
             arb_dv().prop_map(|vector| ServerMessage::GcVector { vector }),
         ]
     }

@@ -31,11 +31,13 @@ impl std::fmt::Display for TxId {
 /// dependency vector `RDV_c`, a PUT carries the full dependency vector `DV_c`.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub enum ClientRequest {
-    /// `GET(key)` with the client's read dependency vector.
+    /// `GET(key)` with the client's read vector.
     Get {
         /// The key to read.
         key: Key,
-        /// The client's read dependency vector `RDV_c`.
+        /// The client's read vector: `RDV_c` for chain-head-serving protocols
+        /// (Algorithm 1 line 2), the full `DV_c` for snapshot-serving protocols (both
+        /// have one entry per data center, so the wire size is identical).
         rdv: DependencyVector,
     },
     /// `PUT(key, value)` with the client's dependency vector.
@@ -179,6 +181,14 @@ pub enum ServerMessage {
         /// One entry per requested key.
         items: Vec<TxItem>,
     },
+    /// A participant telling the coordinator that a slice cannot be answered exactly: the
+    /// transaction snapshot precedes versions the participant has already garbage
+    /// collected ("snapshot too old"). The coordinator aborts the transaction and closes
+    /// the client session rather than returning a read the snapshot cannot justify.
+    SliceAbort {
+        /// The transaction id from the request.
+        tx: TxId,
+    },
     /// Intra-DC exchange of version vectors used by Cure's stabilization protocol (GSS
     /// computation) and, infrequently, by HA-POCC.
     StabilizationVector {
@@ -229,6 +239,7 @@ impl ServerMessage {
                         })
                         .sum::<usize>()
             }
+            ServerMessage::SliceAbort { .. } => 1 + 8,
             ServerMessage::StabilizationVector { vv } => 1 + vv.wire_size(),
             ServerMessage::GcVector { vector } => 1 + vector.wire_size(),
             ServerMessage::Batch { messages } => {

@@ -24,12 +24,17 @@ pub struct ClusterClient {
 }
 
 impl ClusterClient {
-    pub(crate) fn new(id: ClientId, home: ServerId, router: Router) -> Self {
+    pub(crate) fn new(id: ClientId, home: ServerId, router: Router, snapshot_reads: bool) -> Self {
         let (tx, rx) = unbounded();
         router.register_client(id, tx);
         let num_replicas = router.config().num_replicas;
+        let session = if snapshot_reads {
+            Client::new_snapshot_reads(id, home, num_replicas)
+        } else {
+            Client::new(id, home, num_replicas)
+        };
         ClusterClient {
-            session: Client::new(id, home, num_replicas),
+            session,
             router,
             replies: rx,
             timeout: Duration::from_secs(10),

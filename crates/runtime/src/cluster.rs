@@ -105,7 +105,13 @@ impl Cluster {
         let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
         let partition = (id.raw() as usize % self.config().num_partitions) as u32;
         let home = ServerId::new(replica, partition);
-        ClusterClient::new(id, home, self.router.clone())
+        // Snapshot-serving protocols need the full session history in GET request
+        // vectors (see `Client::new_snapshot_reads`).
+        let snapshot_reads = matches!(
+            self.protocol,
+            RuntimeProtocol::Cure | RuntimeProtocol::Adaptive
+        );
+        ClusterClient::new(id, home, self.router.clone(), snapshot_reads)
     }
 
     /// Stops every thread and waits for them to exit.

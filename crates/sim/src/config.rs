@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::chaos::{ChaosSchedule, ChaosStep};
 use pocc_types::{Config, ReplicaId};
 use pocc_workload::WorkloadMix;
 use std::time::Duration;
@@ -88,6 +89,9 @@ pub struct SimConfig {
     pub check_consistency: bool,
     /// Scheduled partitions and heals.
     pub faults: Vec<FaultEvent>,
+    /// Scripted chaos: lag spikes, drop/duplication windows, restarts and further
+    /// partitions, all at fixed points in simulated time.
+    pub chaos: ChaosSchedule,
 }
 
 impl SimConfig {
@@ -129,6 +133,7 @@ pub struct SimConfigBuilder {
     seed: u64,
     check_consistency: bool,
     faults: Vec<FaultEvent>,
+    chaos: ChaosSchedule,
 }
 
 impl Default for SimConfigBuilder {
@@ -153,6 +158,7 @@ impl Default for SimConfigBuilder {
             seed: 1,
             check_consistency: false,
             faults: Vec::new(),
+            chaos: ChaosSchedule::new(),
         }
     }
 }
@@ -275,6 +281,18 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Installs a full chaos schedule (replaces any previously added steps).
+    pub fn chaos(mut self, schedule: ChaosSchedule) -> Self {
+        self.chaos = schedule;
+        self
+    }
+
+    /// Adds one chaos step to the schedule.
+    pub fn chaos_step(mut self, step: ChaosStep) -> Self {
+        self.chaos.steps.push(step);
+        self
+    }
+
     /// Builds the configuration.
     pub fn build(self) -> SimConfig {
         let mut deployment = self.deployment.unwrap_or_else(|| {
@@ -307,6 +325,7 @@ impl SimConfigBuilder {
             seed: self.seed,
             check_consistency: self.check_consistency,
             faults: self.faults,
+            chaos: self.chaos,
         }
     }
 }
@@ -383,6 +402,43 @@ mod tests {
             .build();
         assert_eq!(cfg.deployment.storage_shards, 2);
         assert!(cfg.deployment.replication_batching);
+    }
+
+    #[test]
+    fn chaos_builder_installs_and_extends_schedules() {
+        let cfg = SimConfig::builder()
+            .chaos_step(ChaosStep::LagSpike {
+                at: Duration::from_millis(10),
+                until: Duration::from_millis(30),
+                a: ReplicaId(0),
+                b: ReplicaId(1),
+                extra: Duration::from_millis(15),
+            })
+            .chaos_step(ChaosStep::Restart {
+                at: Duration::from_millis(40),
+                replica: ReplicaId(2),
+                outage: Duration::from_millis(10),
+            })
+            .build();
+        assert_eq!(cfg.chaos.steps.len(), 2);
+        assert!(cfg.chaos.ends_by(Duration::from_millis(50)));
+
+        let schedule = ChaosSchedule::new().step(ChaosStep::DropWindow {
+            at: Duration::from_millis(5),
+            until: Duration::from_millis(25),
+            a: ReplicaId(0),
+            b: ReplicaId(2),
+        });
+        let cfg = SimConfig::builder()
+            .chaos_step(ChaosStep::Heal {
+                at: Duration::ZERO,
+                a: ReplicaId(0),
+                b: ReplicaId(1),
+            })
+            .chaos(schedule.clone())
+            .build();
+        assert_eq!(cfg.chaos, schedule, "chaos() replaces earlier steps");
+        assert!(SimConfig::builder().build().chaos.is_empty());
     }
 
     #[test]

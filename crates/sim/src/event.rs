@@ -1,5 +1,6 @@
 //! The event queue of the discrete-event simulator.
 
+use crate::chaos::ChaosAction;
 use pocc_proto::{ClientReply, ClientRequest, Envelope};
 use pocc_types::{ReplicaId, ServerId, Timestamp};
 use std::cmp::Reverse;
@@ -53,6 +54,9 @@ pub enum Event {
         /// The other side.
         b: ReplicaId,
     },
+    /// Apply a chaos disturbance (lag spike, drop/duplication window edge, restart).
+    /// Chaos partitions and heals reuse the two variants above.
+    Chaos(ChaosAction),
 }
 
 /// A time-ordered event queue with deterministic FIFO tie-breaking.

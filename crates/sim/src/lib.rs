@@ -34,13 +34,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod config;
 mod consistency;
 mod event;
+pub mod fuzz;
 mod metrics;
 mod report;
 mod simulation;
 
+pub use chaos::{ChaosAction, ChaosGen, ChaosSchedule, ChaosStep};
 pub use config::{FaultEvent, ProtocolKind, SimConfig, SimConfigBuilder};
 pub use consistency::ConsistencyChecker;
 pub use event::Event;

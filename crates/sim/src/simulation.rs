@@ -1,5 +1,6 @@
 //! The simulation engine: builds a deployment and runs the event loop.
 
+use crate::chaos::{ChaosAction, ChaosStep};
 use crate::config::{FaultEvent, ProtocolKind, SimConfig};
 use crate::consistency::ConsistencyChecker;
 use crate::event::{Event, EventQueue};
@@ -140,8 +141,18 @@ impl Simulation {
                         cfg.seed.wrapping_mul(1_000_003).wrapping_add(next_client),
                     )
                     .with_value_size(cfg.value_size);
+                    // Snapshot-serving protocols need the full session history in GET
+                    // request vectors (see `Client::new_snapshot_reads`).
+                    let session = match cfg.protocol {
+                        ProtocolKind::Cure | ProtocolKind::Adaptive => {
+                            Client::new_snapshot_reads(id, home, deployment.num_replicas)
+                        }
+                        ProtocolKind::Pocc | ProtocolKind::HaPocc => {
+                            Client::new(id, home, deployment.num_replicas)
+                        }
+                    };
                     clients.push(ClientEntry {
-                        session: Client::new(id, home, deployment.num_replicas),
+                        session,
                         generator,
                         home,
                         outstanding: None,
@@ -222,6 +233,72 @@ impl Simulation {
                 }
             }
         }
+        let chaos = self.cfg.chaos.clone();
+        for step in chaos.steps {
+            self.schedule_chaos_step(step);
+        }
+    }
+
+    /// Lowers one declarative chaos step into queue events: partitions and heals map to
+    /// the existing fault events, windows become a begin/end action pair, restarts a
+    /// single action.
+    fn schedule_chaos_step(&mut self, step: ChaosStep) {
+        match step {
+            ChaosStep::Partition { at, a, b } => {
+                self.queue
+                    .push(Timestamp::from(at), Event::InjectPartition { a, b });
+            }
+            ChaosStep::Heal { at, a, b } => {
+                self.queue
+                    .push(Timestamp::from(at), Event::HealPartition { a, b });
+            }
+            ChaosStep::LagSpike {
+                at,
+                until,
+                a,
+                b,
+                extra,
+            } => {
+                self.queue.push(
+                    Timestamp::from(at),
+                    Event::Chaos(ChaosAction::BeginLag { a, b, extra }),
+                );
+                self.queue.push(
+                    Timestamp::from(until),
+                    Event::Chaos(ChaosAction::EndLag { a, b }),
+                );
+            }
+            ChaosStep::DropWindow { at, until, a, b } => {
+                self.queue.push(
+                    Timestamp::from(at),
+                    Event::Chaos(ChaosAction::BeginDrop { a, b }),
+                );
+                self.queue.push(
+                    Timestamp::from(until),
+                    Event::Chaos(ChaosAction::EndDrop { a, b }),
+                );
+            }
+            ChaosStep::DupWindow { at, until, a, b } => {
+                self.queue.push(
+                    Timestamp::from(at),
+                    Event::Chaos(ChaosAction::BeginDup { a, b }),
+                );
+                self.queue.push(
+                    Timestamp::from(until),
+                    Event::Chaos(ChaosAction::EndDup { a, b }),
+                );
+            }
+            ChaosStep::Restart {
+                at,
+                replica,
+                outage,
+            } => {
+                self.queue.push(
+                    Timestamp::from(at),
+                    Event::Chaos(ChaosAction::Restart { replica, outage }),
+                );
+            }
+        }
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -269,6 +346,32 @@ impl Simulation {
             Event::HealPartition { a, b } => {
                 for (at, envelope) in self.network.heal(a, b, now) {
                     self.queue.push(at, Event::MessageArrival { envelope });
+                }
+            }
+            Event::Chaos(action) => self.apply_chaos(action, now),
+        }
+    }
+
+    fn apply_chaos(&mut self, action: ChaosAction, now: Timestamp) {
+        match action {
+            ChaosAction::BeginLag { a, b, extra } => self.network.set_lag(a, b, extra),
+            ChaosAction::EndLag { a, b } => self.network.clear_lag(a, b),
+            ChaosAction::BeginDrop { a, b } => self.network.set_drop(a, b),
+            ChaosAction::EndDrop { a, b } => self.network.clear_drop(a, b),
+            ChaosAction::BeginDup { a, b } => self.network.set_duplicate(a, b),
+            ChaosAction::EndDup { a, b } => self.network.clear_duplicate(a, b),
+            ChaosAction::Restart { replica, outage } => {
+                // A rolling restart of one data center: every server freezes (requests
+                // queue behind `busy_until`) while its durable state survives, then the
+                // backlog drains.
+                let frozen_until = now + outage;
+                for entry in self
+                    .servers
+                    .iter_mut()
+                    .filter(|(id, _)| id.replica == replica)
+                    .map(|(_, entry)| entry)
+                {
+                    entry.busy_until = entry.busy_until.max(frozen_until);
                 }
             }
         }
@@ -480,7 +583,7 @@ impl Simulation {
                 }
                 ServerOutput::Send { to, message } => {
                     let envelope = Envelope::new(from, to, at, message);
-                    if let Some((deliver_at, envelope)) = self.network.send(envelope, at) {
+                    for (deliver_at, envelope) in self.network.send(envelope, at) {
                         self.queue
                             .push(deliver_at, Event::MessageArrival { envelope });
                     }
@@ -584,6 +687,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::config::ProtocolKind;
+    use pocc_types::ReplicaId;
     use pocc_workload::WorkloadMix;
 
     fn quick_config(protocol: ProtocolKind) -> SimConfig {
@@ -674,6 +778,111 @@ mod tests {
         assert!(report.puts_completed > 10);
         assert_eq!(report.consistency_violations, 0);
         assert!(report.server_metrics.slices_served > 0);
+    }
+
+    #[test]
+    fn scripted_chaos_stays_clean_and_convergent() {
+        // One window of each disturbance, all over before the drain starts (the measured
+        // window ends at 500ms, the drain at 900ms).
+        let r = ReplicaId;
+        let ms = Duration::from_millis;
+        let cfg = SimConfig::builder()
+            .protocol(ProtocolKind::Pocc)
+            .partitions(2)
+            .clients_per_partition(2)
+            .keys_per_partition(100)
+            .warmup(Duration::from_millis(100))
+            .duration(Duration::from_millis(400))
+            .drain(Duration::from_millis(400))
+            .think_time(Duration::from_millis(5))
+            .check_consistency(true)
+            .seed(11)
+            .chaos_step(ChaosStep::LagSpike {
+                at: ms(120),
+                until: ms(200),
+                a: r(0),
+                b: r(1),
+                extra: ms(25),
+            })
+            .chaos_step(ChaosStep::DropWindow {
+                at: ms(150),
+                until: ms(260),
+                a: r(1),
+                b: r(2),
+            })
+            .chaos_step(ChaosStep::DupWindow {
+                at: ms(200),
+                until: ms(320),
+                a: r(0),
+                b: r(2),
+            })
+            .chaos_step(ChaosStep::Partition {
+                at: ms(250),
+                a: r(0),
+                b: r(1),
+            })
+            .chaos_step(ChaosStep::Heal {
+                at: ms(380),
+                a: r(0),
+                b: r(1),
+            })
+            .chaos_step(ChaosStep::Restart {
+                at: ms(300),
+                replica: r(2),
+                outage: ms(40),
+            })
+            .build();
+        assert!(cfg.chaos.ends_by(ms(500)));
+        let report = Simulation::new(cfg).run();
+        assert!(report.operations_completed > 0, "{}", report.summary());
+        assert_eq!(report.consistency_violations, 0);
+        assert!(report.converged, "replicas must converge after chaos ends");
+        assert!(
+            report.network.dropped_messages > 0,
+            "the drop window must actually bite"
+        );
+        assert!(
+            report.network.duplicated_messages > 0,
+            "the duplication window must actually bite"
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic_per_seed() {
+        let chaotic = |seed: u64| {
+            let mut gen = crate::chaos::ChaosGen::new(seed, 3);
+            let schedule = gen.sample(Duration::from_millis(100), Duration::from_millis(500), 5);
+            let mut cfg = quick_config(ProtocolKind::Adaptive);
+            cfg.seed = seed;
+            cfg.chaos = schedule;
+            Simulation::new(cfg).run()
+        };
+        let a = chaotic(21);
+        let b = chaotic(21);
+        assert_eq!(a.operations_completed, b.operations_completed);
+        assert_eq!(a.network, b.network);
+        assert_eq!(a.consistency_violations, 0);
+        assert!(a.converged);
+    }
+
+    #[test]
+    fn restart_outage_stalls_a_replica_but_recovers() {
+        let mut cfg = quick_config(ProtocolKind::Pocc);
+        cfg.chaos = crate::chaos::ChaosSchedule::new().step(ChaosStep::Restart {
+            at: Duration::from_millis(200),
+            replica: ReplicaId(1),
+            outage: Duration::from_millis(80),
+        });
+        let with_restart = Simulation::new(cfg).run();
+        let baseline = Simulation::new(quick_config(ProtocolKind::Pocc)).run();
+        assert!(with_restart.converged);
+        assert_eq!(with_restart.consistency_violations, 0);
+        assert!(
+            with_restart.operations_completed < baseline.operations_completed,
+            "an 80ms outage must cost throughput ({} vs {})",
+            with_restart.operations_completed,
+            baseline.operations_completed
+        );
     }
 
     #[test]

@@ -173,6 +173,24 @@ impl ShardedStore {
         })
     }
 
+    /// Whether a `None` result of [`latest_in_snapshot`](Self::latest_in_snapshot) for
+    /// `key` under snapshot `tv` could be an artifact of garbage collection rather than
+    /// the key's true state at `tv` ("snapshot too old").
+    ///
+    /// Garbage collection never empties a chain and only removes versions *older* than
+    /// the newest version covered by the GC vector, so any version a lookup does return
+    /// is still the correct freshest-in-snapshot answer. The one result GC can falsify
+    /// is an empty one: the version `tv` needs may have been collected. That is possible
+    /// only when the key has a chain, the owning shard has collected garbage, and `tv`
+    /// does not cover the shard's GC watermark.
+    pub fn snapshot_may_predate_gc(&self, key: Key, tv: &DependencyVector) -> bool {
+        let shard = self.shard(key);
+        match shard.watermark() {
+            Some(w) => !tv.dominates(w) && shard.chain(key).is_some(),
+            None => false,
+        }
+    }
+
     /// Runs garbage collection with vector `gv` over every shard (§IV-B), advancing each
     /// shard's watermark. Returns the number of versions removed in this pass.
     pub fn collect_garbage(&mut self, gv: &DependencyVector) -> usize {
