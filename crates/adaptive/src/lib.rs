@@ -227,7 +227,7 @@ pocc_engine::delegate_protocol_server!(AdaptiveServer);
 mod tests {
     use super::*;
     use pocc_clock::ManualClock;
-    use pocc_proto::{expect_reply, ClientReply, ProtocolServer, ServerMessage};
+    use pocc_proto::{expect_reply, ClientReply, ProtocolServer, ServerIntrospect, ServerMessage};
     use pocc_storage::partition_for_key;
     use pocc_types::{ReplicaId, Value, Version};
     use std::time::Duration;

@@ -4,25 +4,38 @@
 //! compare_bench <baseline.json> <current.json> [--threshold 0.25]
 //! compare_bench --validate <file.json>...
 //! compare_bench --digests <baseline DIGESTS.json> <current DIGESTS.json>
+//! compare_bench --scaling <report.json> [--min-ratio 1.5]
 //! ```
 //!
-//! Exit codes: 0 = no regression (or all files valid / no digest drift), 1 = regression
-//! or digest drift found, 2 = usage or input error. CI runs the comparison as a blocking
-//! gate: the simulator is seeded and deterministic, so a >25% throughput regression of
-//! the baseline scenario is a real code-path change, not noise — and any digest drift is
-//! a real behaviour change. A deliberate trade-off ships with a regenerated
-//! `BENCH_baseline.json` (or `DIGESTS.json`) and an explanation in the PR.
+//! Exit codes: 0 = gate passed (no regression / all files valid / no digest drift /
+//! scaling ratio reached), 1 = gate failed, 2 = usage or input error. CI runs the
+//! comparisons as blocking gates: the simulator is seeded and deterministic, so a >25%
+//! throughput regression of the baseline scenario is a real code-path change, not noise
+//! — and any digest drift is a real behaviour change. Entries present only in the
+//! *current* corpus (a new scenario, or a sweep axis the older baseline predates, such
+//! as `core_scaling`'s worker-lane counts) are reported as notes, not failures. A
+//! deliberate trade-off ships with a regenerated `BENCH_baseline.json` (or
+//! `DIGESTS.json`) and an explanation in the PR.
+//!
+//! `--scaling` gates a wall-clock sweep on itself rather than on a baseline file:
+//! throughput at the sweep's largest `x` must be at least `--min-ratio` times the
+//! throughput at its smallest `x` (the `parallel-smoke` job runs it against
+//! `BENCH_core_scaling.json`, where `x` is the worker-lane count).
 
-use pocc_bench::compare::{compare, DEFAULT_THRESHOLD};
+use pocc_bench::compare::{compare, scaling, DEFAULT_THRESHOLD};
 use pocc_bench::digest::DigestCorpus;
 use pocc_bench::json;
 use std::process::ExitCode;
+
+/// The default `--min-ratio`: 4 worker lanes must beat 1 lane by at least this factor.
+const DEFAULT_MIN_RATIO: f64 = 1.5;
 
 const USAGE: &str = "\
 USAGE:
   compare_bench <baseline.json> <current.json> [--threshold <fraction>]
   compare_bench --validate <file.json>...
   compare_bench --digests <baseline.json> <current.json>
+  compare_bench --scaling <report.json> [--min-ratio <ratio>]
 ";
 
 fn load(path: &str) -> Result<json::Json, String> {
@@ -71,29 +84,92 @@ fn main() -> ExitCode {
             }
         };
         let diff = baseline.diff(&current);
-        return if diff.is_empty() {
+        for line in &diff.notes {
+            println!("note: {line}");
+        }
+        return if diff.is_clean() {
             println!(
-                "digest corpora agree: {} scenarios, {} points",
+                "digest corpora agree: {} scenarios, {} points{}",
                 baseline.scenarios.len(),
                 baseline
                     .scenarios
                     .iter()
                     .map(|s| s.points.len())
-                    .sum::<usize>()
+                    .sum::<usize>(),
+                if diff.notes.is_empty() {
+                    ""
+                } else {
+                    " (plus new coverage in the current corpus, listed above)"
+                }
             );
             ExitCode::SUCCESS
         } else {
-            for line in &diff {
+            for line in &diff.failures {
                 println!("{line}");
             }
             println!(
                 "\n{} digest difference(s): behaviour drifted from the checked-in corpus.",
-                diff.len()
+                diff.failures.len()
             );
             println!(
                 "If the change is intentional, regenerate with: \
                  runner --scenario all --scale {} --digests DIGESTS.json",
                 baseline.scale
+            );
+            ExitCode::FAILURE
+        };
+    }
+
+    if args.first().map(String::as_str) == Some("--scaling") {
+        let mut path = None;
+        let mut min_ratio = DEFAULT_MIN_RATIO;
+        let mut it = args[1..].iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--min-ratio" => {
+                    let v = it.next().and_then(|v| v.parse::<f64>().ok());
+                    match v {
+                        Some(v) if v > 0.0 => min_ratio = v,
+                        _ => {
+                            eprintln!("error: --min-ratio needs a positive number\n{USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                other if path.is_none() => path = Some(other.to_string()),
+                other => {
+                    eprintln!("error: unexpected argument {other:?}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let Some(path) = path else {
+            eprintln!("error: --scaling needs a report file\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        let doc = match load(&path) {
+            Ok(doc) => doc,
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        let summary = match scaling(&doc) {
+            Ok(summary) => summary,
+            Err(err) => {
+                eprintln!("error: {path}: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        print!("{}", summary.render());
+        return if summary.ratio() >= min_ratio {
+            println!("scaling gate passed (minimum {min_ratio:.2}x)");
+            ExitCode::SUCCESS
+        } else {
+            println!(
+                "scaling gate FAILED: {:.2}x is below the {:.2}x minimum",
+                summary.ratio(),
+                min_ratio
             );
             ExitCode::FAILURE
         };

@@ -10,7 +10,7 @@
 //! malformed report fails the run instead of poisoning downstream tooling.
 
 use pocc_bench::digest::DigestCorpus;
-use pocc_bench::scenarios::{self, PointResult};
+use pocc_bench::scenarios::{self, PointResult, ScenarioKind};
 use pocc_bench::{fmt_ms, fmt_tput, json, Scale};
 use std::process::ExitCode;
 
@@ -96,19 +96,24 @@ fn main() -> ExitCode {
 
     if args.list {
         println!(
-            "{:<24} {:<22} {:>7}  DESCRIPTION",
-            "NAME", "X-AXIS", "POINTS"
+            "{:<24} {:<22} {:<10} {:>7}  DESCRIPTION",
+            "NAME", "X-AXIS", "KIND", "POINTS"
         );
         for scenario in scenarios::all() {
             println!(
-                "{:<24} {:<22} {:>7}  {}",
+                "{:<24} {:<22} {:<10} {:>7}  {}",
                 scenario.name,
                 scenario.x_axis,
+                scenario.kind.name(),
                 scenario.points(args.scale).len(),
                 scenario.title
             );
         }
-        println!("\n(point counts at {} scale)", args.scale.name());
+        println!(
+            "\n(point counts at {} scale; wall-clock scenarios run on OS threads and \
+             are excluded from --digests corpora)",
+            args.scale.name()
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -151,7 +156,17 @@ fn main() -> ExitCode {
             scenario.title
         );
         let report = scenario.run(args.scale, print_point);
-        corpus.add_report(&report);
+        match scenario.kind {
+            ScenarioKind::Sim => corpus.add_report(&report),
+            ScenarioKind::Parallel => {
+                if args.digests.is_some() {
+                    println!(
+                        "    (wall-clock scenario: timing-dependent, left out of the \
+                         digest corpus)"
+                    );
+                }
+            }
+        }
         let doc = report.to_json();
         if let Err(err) = json::validate_report(&doc) {
             eprintln!("error: {}: schema validation failed: {err}", scenario.name);

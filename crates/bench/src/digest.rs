@@ -213,15 +213,19 @@ impl DigestCorpus {
         Ok(corpus)
     }
 
-    /// Diffs this corpus (the baseline) against `current`. Returns one human-readable
-    /// line per difference: scale mismatches, scenarios present on only one side, points
-    /// present on only one side, and digest drift (with both digests printed so the
-    /// changed fields are visible side by side). An empty result means the corpora agree
-    /// exactly.
-    pub fn diff(&self, current: &DigestCorpus) -> Vec<String> {
-        let mut out = Vec::new();
+    /// Diffs this corpus (the baseline) against `current`.
+    ///
+    /// Differences split into two severities. *Failures* mean behaviour the baseline
+    /// recorded has changed or disappeared: scale mismatches, scenarios or points
+    /// present only in the baseline, and digest drift (with both digests printed so the
+    /// changed fields are visible side by side). *Notes* are entries present only in
+    /// `current` — a new scenario or a new sweep axis (say, a lane count the older
+    /// baseline predates) extends coverage without invalidating anything the baseline
+    /// vouches for, so it informs rather than fails.
+    pub fn diff(&self, current: &DigestCorpus) -> DigestDiff {
+        let mut diff = DigestDiff::default();
         if self.scale != current.scale {
-            out.push(format!(
+            diff.failures.push(format!(
                 "scale mismatch: baseline ran at {:?}, current at {:?}",
                 self.scale, current.scale
             ));
@@ -232,17 +236,18 @@ impl DigestCorpus {
                 .iter()
                 .find(|s| s.scenario == base.scenario)
             else {
-                out.push(format!("{}: missing from current corpus", base.scenario));
+                diff.failures
+                    .push(format!("{}: missing from current corpus", base.scenario));
                 continue;
             };
             for (label, base_digest) in &base.points {
                 match cur.points.iter().find(|(l, _)| l == label) {
-                    None => out.push(format!(
+                    None => diff.failures.push(format!(
                         "{}/{}: missing from current corpus",
                         base.scenario, label
                     )),
                     Some((_, cur_digest)) if cur_digest != base_digest => {
-                        out.push(format!(
+                        diff.failures.push(format!(
                             "{}/{}: digest drift\n  baseline: {}\n  current:  {}",
                             base.scenario, label, base_digest, cur_digest
                         ));
@@ -252,7 +257,7 @@ impl DigestCorpus {
             }
             for (label, _) in &cur.points {
                 if !base.points.iter().any(|(l, _)| l == label) {
-                    out.push(format!(
+                    diff.notes.push(format!(
                         "{}/{}: not in baseline corpus (new point)",
                         base.scenario, label
                     ));
@@ -261,13 +266,36 @@ impl DigestCorpus {
         }
         for cur in &current.scenarios {
             if !self.scenarios.iter().any(|s| s.scenario == cur.scenario) {
-                out.push(format!(
+                diff.notes.push(format!(
                     "{}: not in baseline corpus (new scenario)",
                     cur.scenario
                 ));
             }
         }
-        out
+        diff
+    }
+}
+
+/// The result of diffing two digest corpora: blocking `failures` (drift, missing
+/// entries, scale mismatch) and informational `notes` (entries only the newer corpus
+/// has). The drift gate fails only on `failures`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DigestDiff {
+    /// Behaviour the baseline recorded changed or disappeared.
+    pub failures: Vec<String>,
+    /// Coverage the baseline does not have yet (new scenarios or sweep points).
+    pub notes: Vec<String>,
+}
+
+impl DigestDiff {
+    /// Whether the corpora agree on everything the baseline records.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Whether the two corpora are exactly identical (no failures *and* no notes).
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty() && self.notes.is_empty()
     }
 }
 
@@ -336,15 +364,32 @@ mod tests {
             ("new", &[("p", "d")]),
         ]);
         let diff = base.diff(&cur);
-        let text = diff.join("\n");
-        assert!(text.contains("a/p1: digest drift"), "{text}");
-        assert!(text.contains("a/p2: missing"), "{text}");
-        assert!(text.contains("a/p3: not in baseline"), "{text}");
-        assert!(text.contains("gone: missing"), "{text}");
-        assert!(text.contains("new: not in baseline"), "{text}");
-        assert_eq!(diff.len(), 5, "{text}");
+        let failures = diff.failures.join("\n");
+        assert!(failures.contains("a/p1: digest drift"), "{failures}");
+        assert!(failures.contains("a/p2: missing"), "{failures}");
+        assert!(failures.contains("gone: missing"), "{failures}");
+        assert_eq!(diff.failures.len(), 3, "{failures}");
+
+        // Entries only the current corpus has are informational, not failing: an older
+        // baseline simply predates the new coverage.
+        let notes = diff.notes.join("\n");
+        assert!(notes.contains("a/p3: not in baseline"), "{notes}");
+        assert!(notes.contains("new: not in baseline"), "{notes}");
+        assert_eq!(diff.notes.len(), 2, "{notes}");
+        assert!(!diff.is_clean());
+        assert!(!diff.is_empty());
 
         assert!(base.diff(&base).is_empty(), "a corpus agrees with itself");
+    }
+
+    #[test]
+    fn new_coverage_alone_is_clean_but_not_empty() {
+        let base = corpus(&[("a", &[("p1", "d1")])]);
+        let cur = corpus(&[("a", &[("p1", "d1"), ("p2", "d2")]), ("b", &[("p", "d")])]);
+        let diff = base.diff(&cur);
+        assert!(diff.is_clean(), "{:?}", diff.failures);
+        assert!(!diff.is_empty());
+        assert_eq!(diff.notes.len(), 2);
     }
 
     #[test]
@@ -353,7 +398,11 @@ mod tests {
         let mut cur = base.clone();
         cur.scale = "full".into();
         let diff = base.diff(&cur);
-        assert_eq!(diff.len(), 1);
-        assert!(diff[0].contains("scale mismatch"), "{}", diff[0]);
+        assert_eq!(diff.failures.len(), 1);
+        assert!(
+            diff.failures[0].contains("scale mismatch"),
+            "{}",
+            diff.failures[0]
+        );
     }
 }

@@ -15,6 +15,10 @@
 //! * [`digest`] — one behaviour digest per scenario point, collected into the versioned
 //!   `DIGESTS.json` corpus; `compare_bench --digests` diffs two corpora and CI runs that
 //!   diff as a blocking drift gate.
+//! * [`parallel`] — the wall-clock driver behind `core_scaling`: runs the threaded
+//!   shard-parallel server runtime (`pocc-exec`) on real OS threads and reports measured
+//!   throughput per worker-lane count. Wall-clock scenarios are excluded from the digest
+//!   corpus; CI gates their lane-scaling ratio with `compare_bench --scaling`.
 //!
 //! The `runner` binary drives it all: `cargo run --release -p pocc-bench --bin runner --
 //! --scenario <name> --out BENCH_<name>.json`. The simulator is deterministic, so the
@@ -37,6 +41,7 @@
 pub mod compare;
 pub mod digest;
 pub mod json;
+pub mod parallel;
 pub mod scenarios;
 
 use pocc_sim::{ProtocolKind, SimConfig, SimConfigBuilder, SimReport};

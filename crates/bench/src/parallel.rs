@@ -1,0 +1,180 @@
+//! Wall-clock benchmark driver for the threaded shard-parallel execution runtime.
+//!
+//! The simulator measures protocol behaviour in virtual time; this module measures the
+//! real thing: a [`ParallelServer`] running on OS threads, fed a pre-generated
+//! write-heavy operation stream and timed with a wall clock. The `core_scaling`
+//! scenario sweeps the worker-lane count over the same stream and reports throughput
+//! per lane count — the number CI's `parallel-smoke` job gates with
+//! `compare_bench --scaling`.
+//!
+//! Wall-clock runs are timing-dependent, so scenarios of this kind
+//! ([`crate::scenarios::ScenarioKind::Parallel`]) are excluded from the digest corpus.
+//! Their reports serialise to the same versioned `BENCH_*.json` schema with empty
+//! latency blocks: lanes reply through an asynchronous sink, so per-operation latency
+//! is not measured — throughput over the measured stream is the figure of merit.
+
+use crate::scenarios::ScenarioPoint;
+use crate::Scale;
+use pocc_clock::{MonotonicClock, SystemClock};
+use pocc_exec::{ExecProtocol, OutputSink, ParallelServer};
+use pocc_net::NetworkStats;
+use pocc_proto::{ClientReply, ClientRequest, ServerIntrospect, ServerOutput};
+use pocc_sim::{LatencyStats, ProtocolKind, SimReport};
+use pocc_types::{ClientId, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Operations in the measured stream per point. Wall-clock points need enough work for
+/// the lane ratio to be stable against scheduler noise, but the smoke size still has to
+/// finish in well under a second per point so the scenario tests and CI stay fast.
+fn measured_ops(scale: Scale) -> u64 {
+    match scale {
+        Scale::Smoke => 160_000,
+        Scale::Quick => 480_000,
+        Scale::Full => 1_600_000,
+    }
+}
+
+/// Consecutive operations of one class before switching: submitting GETs and PUTs in
+/// short runs (rather than strictly alternating) lets lanes drain snapshot-covered
+/// GET-only batches without touching the write spine.
+const RUN_LENGTH: u64 = 16;
+
+fn exec_protocol(kind: ProtocolKind) -> ExecProtocol {
+    match kind {
+        ProtocolKind::Pocc => ExecProtocol::Pocc,
+        ProtocolKind::Cure => ExecProtocol::Cure,
+        ProtocolKind::HaPocc => ExecProtocol::HaPocc,
+        ProtocolKind::Adaptive => ExecProtocol::Adaptive,
+    }
+}
+
+/// The pre-generated operation stream: a 1:1 GET:PUT mix (the repo's "write-heavy" mix)
+/// in runs of [`RUN_LENGTH`], keys scattered over the keyspace by a multiplicative hash
+/// so every lane sees an even share of both classes.
+fn generate_ops(n: u64, keys: u64, value_size: usize) -> Vec<(ClientId, ClientRequest)> {
+    let payload = Value::from(vec![0x5a_u8; value_size.max(1)]);
+    (0..n)
+        .map(|i| {
+            let key = Key(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % keys.max(1));
+            let request = if (i / RUN_LENGTH).is_multiple_of(2) {
+                ClientRequest::Put {
+                    key,
+                    value: payload.clone(),
+                    dv: DependencyVector::zero(1),
+                }
+            } else {
+                ClientRequest::Get {
+                    key,
+                    rdv: DependencyVector::zero(1),
+                }
+            };
+            (ClientId(i), request)
+        })
+        .collect()
+}
+
+fn wait_for(done: &AtomicU64, target: u64) {
+    while done.load(Ordering::Acquire) < target {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs one wall-clock point: a single-replica, single-partition [`ParallelServer`]
+/// with `point.config.deployment.worker_lanes` lanes, fed the pre-generated stream, and
+/// reports real throughput in the `SimReport` shape the `BENCH_*.json` pipeline expects.
+///
+/// Panics if the server loses or duplicates operations — a wall-clock benchmark run
+/// doubles as a smoke-level correctness check of the threaded runtime.
+pub fn run_point(scale: Scale, point: &ScenarioPoint) -> SimReport {
+    let cfg = &point.config;
+    let deployment = cfg.deployment.clone();
+    let n = measured_ops(scale);
+    let warmup_n = n / 8;
+    let ops = generate_ops(warmup_n + n, cfg.keys_per_partition, cfg.value_size);
+    let issued_puts = ops
+        .iter()
+        .filter(|(_, r)| matches!(r, ClientRequest::Put { .. }))
+        .count() as u64;
+    let measured_puts = ops[warmup_n as usize..]
+        .iter()
+        .filter(|(_, r)| matches!(r, ClientRequest::Put { .. }))
+        .count() as u64;
+
+    let done = Arc::new(AtomicU64::new(0));
+    let put_replies = Arc::new(AtomicU64::new(0));
+    let sink: OutputSink = {
+        let done = Arc::clone(&done);
+        let put_replies = Arc::clone(&put_replies);
+        Arc::new(move |out| {
+            if let ServerOutput::Reply { reply, .. } = out {
+                if matches!(reply, ClientReply::Put { .. }) {
+                    put_replies.fetch_add(1, Ordering::Relaxed);
+                }
+                done.fetch_add(1, Ordering::Release);
+            }
+        })
+    };
+
+    let mut server = ParallelServer::start(
+        ServerId::new(ReplicaId(0), PartitionId(0)),
+        deployment,
+        exec_protocol(cfg.protocol),
+        MonotonicClock::new(SystemClock::new()),
+        sink,
+    );
+
+    let (warm, measured) = ops.split_at(warmup_n as usize);
+    for (client, request) in warm {
+        server.submit_client(*client, request.clone());
+    }
+    wait_for(&done, warmup_n);
+
+    let started = Instant::now();
+    for (client, request) in measured {
+        server.submit_client(*client, request.clone());
+    }
+    wait_for(&done, warmup_n + n);
+    let measured_window = started.elapsed();
+
+    assert_eq!(
+        put_replies.load(Ordering::Relaxed),
+        issued_puts,
+        "{}: every issued PUT must be acknowledged exactly once",
+        point.label
+    );
+    let server_metrics = server.metrics();
+    assert_eq!(
+        server_metrics.puts_served, issued_puts,
+        "{}: every issued PUT must be published on the spine",
+        point.label
+    );
+    let store = server.store_stats();
+    let store_shards = server.shard_stats();
+    server.shutdown();
+
+    SimReport {
+        protocol: cfg.protocol,
+        replicas: cfg.deployment.num_replicas,
+        partitions: cfg.deployment.num_partitions,
+        clients: 1,
+        measured_window,
+        operations_completed: n,
+        gets_completed: n - measured_puts,
+        puts_completed: measured_puts,
+        rotx_completed: 0,
+        sessions_reinitialized: 0,
+        throughput_ops_per_sec: n as f64 / measured_window.as_secs_f64(),
+        latency_all: LatencyStats::new(),
+        latency_get: LatencyStats::new(),
+        latency_put: LatencyStats::new(),
+        latency_rotx: LatencyStats::new(),
+        server_metrics,
+        network: NetworkStats::default(),
+        store,
+        store_shards,
+        consistency_violations: 0,
+        converged: true,
+    }
+}

@@ -29,6 +29,27 @@ use std::time::Duration;
 /// two runs of the same scenario are comparable sample-for-sample).
 pub const SEED: u64 = 42;
 
+/// How a scenario's points are executed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScenarioKind {
+    /// Deterministic discrete-event simulation: same seed, same digest, every machine.
+    Sim,
+    /// Wall-clock execution on the threaded shard-parallel runtime (`pocc-exec`).
+    /// Timing-dependent, so excluded from the digest corpus; gated by throughput ratio
+    /// (`compare_bench --scaling`) instead of digest equality.
+    Parallel,
+}
+
+impl ScenarioKind {
+    /// Short name for `--list` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Sim => "sim",
+            ScenarioKind::Parallel => "wall-clock",
+        }
+    }
+}
+
 /// A named benchmark scenario.
 pub struct Scenario {
     /// The registry name (`--scenario <name>`; also the `BENCH_<name>.json` stem).
@@ -37,6 +58,8 @@ pub struct Scenario {
     pub title: &'static str,
     /// What the swept `x` of each point means.
     pub x_axis: &'static str,
+    /// How the points run (simulated vs wall-clock).
+    pub kind: ScenarioKind,
     points_fn: fn(Scale) -> Vec<ScenarioPoint>,
 }
 
@@ -87,7 +110,10 @@ impl Scenario {
     pub fn run(&self, scale: Scale, mut on_point: impl FnMut(&PointResult)) -> ScenarioReport {
         let mut points = Vec::new();
         for p in self.points(scale) {
-            let report = Simulation::new(p.config.clone()).run();
+            let report = match self.kind {
+                ScenarioKind::Sim => Simulation::new(p.config.clone()).run(),
+                ScenarioKind::Parallel => crate::parallel::run_point(scale, &p),
+            };
             let result = PointResult {
                 label: p.label,
                 x: p.x,
@@ -301,151 +327,183 @@ pub fn all() -> Vec<Scenario> {
             name: "fig1a_scalability",
             title: "Figure 1a: throughput vs number of partitions (GET:PUT = p:1)",
             x_axis: "partitions",
+            kind: ScenarioKind::Sim,
             points_fn: fig1a,
         },
         Scenario {
             name: "fig1b_resptime",
             title: "Figure 1b: avg. response time vs throughput",
             x_axis: "clients_per_partition",
+            kind: ScenarioKind::Sim,
             points_fn: fig1b,
         },
         Scenario {
             name: "fig1c_write_intensity",
             title: "Figure 1c: throughput vs GET:PUT ratio",
             x_axis: "gets_per_put",
+            kind: ScenarioKind::Sim,
             points_fn: fig1c,
         },
         Scenario {
             name: "fig2a_blocking",
             title: "Figure 2a: POCC blocking probability and blocking time vs load",
             x_axis: "clients_per_partition",
+            kind: ScenarioKind::Sim,
             points_fn: fig2a,
         },
         Scenario {
             name: "fig2b_staleness",
             title: "Figure 2b: data staleness in Cure* vs load",
             x_axis: "clients_per_partition",
+            kind: ScenarioKind::Sim,
             points_fn: fig2b,
         },
         Scenario {
             name: "fig3a_tx_scalability",
             title: "Figure 3a: throughput vs partitions contacted per RO-TX",
             x_axis: "partitions_per_tx",
+            kind: ScenarioKind::Sim,
             points_fn: fig3a,
         },
         Scenario {
             name: "fig3b_tx_clients",
             title: "Figure 3b: throughput and RO-TX response time vs clients per partition",
             x_axis: "clients_per_partition",
+            kind: ScenarioKind::Sim,
             points_fn: fig3b,
         },
         Scenario {
             name: "fig3c_tx_blocking",
             title: "Figure 3c: POCC blocking under the transactional workload",
             x_axis: "clients_per_partition",
+            kind: ScenarioKind::Sim,
             points_fn: fig3c,
         },
         Scenario {
             name: "fig3d_tx_staleness",
             title: "Figure 3d: staleness of transactional reads vs clients per partition",
             x_axis: "clients_per_partition",
+            kind: ScenarioKind::Sim,
             points_fn: fig3d,
         },
         Scenario {
             name: "ablation_stabilization",
             title: "Ablation: Cure* stabilization interval vs staleness",
             x_axis: "stabilization_interval_ms",
+            kind: ScenarioKind::Sim,
             points_fn: ablation_stabilization,
         },
         Scenario {
             name: "ablation_heartbeat",
             title: "Ablation: POCC heartbeat interval vs blocking",
             x_axis: "heartbeat_interval_ms",
+            kind: ScenarioKind::Sim,
             points_fn: ablation_heartbeat,
         },
         Scenario {
             name: "ablation_clock_skew",
             title: "Ablation: POCC clock skew vs blocking and clock waits",
             x_axis: "max_clock_skew_ms",
+            kind: ScenarioKind::Sim,
             points_fn: ablation_clock_skew,
         },
         Scenario {
             name: "ablation_sharding",
             title: "Ablation: storage shards x replication batching",
             x_axis: "storage_shards",
+            kind: ScenarioKind::Sim,
             points_fn: ablation_sharding,
         },
         Scenario {
             name: "hot_key_skew",
             title: "Hot-key workload: zipf exponent sweep (uniform through super-zipfian)",
             x_axis: "zipf_theta",
+            kind: ScenarioKind::Sim,
             points_fn: hot_key_skew,
         },
         Scenario {
             name: "large_values",
             title: "Large-value payloads: value size sweep",
             x_axis: "value_size_bytes",
+            kind: ScenarioKind::Sim,
             points_fn: large_values,
         },
         Scenario {
             name: "read_heavy",
             title: "Read-heavy mix (GET:PUT = 31:1) vs load",
             x_axis: "clients_per_partition",
+            kind: ScenarioKind::Sim,
             points_fn: read_heavy,
         },
         Scenario {
             name: "write_heavy",
             title: "Write-heavy mix (GET:PUT = 1:1) vs load",
             x_axis: "clients_per_partition",
+            kind: ScenarioKind::Sim,
             points_fn: write_heavy,
         },
         Scenario {
             name: "tx_size_sweep",
             title: "POCC RO-TX latency vs transaction size",
             x_axis: "partitions_per_tx",
+            kind: ScenarioKind::Sim,
             points_fn: tx_size_sweep,
         },
         Scenario {
             name: "adaptive_vs_pocc",
             title: "Adaptive vs POCC vs Cure*: blocking and staleness under load",
             x_axis: "clients_per_partition",
+            kind: ScenarioKind::Sim,
             points_fn: adaptive_vs_pocc,
         },
         Scenario {
             name: "adaptive_hot_key",
             title: "Adaptive under hot-key churn: zipf exponent sweep with per-key fall-back",
             x_axis: "zipf_theta",
+            kind: ScenarioKind::Sim,
             points_fn: adaptive_hot_key,
         },
         Scenario {
             name: "partition_heal",
             title: "HA-POCC under a WAN partition that heals (SimNetwork fault injection)",
             x_axis: "partition_duration_ms",
+            kind: ScenarioKind::Sim,
             points_fn: partition_heal,
         },
         Scenario {
             name: "chaos_partition_storm",
             title: "Chaos: seeded random partition/lag/drop storms (ChaosGen schedules)",
             x_axis: "chaos_seed",
+            kind: ScenarioKind::Sim,
             points_fn: chaos_partition_storm,
         },
         Scenario {
             name: "chaos_lag_drop",
             title: "Chaos: scripted lag spike + drop window + duplication window, all protocols",
             x_axis: "protocol_index",
+            kind: ScenarioKind::Sim,
             points_fn: chaos_lag_drop,
         },
         Scenario {
             name: "chaos_restart",
             title: "Chaos: whole-DC restart (frozen processing, retained state) vs outage length",
             x_axis: "outage_ms",
+            kind: ScenarioKind::Sim,
             points_fn: chaos_restart,
         },
         Scenario {
             name: "baseline",
             title: "Seed-equivalent configuration (1 shard, no batching): the regression baseline",
             x_axis: "clients_per_partition",
+            kind: ScenarioKind::Sim,
             points_fn: baseline,
+        },
+        Scenario {
+            name: "core_scaling",
+            title: "Threaded runtime: wall-clock throughput vs worker-lane count (write-heavy)",
+            x_axis: "worker_lanes",
+            kind: ScenarioKind::Parallel,
+            points_fn: core_scaling,
         },
     ]
 }
@@ -722,18 +780,14 @@ fn ablation_stabilization(scale: Scale) -> Vec<ScenarioPoint> {
     let clients = moderate_clients(scale);
     stabs
         .into_iter()
-        .map(|stab_ms| {
-            let mut dep = deployment(scale, p);
-            dep.stabilization_interval = Duration::from_millis(stab_ms);
-            ScenarioPoint {
-                label: label(ProtocolKind::Cure, "stab_ms", stab_ms),
-                x: stab_ms as f64,
-                config: point(scale, ProtocolKind::Cure)
-                    .deployment(dep)
-                    .clients_per_partition(clients)
-                    .mix(get_put(p))
-                    .build(),
-            }
+        .map(|stab_ms| ScenarioPoint {
+            label: label(ProtocolKind::Cure, "stab_ms", stab_ms),
+            x: stab_ms as f64,
+            config: point(scale, ProtocolKind::Cure)
+                .stabilization_interval(Duration::from_millis(stab_ms))
+                .clients_per_partition(clients)
+                .mix(get_put(p))
+                .build(),
         })
         .collect()
 }
@@ -747,18 +801,14 @@ fn ablation_heartbeat(scale: Scale) -> Vec<ScenarioPoint> {
     let clients = moderate_clients(scale);
     heartbeats_us
         .into_iter()
-        .map(|hb_us| {
-            let mut dep = deployment(scale, p);
-            dep.heartbeat_interval = Duration::from_micros(hb_us);
-            ScenarioPoint {
-                label: label(ProtocolKind::Pocc, "hb_us", hb_us),
-                x: hb_us as f64 / 1_000.0,
-                config: point(scale, ProtocolKind::Pocc)
-                    .deployment(dep)
-                    .clients_per_partition(clients)
-                    .mix(get_put(p))
-                    .build(),
-            }
+        .map(|hb_us| ScenarioPoint {
+            label: label(ProtocolKind::Pocc, "hb_us", hb_us),
+            x: hb_us as f64 / 1_000.0,
+            config: point(scale, ProtocolKind::Pocc)
+                .heartbeat_interval(Duration::from_micros(hb_us))
+                .clients_per_partition(clients)
+                .mix(get_put(p))
+                .build(),
         })
         .collect()
 }
@@ -772,18 +822,14 @@ fn ablation_clock_skew(scale: Scale) -> Vec<ScenarioPoint> {
     let clients = moderate_clients(scale);
     skews_us
         .into_iter()
-        .map(|skew_us| {
-            let mut dep = deployment(scale, p);
-            dep.max_clock_skew = Duration::from_micros(skew_us);
-            ScenarioPoint {
-                label: label(ProtocolKind::Pocc, "skew_us", skew_us),
-                x: skew_us as f64 / 1_000.0,
-                config: point(scale, ProtocolKind::Pocc)
-                    .deployment(dep)
-                    .clients_per_partition(clients)
-                    .mix(get_put(p))
-                    .build(),
-            }
+        .map(|skew_us| ScenarioPoint {
+            label: label(ProtocolKind::Pocc, "skew_us", skew_us),
+            x: skew_us as f64 / 1_000.0,
+            config: point(scale, ProtocolKind::Pocc)
+                .max_clock_skew(Duration::from_micros(skew_us))
+                .clients_per_partition(clients)
+                .mix(get_put(p))
+                .build(),
         })
         .collect()
 }
@@ -1103,6 +1149,35 @@ fn chaos_restart(scale: Scale) -> Vec<ScenarioPoint> {
         }
     }
     points
+}
+
+/// The tentpole's evidence scenario: one server, one partition, POCC, swept over worker
+/// lane counts on the threaded runtime ([`crate::parallel`]). Storage shards stay at the
+/// default 8 so every lane count divides them evenly (lanes map to disjoint shard sets).
+/// The workload and stream length are fixed per scale, so throughput differences between
+/// points are the lanes, nothing else.
+fn core_scaling(scale: Scale) -> Vec<ScenarioPoint> {
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|lanes| {
+            let deployment = pocc_types::Config::builder()
+                .num_replicas(1)
+                .num_partitions(1)
+                .worker_lanes(lanes)
+                .build()
+                .expect("core_scaling deployment is valid");
+            ScenarioPoint {
+                label: label(ProtocolKind::Pocc, "lanes", lanes),
+                x: lanes as f64,
+                config: point(scale, ProtocolKind::Pocc)
+                    .deployment(deployment)
+                    .clients_per_partition(1)
+                    .mix(WorkloadMix::write_heavy())
+                    .value_size(64)
+                    .build(),
+            }
+        })
+        .collect()
 }
 
 fn baseline(scale: Scale) -> Vec<ScenarioPoint> {

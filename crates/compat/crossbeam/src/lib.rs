@@ -8,11 +8,19 @@
 pub mod channel {
     //! MPSC channels with the `crossbeam::channel` names the workspace imports.
 
-    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{
+        Receiver, RecvTimeoutError, SendError, Sender, SyncSender, TryRecvError, TrySendError,
+    };
 
     /// Creates an unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// Creates a bounded MPSC channel with capacity `cap`: sends block once `cap`
+    /// messages are queued, which is what gives actor mailboxes backpressure.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
     }
 }
 
@@ -20,6 +28,16 @@ pub mod channel {
 mod tests {
     use super::channel::*;
     use std::time::Duration;
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
 
     #[test]
     fn unbounded_round_trip_and_timeout() {

@@ -172,7 +172,7 @@ pocc_engine::delegate_protocol_server!(CureServer);
 mod tests {
     use super::*;
     use pocc_clock::ManualClock;
-    use pocc_proto::{expect_reply, ClientReply, ProtocolServer, ServerMessage};
+    use pocc_proto::{expect_reply, ClientReply, ProtocolServer, ServerIntrospect, ServerMessage};
     use pocc_storage::partition_for_key;
     use pocc_types::{Key, ReplicaId, Value, Version};
     use std::time::Duration;

@@ -234,7 +234,7 @@ impl<C: Clock> EngineCore<C> {
     /// has received, stable or not (POCC, Algorithm 2 lines 3–4).
     pub fn serve_get_latest(&mut self, client: ClientId, key: Key) -> ServerOutput {
         self.metrics.gets_served += 1;
-        let resp = self.response_for(self.store.latest(key));
+        let resp = self.response_for(self.store.latest(key).as_ref());
         ServerOutput::reply(client, ClientReply::Get(resp))
     }
 

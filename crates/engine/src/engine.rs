@@ -4,7 +4,8 @@
 use crate::core::{EngineCore, SliceUnmergedMode};
 use pocc_clock::Clock;
 use pocc_proto::{
-    ClientRequest, MetricsSnapshot, ProtocolServer, ServerMessage, ServerOutput, TxId, TxItem,
+    ClientRequest, MetricsSnapshot, ProtocolServer, ServerIntrospect, ServerMessage, ServerOutput,
+    TxId, TxItem,
 };
 use pocc_types::{ClientId, Key, ReplicaId, ServerId, Timestamp, VersionVector};
 
@@ -243,6 +244,12 @@ impl<C: Clock, P: VisibilityPolicy<C>> ProtocolServer for ProtocolEngine<C, P> {
         outputs
     }
 
+    fn take_extra_work(&mut self) -> u64 {
+        self.core.take_extra_work()
+    }
+}
+
+impl<C: Clock, P: VisibilityPolicy<C>> ServerIntrospect for ProtocolEngine<C, P> {
     fn metrics(&self) -> MetricsSnapshot {
         self.core.metrics_snapshot()
     }
@@ -258,14 +265,79 @@ impl<C: Clock, P: VisibilityPolicy<C>> ProtocolServer for ProtocolEngine<C, P> {
     fn shard_stats(&self) -> Vec<pocc_storage::ShardStats> {
         self.core.store.shard_stats()
     }
+}
 
-    fn take_extra_work(&mut self) -> u64 {
-        self.core.take_extra_work()
+/// Boxed policies are policies too, so an execution layer can pick one of the four
+/// protocols at runtime and still drive a single `ProtocolEngine<C, Box<dyn
+/// VisibilityPolicy<C>>>` type.
+impl<C: Clock> VisibilityPolicy<C> for Box<dyn VisibilityPolicy<C>> {
+    fn slice_unmerged_mode(&self) -> SliceUnmergedMode {
+        (**self).slice_unmerged_mode()
+    }
+
+    fn handle_client_request(
+        &mut self,
+        core: &mut EngineCore<C>,
+        client: ClientId,
+        request: ClientRequest,
+    ) -> Vec<ServerOutput> {
+        (**self).handle_client_request(core, client, request)
+    }
+
+    fn on_stabilization_vector(
+        &mut self,
+        core: &mut EngineCore<C>,
+        from: ServerId,
+        vv: VersionVector,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        (**self).on_stabilization_vector(core, from, vv, outputs)
+    }
+
+    fn on_gc_vector(
+        &mut self,
+        core: &mut EngineCore<C>,
+        from: ServerId,
+        vector: pocc_types::DependencyVector,
+    ) {
+        (**self).on_gc_vector(core, from, vector)
+    }
+
+    fn on_replicate(&mut self, core: &mut EngineCore<C>, from: ServerId, key: Key) {
+        (**self).on_replicate(core, from, key)
+    }
+
+    fn claim_slice_response(
+        &mut self,
+        core: &mut EngineCore<C>,
+        tx: TxId,
+        items: Vec<TxItem>,
+        outputs: &mut Vec<ServerOutput>,
+    ) -> Option<Vec<TxItem>> {
+        (**self).claim_slice_response(core, tx, items, outputs)
+    }
+
+    fn claim_slice_abort(
+        &mut self,
+        core: &mut EngineCore<C>,
+        tx: TxId,
+        outputs: &mut Vec<ServerOutput>,
+    ) -> bool {
+        (**self).claim_slice_abort(core, tx, outputs)
+    }
+
+    fn on_tick(
+        &mut self,
+        core: &mut EngineCore<C>,
+        now: Timestamp,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        (**self).on_tick(core, now, outputs)
     }
 }
 
-/// Implements [`ProtocolServer`] for a named server wrapper around a
-/// [`ProtocolEngine`] stored in a field called `engine`.
+/// Implements [`ProtocolServer`] and [`ServerIntrospect`] for a named server wrapper
+/// around a [`ProtocolEngine`] stored in a field called `engine`.
 ///
 /// ```ignore
 /// pub struct MyServer<C> {
@@ -309,8 +381,14 @@ macro_rules! delegate_protocol_server {
                 $crate::reexports::ProtocolServer::tick(&mut self.engine)
             }
 
+            fn take_extra_work(&mut self) -> u64 {
+                $crate::reexports::ProtocolServer::take_extra_work(&mut self.engine)
+            }
+        }
+
+        impl<C: $crate::reexports::Clock> $crate::reexports::ServerIntrospect for $server<C> {
             fn metrics(&self) -> $crate::reexports::MetricsSnapshot {
-                $crate::reexports::ProtocolServer::metrics(&self.engine)
+                $crate::reexports::ServerIntrospect::metrics(&self.engine)
             }
 
             fn digest(
@@ -320,19 +398,15 @@ macro_rules! delegate_protocol_server {
                 $crate::reexports::Timestamp,
                 $crate::reexports::ReplicaId,
             )> {
-                $crate::reexports::ProtocolServer::digest(&self.engine)
+                $crate::reexports::ServerIntrospect::digest(&self.engine)
             }
 
             fn store_stats(&self) -> $crate::reexports::StoreStats {
-                $crate::reexports::ProtocolServer::store_stats(&self.engine)
+                $crate::reexports::ServerIntrospect::store_stats(&self.engine)
             }
 
             fn shard_stats(&self) -> Vec<$crate::reexports::ShardStats> {
-                $crate::reexports::ProtocolServer::shard_stats(&self.engine)
-            }
-
-            fn take_extra_work(&mut self) -> u64 {
-                $crate::reexports::ProtocolServer::take_extra_work(&mut self.engine)
+                $crate::reexports::ServerIntrospect::shard_stats(&self.engine)
             }
         }
     };
@@ -343,7 +417,8 @@ macro_rules! delegate_protocol_server {
 pub mod reexports {
     pub use pocc_clock::Clock;
     pub use pocc_proto::{
-        ClientRequest, MetricsSnapshot, ProtocolServer, ServerMessage, ServerOutput,
+        ClientRequest, MetricsSnapshot, ProtocolServer, ServerIntrospect, ServerMessage,
+        ServerOutput,
     };
     pub use pocc_storage::{ShardStats, StoreStats};
     pub use pocc_types::{ClientId, Key, ReplicaId, ServerId, Timestamp};

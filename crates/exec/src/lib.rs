@@ -1,0 +1,125 @@
+//! Threaded shard-parallel execution of the protocol engine.
+//!
+//! The deterministic simulator (`pocc-sim`) runs every server as a single-threaded state
+//! machine, which makes behaviour reproducible but turns every throughput number into a
+//! microbench claim. This crate makes the cores actually work: a [`ParallelServer`] runs
+//! one protocol engine behind a set of *worker lanes* — real OS threads with bounded
+//! mailboxes — so PUT and GET processing of disjoint key ranges proceeds concurrently
+//! while the engine's protocol logic (replication, heartbeats, stabilization, parked
+//! operations, transactions) stays exactly the code the simulator exercises.
+//!
+//! # Execution model
+//!
+//! * **Lanes.** Client operations are key-hash-routed to `Config::worker_lanes` worker
+//!   threads (`lane = shard(key) % lanes`), each with a bounded mailbox (actor shape;
+//!   a full mailbox applies backpressure to the submitting thread). Lanes own disjoint
+//!   sets of storage shards, so their version-chain inserts never contend.
+//! * **Spine.** Everything protocol-visible that is *not* per-key — the version vector,
+//!   GSS bookkeeping, parked operations, transaction coordination, metrics — lives in
+//!   the unmodified [`pocc_engine::ProtocolEngine`] behind a single mutex, the *spine*.
+//!   Server-to-server messages and ticks are handled there.
+//! * **Write pipelining.** A lane serving an eligible PUT only takes the spine lock long
+//!   enough to *reserve* a timestamp (the same clock/dependency floor rule as the serial
+//!   `serve_put`); the chain insert then happens outside the lock. Reservations are
+//!   published back into the engine — version-vector advance plus replication fan-out —
+//!   strictly in timestamp order, and any engine call first drains the pipeline, so the
+//!   engine never observes a version vector ahead of the store (a heartbeat promising a
+//!   timestamp while a smaller-timestamped write is still in flight would break the
+//!   sibling replicas' coverage reasoning).
+//! * **Epoch snapshots for readers.** Lanes publish the engine's version vector into a
+//!   read-mostly snapshot after every pipeline drain. A batch consisting purely of GETs
+//!   whose dependencies are covered by the snapshot is served straight from the sharded
+//!   store without touching the spine at all — readers never lock the write path.
+//!
+//! What stays deterministic under threads: per-key final state (convergence digests),
+//! causal consistency (the checker passes), and order-insensitive metric totals.
+//! What does not: operation interleavings, timestamps and latency distributions. The
+//! differential suite in `tests/parallel_equivalence.rs` pins the former against the
+//! simulator for all four protocols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod server;
+
+pub use server::{OutputSink, ParallelServer};
+
+use pocc_clock::Clock;
+use pocc_engine::VisibilityPolicy;
+use pocc_types::{Config, Timestamp};
+
+/// Which of the four protocol variants a [`ParallelServer`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecProtocol {
+    /// Plain POCC: optimistic freshest reads.
+    Pocc,
+    /// Cure\*: pessimistic GSS-stable reads.
+    Cure,
+    /// HA-POCC: optimistic with partition-tolerant mode switching.
+    HaPocc,
+    /// Adaptive: per-key churn-based fallback from optimistic to stable-bounded reads.
+    Adaptive,
+}
+
+impl ExecProtocol {
+    /// Builds the protocol's visibility policy, boxed so one engine type serves all four
+    /// variants.
+    pub fn policy<C: Clock>(self, config: &Config, now: Timestamp) -> Box<dyn VisibilityPolicy<C>> {
+        match self {
+            ExecProtocol::Pocc => Box::new(pocc_protocol::PoccPolicy),
+            ExecProtocol::Cure => Box::new(pocc_cure::CurePolicy),
+            ExecProtocol::HaPocc => Box::new(pocc_ha::HaPolicy::new(config, now)),
+            ExecProtocol::Adaptive => Box::new(pocc_adaptive::AdaptivePolicy::default()),
+        }
+    }
+
+    /// Which operations the lanes may serve without going through the full policy
+    /// dispatch on the spine.
+    pub fn fast_path(self) -> FastPathProfile {
+        match self {
+            // POCC reads are freshest-version chain-head reads: a lane can serve them
+            // from the shared store once the client's remote dependencies are covered.
+            ExecProtocol::Pocc => FastPathProfile {
+                puts: true,
+                puts_check_deps: true,
+                gets: true,
+            },
+            // Cure* PUTs are unconditional, but its GETs do GSS staleness accounting on
+            // the engine, so reads go through the spine.
+            ExecProtocol::Cure => FastPathProfile {
+                puts: true,
+                puts_check_deps: false,
+                gets: false,
+            },
+            // HA-POCC records *every* client request in its session bookkeeping (the
+            // optimistic-client set consulted on fallback aborts), so no operation may
+            // bypass the policy.
+            ExecProtocol::HaPocc => FastPathProfile {
+                puts: false,
+                puts_check_deps: true,
+                gets: false,
+            },
+            // Adaptive PUTs are POCC PUTs (local writes do not touch the churn
+            // classifier), but GETs consult per-key policy state.
+            ExecProtocol::Adaptive => FastPathProfile {
+                puts: true,
+                puts_check_deps: true,
+                gets: false,
+            },
+        }
+    }
+}
+
+/// Which operation kinds a protocol allows the worker lanes to serve directly, bypassing
+/// the policy dispatch on the spine. Derived from each policy's semantics — see
+/// [`ExecProtocol::fast_path`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FastPathProfile {
+    /// Whether lanes may pipeline eligible PUTs (reserve a timestamp, insert off-lock).
+    pub puts: bool,
+    /// Whether PUT eligibility requires the client's remote dependencies to be covered
+    /// (POCC's configurable wait); `false` means PUTs are unconditionally eligible.
+    pub puts_check_deps: bool,
+    /// Whether lanes may serve dependency-covered GETs from the store directly.
+    pub gets: bool,
+}

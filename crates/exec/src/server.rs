@@ -1,0 +1,692 @@
+//! The threaded server: worker lanes over a spine-locked protocol engine.
+
+use crate::{ExecProtocol, FastPathProfile};
+use crossbeam::channel::{bounded, Receiver, SyncSender};
+use parking_lot::{Mutex, RwLock};
+use pocc_clock::Clock;
+use pocc_engine::{ProtocolEngine, VisibilityPolicy};
+use pocc_proto::{
+    ClientReply, ClientRequest, GetResponse, MetricsSnapshot, ProtocolServer, ServerIntrospect,
+    ServerMessage, ServerOutput,
+};
+use pocc_storage::{shard_for_key, ShardStats, ShardedStore, StoreStats};
+use pocc_types::{
+    ClientId, Config, DependencyVector, Key, ReplicaId, ServerId, Timestamp, Version, VersionVector,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Where a [`ParallelServer`] delivers its replies and server-to-server messages.
+///
+/// The sink is called from lane threads and from whichever thread drives
+/// [`ParallelServer::handle_server_message`]/[`ParallelServer::tick`], sometimes while
+/// internal locks are held — it must not block (enqueueing on an unbounded channel, as
+/// the cluster runtime does, is the intended shape).
+pub type OutputSink = Arc<dyn Fn(ServerOutput) + Send + Sync>;
+
+/// One engine driving all four protocols through a boxed policy.
+type Engine<C> = ProtocolEngine<C, Box<dyn VisibilityPolicy<C>>>;
+
+/// Mailbox capacity per lane; a full mailbox blocks the submitter (backpressure).
+const MAILBOX: usize = 1024;
+/// Maximum operations a lane coalesces into one batch (amortises spine locking).
+const BATCH: usize = 64;
+
+enum LaneMsg {
+    Op(ClientId, ClientRequest),
+    Shutdown,
+}
+
+/// A timestamp reserved for an in-flight pipelined PUT. The lane completes the slot
+/// (version installed in the store) without any lock; the spine publishes completed
+/// reservations in FIFO — i.e. timestamp — order.
+struct Slot {
+    done: AtomicBool,
+    version: Mutex<Option<Version>>,
+}
+
+struct Reservation {
+    ts: Timestamp,
+    slot: Arc<Slot>,
+}
+
+/// The spine: the full protocol engine plus the write pipeline, behind one mutex.
+struct Spine<C> {
+    engine: Engine<C>,
+    /// In-flight PUT reservations, in reservation (= timestamp) order.
+    pipe: VecDeque<Reservation>,
+    /// Highest timestamp ever reserved; the floor for the next reservation, so lane
+    /// timestamps stay strictly increasing even across pipeline drains.
+    floor: Timestamp,
+}
+
+struct Shared<C> {
+    id: ServerId,
+    num_replicas: usize,
+    num_shards: usize,
+    put_waits_for_dependencies: bool,
+    profile: FastPathProfile,
+    /// Handle to the same sharded store the engine owns (lanes insert, readers read).
+    store: ShardedStore,
+    spine: Mutex<Spine<C>>,
+    /// Epoch snapshot of the engine's version vector, refreshed after every pipeline
+    /// drain. GET-only batches covered by it are served without touching the spine.
+    published: RwLock<VersionVector>,
+    /// GETs served directly by lanes (the engine's `gets_served` counter only sees
+    /// spine-dispatched operations; probes add this in).
+    lane_gets: AtomicU64,
+    sink: OutputSink,
+}
+
+impl<C: Clock> Shared<C> {
+    /// Publishes the contiguous prefix of completed reservations into the engine:
+    /// version-vector advance, PUT accounting and replication fan-out, in timestamp
+    /// order. Must be called with the spine lock held (hence `&mut Spine`).
+    fn sweep(&self, spine: &mut Spine<C>) {
+        let mut outputs = Vec::new();
+        let mut published = false;
+        while let Some(front) = spine.pipe.front() {
+            if !front.slot.done.load(Ordering::Acquire) {
+                break;
+            }
+            let res = spine.pipe.pop_front().expect("front exists");
+            let version = res
+                .slot
+                .version
+                .lock()
+                .take()
+                .expect("a completed reservation holds its version");
+            let core = spine.engine.core_mut();
+            core.vv.advance(self.id.replica, res.ts);
+            core.metrics.puts_served += 1;
+            for sibling in core.siblings() {
+                let msg = ServerMessage::Replicate {
+                    version: version.clone(),
+                };
+                core.send_via_batcher(sibling, msg, &mut outputs);
+            }
+            published = true;
+        }
+        if published {
+            // The local VV entry advanced: parked slices (and, after remote traffic,
+            // parked client operations) may now be servable.
+            spine.engine.core_mut().unpark(&mut outputs);
+            *self.published.write() = spine.engine.core().vv.clone();
+        }
+        self.ship(outputs);
+    }
+
+    /// Waits until every in-flight reservation has been published. Lanes complete their
+    /// slots without taking any lock, so spinning here (while holding the spine) cannot
+    /// deadlock; a lane wanting to *reserve* simply blocks on the spine mutex.
+    fn drain(&self, spine: &mut Spine<C>) {
+        loop {
+            self.sweep(spine);
+            if spine.pipe.is_empty() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Runs `f` against the engine with the pipeline fully drained — the only way any
+    /// code outside the sweep may touch the engine. Outputs are shipped while the spine
+    /// is still held, so replication order on the FIFO channels matches engine order.
+    fn with_engine<R>(&self, f: impl FnOnce(&mut Engine<C>, &mut Vec<ServerOutput>) -> R) -> R {
+        let mut spine = self.spine.lock();
+        self.drain(&mut spine);
+        let mut outputs = Vec::new();
+        let r = f(&mut spine.engine, &mut outputs);
+        // Heartbeats and handled messages may have advanced the local VV entry past the
+        // reservation floor; keep future reservations above both.
+        let local_vv = spine.engine.core().vv.get(self.id.replica);
+        spine.floor = spine.floor.max(local_vv);
+        *self.published.write() = spine.engine.core().vv.clone();
+        self.ship(outputs);
+        r
+    }
+
+    fn ship(&self, outputs: Vec<ServerOutput>) {
+        for out in outputs {
+            (self.sink)(out);
+        }
+    }
+
+    /// Reserves the next PUT timestamp under the spine lock, mirroring `serve_put`'s
+    /// floor rule: strictly above the client's dependencies, the local VV entry and
+    /// every previous reservation.
+    fn reserve(&self, spine: &mut Spine<C>, dv: &DependencyVector) -> Reservation {
+        let core = spine.engine.core_mut();
+        let now = core.clock.now();
+        let floor = dv
+            .max_entry()
+            .max(core.vv.get(self.id.replica))
+            .max(spine.floor);
+        let ts = if now > floor {
+            now
+        } else {
+            core.metrics.clock_wait_time +=
+                floor.saturating_since(now) + std::time::Duration::from_micros(1);
+            floor.tick()
+        };
+        spine.floor = ts;
+        let slot = Arc::new(Slot {
+            done: AtomicBool::new(false),
+            version: Mutex::new(None),
+        });
+        spine.pipe.push_back(Reservation {
+            ts,
+            slot: Arc::clone(&slot),
+        });
+        Reservation { ts, slot }
+    }
+
+    /// Builds a GET payload the way the engine's `response_for` does.
+    fn response_for(&self, version: Option<Version>) -> GetResponse {
+        match version {
+            Some(v) => GetResponse {
+                value: Some(v.value),
+                update_time: v.update_time,
+                deps: v.deps,
+                source_replica: v.source_replica,
+            },
+            None => GetResponse {
+                value: None,
+                update_time: Timestamp::ZERO,
+                deps: DependencyVector::zero(self.num_replicas),
+                source_replica: self.id.replica,
+            },
+        }
+    }
+
+    /// Serves a dependency-covered GET straight from the store (no spine).
+    fn serve_lane_get(&self, client: ClientId, key: Key) {
+        let response = self.response_for(self.store.latest(key));
+        self.lane_gets.fetch_add(1, Ordering::Relaxed);
+        (self.sink)(ServerOutput::reply(client, ClientReply::Get(response)));
+    }
+}
+
+/// What a lane decided to do with one operation of a batch, holding the spine lock.
+enum Classified {
+    FastPut {
+        client: ClientId,
+        key: Key,
+        value: pocc_types::Value,
+        dv: DependencyVector,
+        res: Reservation,
+    },
+    FastGet {
+        client: ClientId,
+        key: Key,
+    },
+    Defer {
+        client: ClientId,
+        request: ClientRequest,
+    },
+}
+
+fn lane_loop<C: Clock + 'static>(shared: Arc<Shared<C>>, rx: Receiver<LaneMsg>) {
+    loop {
+        let first = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => return,
+        };
+        let mut batch = Vec::with_capacity(BATCH);
+        let mut shutdown = false;
+        match first {
+            LaneMsg::Op(client, request) => batch.push((client, request)),
+            LaneMsg::Shutdown => return,
+        }
+        while batch.len() < BATCH {
+            match rx.try_recv() {
+                Ok(LaneMsg::Op(client, request)) => batch.push((client, request)),
+                Ok(LaneMsg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        process_batch(&shared, batch);
+        if shutdown {
+            return;
+        }
+    }
+}
+
+fn process_batch<C: Clock + 'static>(shared: &Shared<C>, batch: Vec<(ClientId, ClientRequest)>) {
+    // Reader fast path: a batch of GETs all covered by the published VV snapshot is
+    // served entirely from the store, without the spine lock.
+    if shared.profile.gets {
+        let covered_by_snapshot = {
+            let snapshot = shared.published.read();
+            batch.iter().all(|(_, request)| match request {
+                ClientRequest::Get { rdv, .. } => {
+                    snapshot.covers_dependencies_except_local(rdv, shared.id.replica)
+                }
+                _ => false,
+            })
+        };
+        if covered_by_snapshot {
+            for (client, request) in batch {
+                match request {
+                    ClientRequest::Get { key, .. } => shared.serve_lane_get(client, key),
+                    _ => unreachable!("only GETs were classified as covered"),
+                }
+            }
+            return;
+        }
+    }
+
+    // Classify under the spine lock (exact, live VV), then execute off-lock.
+    let classified: Vec<Classified> = {
+        let mut spine = shared.spine.lock();
+        shared.sweep(&mut spine);
+        batch
+            .into_iter()
+            .map(|(client, request)| match request {
+                ClientRequest::Put { key, value, dv }
+                    if shared.profile.puts
+                        && (!shared.profile.puts_check_deps
+                            || !shared.put_waits_for_dependencies
+                            || spine.engine.core().covers_remote_deps(&dv)) =>
+                {
+                    let res = shared.reserve(&mut spine, &dv);
+                    Classified::FastPut {
+                        client,
+                        key,
+                        value,
+                        dv,
+                        res,
+                    }
+                }
+                ClientRequest::Get { key, ref rdv }
+                    if shared.profile.gets && spine.engine.core().covers_remote_deps(rdv) =>
+                {
+                    Classified::FastGet { client, key }
+                }
+                request => Classified::Defer { client, request },
+            })
+            .collect()
+    };
+
+    let mut deferred = Vec::new();
+    for op in classified {
+        match op {
+            Classified::FastPut {
+                client,
+                key,
+                value,
+                dv,
+                res,
+            } => {
+                let version = Version::new(key, value, shared.id.replica, res.ts, dv);
+                shared
+                    .store
+                    .insert(version.clone())
+                    .expect("PUT routed to the wrong partition");
+                *res.slot.version.lock() = Some(version);
+                res.slot.done.store(true, Ordering::Release);
+                (shared.sink)(ServerOutput::reply(
+                    client,
+                    ClientReply::Put {
+                        update_time: res.ts,
+                    },
+                ));
+            }
+            Classified::FastGet { client, key } => shared.serve_lane_get(client, key),
+            Classified::Defer { client, request } => deferred.push((client, request)),
+        }
+    }
+
+    if !deferred.is_empty() {
+        // All of this lane's own reservations are completed above, so the drain inside
+        // with_engine cannot wait on ourselves.
+        shared.with_engine(|engine, outputs| {
+            for (client, request) in deferred {
+                outputs.extend(engine.handle_client_request(client, request));
+            }
+        });
+    }
+}
+
+struct Lane {
+    tx: SyncSender<LaneMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A protocol server executed by worker-lane threads over a spine-locked
+/// [`ProtocolEngine`]; see the crate docs for the concurrency story.
+///
+/// Replies and server-to-server messages flow through the [`OutputSink`] passed to
+/// [`ParallelServer::start`]; [`ParallelServer::submit_client`] routes client operations
+/// to lanes, while server messages and ticks are handled synchronously on the calling
+/// thread. [`ServerIntrospect`] is implemented with full-drain semantics, so probes
+/// observe a consistent engine.
+pub struct ParallelServer<C> {
+    shared: Arc<Shared<C>>,
+    lanes: Vec<Lane>,
+}
+
+impl<C: Clock + 'static> ParallelServer<C> {
+    /// Starts a server for `id` running `protocol` with `config.worker_lanes` lanes.
+    pub fn start(
+        id: ServerId,
+        config: Config,
+        protocol: ExecProtocol,
+        clock: C,
+        sink: OutputSink,
+    ) -> Self {
+        let num_lanes = config.worker_lanes.max(1);
+        let now = clock.now();
+        let policy = protocol.policy::<C>(&config, now);
+        let engine = ProtocolEngine::new(id, config.clone(), clock, policy);
+        let shared = Arc::new(Shared {
+            id,
+            num_replicas: config.num_replicas,
+            num_shards: config.storage_shards,
+            put_waits_for_dependencies: config.put_waits_for_dependencies,
+            profile: protocol.fast_path(),
+            store: engine.core().store.clone(),
+            published: RwLock::new(engine.core().vv.clone()),
+            spine: Mutex::new(Spine {
+                engine,
+                pipe: VecDeque::new(),
+                floor: Timestamp::ZERO,
+            }),
+            lane_gets: AtomicU64::new(0),
+            sink,
+        });
+        let lanes = (0..num_lanes)
+            .map(|i| {
+                let (tx, rx) = bounded(MAILBOX);
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("pocc-lane-{}-{}-{i}", id.replica.0, id.partition.0))
+                    .spawn(move || lane_loop(shared, rx))
+                    .expect("spawn lane thread");
+                Lane {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ParallelServer { shared, lanes }
+    }
+
+    /// The identity of this server.
+    pub fn server_id(&self) -> ServerId {
+        self.shared.id
+    }
+
+    /// Routes a client operation to its key's lane. Blocks when the lane's mailbox is
+    /// full (backpressure).
+    pub fn submit_client(&self, client: ClientId, request: ClientRequest) {
+        let key = match &request {
+            ClientRequest::Get { key, .. } | ClientRequest::Put { key, .. } => *key,
+            // RO-TX is deferred to the spine wherever it lands; route by first key so
+            // repeated transactions spread across lanes.
+            ClientRequest::RoTx { keys, .. } => keys.first().copied().unwrap_or(Key(0)),
+        };
+        let lane = shard_for_key(key, self.shared.num_shards) % self.lanes.len();
+        self.lanes[lane]
+            .tx
+            .send(LaneMsg::Op(client, request))
+            .expect("lane thread alive");
+    }
+
+    /// Handles a message from another server on the spine (pipeline drained first).
+    pub fn handle_server_message(&self, from: ServerId, message: ServerMessage) {
+        self.shared.with_engine(|engine, outputs| {
+            outputs.extend(engine.handle_server_message(from, message));
+        });
+    }
+
+    /// Runs one engine tick (batcher flush, heartbeats, policy periodic work).
+    pub fn tick(&self) {
+        self.shared.with_engine(|engine, outputs| {
+            outputs.extend(engine.tick());
+        });
+    }
+
+    /// Stops every lane and joins the threads. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        for lane in &self.lanes {
+            // A dead lane has already hung up; ignore the send error.
+            let _ = lane.tx.send(LaneMsg::Shutdown);
+        }
+        for lane in &mut self.lanes {
+            if let Some(handle) = lane.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl<C> Drop for ParallelServer<C> {
+    fn drop(&mut self) {
+        for lane in &self.lanes {
+            let _ = lane.tx.send(LaneMsg::Shutdown);
+        }
+        for lane in &mut self.lanes {
+            if let Some(handle) = lane.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl<C: Clock + 'static> ServerIntrospect for ParallelServer<C> {
+    fn metrics(&self) -> MetricsSnapshot {
+        let mut m = self
+            .shared
+            .with_engine(|engine, _| ServerIntrospect::metrics(engine));
+        m.gets_served += self.shared.lane_gets.load(Ordering::Relaxed);
+        m
+    }
+
+    fn digest(&self) -> Vec<(Key, Timestamp, ReplicaId)> {
+        self.shared
+            .with_engine(|engine, _| ServerIntrospect::digest(engine))
+    }
+
+    fn store_stats(&self) -> StoreStats {
+        self.shared
+            .with_engine(|engine, _| ServerIntrospect::store_stats(engine))
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shared
+            .with_engine(|engine, _| ServerIntrospect::shard_stats(engine))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use pocc_clock::{MonotonicClock, SystemClock};
+    use pocc_types::{PartitionId, Value};
+
+    fn single_server_config(lanes: usize) -> Config {
+        Config::builder()
+            .num_replicas(1)
+            .num_partitions(1)
+            .worker_lanes(lanes)
+            .build()
+            .expect("valid config")
+    }
+
+    fn start(
+        protocol: ExecProtocol,
+        lanes: usize,
+    ) -> (
+        ParallelServer<MonotonicClock<SystemClock>>,
+        Receiver<ServerOutput>,
+    ) {
+        let (tx, rx) = unbounded();
+        let sink: OutputSink = Arc::new(move |out| {
+            let _ = tx.send(out);
+        });
+        let server = ParallelServer::start(
+            ServerId::new(ReplicaId(0), PartitionId(0)),
+            single_server_config(lanes),
+            protocol,
+            MonotonicClock::new(SystemClock::new()),
+            sink,
+        );
+        (server, rx)
+    }
+
+    fn recv_reply(rx: &Receiver<ServerOutput>) -> ClientReply {
+        match rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("an output before the timeout")
+        {
+            ServerOutput::Reply { reply, .. } => reply,
+            other => panic!("expected a reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pocc_put_then_get_round_trip() {
+        let (server, rx) = start(ExecProtocol::Pocc, 2);
+        let client = ClientId(1);
+        let dv = DependencyVector::zero(1);
+        server.submit_client(
+            client,
+            ClientRequest::Put {
+                key: Key(7),
+                value: Value::from("v"),
+                dv: dv.clone(),
+            },
+        );
+        let update_time = match recv_reply(&rx) {
+            ClientReply::Put { update_time } => update_time,
+            other => panic!("expected a PUT reply, got {other:?}"),
+        };
+        assert!(update_time > Timestamp::ZERO);
+
+        server.submit_client(
+            client,
+            ClientRequest::Get {
+                key: Key(7),
+                rdv: dv,
+            },
+        );
+        match recv_reply(&rx) {
+            ClientReply::Get(resp) => {
+                assert_eq!(resp.value, Some(Value::from("v")));
+                assert_eq!(resp.update_time, update_time);
+            }
+            other => panic!("expected a GET reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_puts_all_publish_with_unique_timestamps() {
+        let (server, rx) = start(ExecProtocol::Pocc, 4);
+        let n = 400u64;
+        for i in 0..n {
+            server.submit_client(
+                ClientId(i),
+                ClientRequest::Put {
+                    key: Key(i),
+                    value: Value::from(i),
+                    dv: DependencyVector::zero(1),
+                },
+            );
+        }
+        let mut times = Vec::new();
+        for _ in 0..n {
+            match recv_reply(&rx) {
+                ClientReply::Put { update_time } => times.push(update_time),
+                other => panic!("expected a PUT reply, got {other:?}"),
+            }
+        }
+        times.sort();
+        times.dedup();
+        assert_eq!(times.len() as u64, n, "update times are unique");
+
+        // Probes drain the pipeline, so every PUT is published by the time we look.
+        let metrics = server.metrics();
+        assert_eq!(metrics.puts_served, n);
+        assert_eq!(server.digest().len() as u64, n);
+        assert_eq!(server.store_stats().versions as u64, n);
+    }
+
+    #[test]
+    fn every_protocol_serves_the_client_api() {
+        for protocol in [
+            ExecProtocol::Pocc,
+            ExecProtocol::Cure,
+            ExecProtocol::HaPocc,
+            ExecProtocol::Adaptive,
+        ] {
+            let (server, rx) = start(protocol, 2);
+            let client = ClientId(9);
+            let dv = DependencyVector::zero(1);
+            server.submit_client(
+                client,
+                ClientRequest::Put {
+                    key: Key(3),
+                    value: Value::from("x"),
+                    dv: dv.clone(),
+                },
+            );
+            assert!(matches!(recv_reply(&rx), ClientReply::Put { .. }));
+            server.submit_client(
+                client,
+                ClientRequest::Get {
+                    key: Key(3),
+                    rdv: dv.clone(),
+                },
+            );
+            match recv_reply(&rx) {
+                ClientReply::Get(resp) => assert_eq!(resp.value, Some(Value::from("x"))),
+                other => panic!("{protocol:?}: expected a GET reply, got {other:?}"),
+            }
+            server.submit_client(
+                client,
+                ClientRequest::RoTx {
+                    keys: vec![Key(3)],
+                    rdv: dv,
+                },
+            );
+            match recv_reply(&rx) {
+                ClientReply::RoTx { items } => assert_eq!(items.len(), 1),
+                other => panic!("{protocol:?}: expected an RO-TX reply, got {other:?}"),
+            }
+            let m = server.metrics();
+            assert_eq!(m.puts_served, 1, "{protocol:?}");
+            assert_eq!(m.gets_served, 1, "{protocol:?}");
+            assert_eq!(m.rotx_served, 1, "{protocol:?}");
+        }
+    }
+
+    #[test]
+    fn ticks_interleaved_with_writes_keep_the_engine_consistent() {
+        let (server, rx) = start(ExecProtocol::Pocc, 2);
+        for i in 0..100u64 {
+            server.submit_client(
+                ClientId(i),
+                ClientRequest::Put {
+                    key: Key(i),
+                    value: Value::from(i),
+                    dv: DependencyVector::zero(1),
+                },
+            );
+            if i % 10 == 0 {
+                server.tick();
+            }
+        }
+        for _ in 0..100 {
+            let _ = recv_reply(&rx);
+        }
+        assert_eq!(server.metrics().puts_served, 100);
+        assert_eq!(server.store_stats().versions, 100);
+    }
+}

@@ -29,5 +29,5 @@
 mod server;
 mod session;
 
-pub use server::{HaPoccServer, Mode};
+pub use server::{HaPoccServer, HaPolicy, Mode};
 pub use session::HaSession;

@@ -74,7 +74,8 @@ pub struct HaPolicy {
 }
 
 impl HaPolicy {
-    fn new(config: &Config, now: Timestamp) -> Self {
+    /// Creates the policy in optimistic mode, with every timeout armed at `now`.
+    pub fn new(config: &Config, now: Timestamp) -> Self {
         HaPolicy {
             pocc: PoccPolicy,
             mode: Mode::Optimistic,
@@ -553,7 +554,7 @@ pocc_engine::delegate_protocol_server!(HaPoccServer);
 mod tests {
     use super::*;
     use pocc_clock::ManualClock;
-    use pocc_proto::{expect_reply, ProtocolServer};
+    use pocc_proto::{expect_reply, ProtocolServer, ServerIntrospect};
     use pocc_types::{ReplicaId, Value, Version};
     use std::time::Duration;
 

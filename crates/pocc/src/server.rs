@@ -160,7 +160,8 @@ mod tests {
     use crate::Client;
     use pocc_clock::ManualClock;
     use pocc_proto::{
-        expect_reply, ClientReply, ProtocolClient, ProtocolServer, ServerMessage, TxId,
+        expect_reply, ClientReply, ProtocolClient, ProtocolServer, ServerIntrospect, ServerMessage,
+        TxId,
     };
     use pocc_storage::partition_for_key;
     use pocc_types::{DependencyVector, Key, Value, Version};

@@ -228,10 +228,13 @@ impl MetricsSnapshot {
     }
 }
 
-/// The interface of a protocol server state machine, as seen by the driving layer.
+/// The dispatch interface of a protocol server state machine, as seen by the driving
+/// layer: client requests in, server messages in, periodic ticks — [`ServerOutput`]s out.
 ///
 /// Implementations must be purely reactive: they perform no I/O and no sleeping; every
-/// externally visible action is returned as a [`ServerOutput`].
+/// externally visible action is returned as a [`ServerOutput`]. Drivers that also need
+/// observability (metrics, digests, store statistics) additionally require
+/// [`ServerIntrospect`]; [`InstrumentedServer`] bundles the two for trait objects.
 pub trait ProtocolServer: Send {
     /// The identity of this server (`p^m_n`).
     fn server_id(&self) -> ServerId;
@@ -257,6 +260,23 @@ pub trait ProtocolServer: Send {
     /// calls this at least once per heartbeat interval.
     fn tick(&mut self) -> Vec<ServerOutput>;
 
+    /// Returns and resets the number of *extra work units* performed since the last call:
+    /// version-chain elements traversed beyond the head and vector merges performed by
+    /// stabilization rounds. The simulator charges `Config::chain_traversal_cost` of CPU
+    /// time per unit, which is how the resource-efficiency difference between POCC and
+    /// Cure\* (§V-B "Summary of the results") shows up in the reproduced figures.
+    fn take_extra_work(&mut self) -> u64 {
+        0
+    }
+}
+
+/// Read-only observability of a protocol server: cumulative metrics, a convergence
+/// digest, and version-store statistics.
+///
+/// Split out of [`ProtocolServer`] so execution layers that only *drive* a server (the
+/// threaded runtime's hot path) and harnesses that only *observe* one (report builders)
+/// each depend on exactly the half they need.
+pub trait ServerIntrospect {
     /// A snapshot of the server's cumulative metrics.
     fn metrics(&self) -> MetricsSnapshot;
 
@@ -271,16 +291,16 @@ pub trait ProtocolServer: Send {
     /// Per-shard statistics of the server's version store, indexed by shard. Used by the
     /// benchmark harness to report how evenly the key space spreads.
     fn shard_stats(&self) -> Vec<pocc_storage::ShardStats>;
-
-    /// Returns and resets the number of *extra work units* performed since the last call:
-    /// version-chain elements traversed beyond the head and vector merges performed by
-    /// stabilization rounds. The simulator charges `Config::chain_traversal_cost` of CPU
-    /// time per unit, which is how the resource-efficiency difference between POCC and
-    /// Cure\* (§V-B "Summary of the results") shows up in the reproduced figures.
-    fn take_extra_work(&mut self) -> u64 {
-        0
-    }
 }
+
+/// A server that can be both driven and observed: the simulator and the serial runtime
+/// hold their protocol servers as `Box<dyn InstrumentedServer>`.
+///
+/// Blanket-implemented for every type that implements both halves; never implement it
+/// directly.
+pub trait InstrumentedServer: ProtocolServer + ServerIntrospect {}
+
+impl<T: ProtocolServer + ServerIntrospect + ?Sized> InstrumentedServer for T {}
 
 /// The interface of a client session state machine: it turns application-level operations
 /// into [`ClientRequest`]s and folds replies back into its dependency-tracking state.

@@ -76,7 +76,9 @@ pub mod codec;
 mod messages;
 mod output;
 
-pub use api::{MetricsSnapshot, ProtocolClient, ProtocolServer};
+pub use api::{
+    InstrumentedServer, MetricsSnapshot, ProtocolClient, ProtocolServer, ServerIntrospect,
+};
 pub use batch::MessageBatcher;
 pub use messages::{ClientReply, ClientRequest, GetResponse, ServerMessage, TxId, TxItem};
 pub use output::{ClientEvent, Envelope, ServerOutput};

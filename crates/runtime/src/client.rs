@@ -3,7 +3,7 @@
 use crate::cluster::server_for_key;
 use crate::router::Router;
 use crossbeam::channel::{unbounded, Receiver};
-use pocc_proto::{ClientReply, ProtocolClient};
+use pocc_proto::{ClientReply, GetResponse, ProtocolClient, TxItem};
 use pocc_protocol::Client;
 use pocc_storage::partition_for_key;
 use pocc_types::{ClientId, Error, Key, Result, ServerId, Timestamp, Value};
@@ -101,11 +101,18 @@ impl ClusterClient {
 
     /// Reads the value of `key`, or `None` if it has never been written.
     pub fn get(&mut self, key: Key) -> Result<Option<Value>> {
+        Ok(self.get_versioned(key)?.value)
+    }
+
+    /// Reads `key`, returning the full versioned response — value, update timestamp,
+    /// dependency vector and source replica. Consistency checkers and the differential
+    /// suite use this to record reads as protocol-level observations.
+    pub fn get_versioned(&mut self, key: Key) -> Result<GetResponse> {
         let target = server_for_key(self.router.config(), self.replica(), key);
         let request = self.session.get(key);
         self.router.submit(target, self.id(), request);
         match self.await_reply()? {
-            ClientReply::Get(resp) => Ok(resp.value),
+            ClientReply::Get(resp) => Ok(resp),
             other => Err(Error::Codec {
                 reason: format!("unexpected reply to GET: {other:?}"),
             }),
@@ -115,6 +122,16 @@ impl ClusterClient {
     /// Reads several keys in one causally consistent snapshot. Returns `(key, value)`
     /// pairs in the order the server produced them; missing keys map to `None`.
     pub fn ro_tx(&mut self, keys: Vec<Key>) -> Result<Vec<(Key, Option<Value>)>> {
+        Ok(self
+            .ro_tx_versioned(keys)?
+            .into_iter()
+            .map(|item| (item.key, item.response.value))
+            .collect())
+    }
+
+    /// Reads several keys in one causally consistent snapshot, returning the full
+    /// versioned items (key plus the complete per-key [`GetResponse`]).
+    pub fn ro_tx_versioned(&mut self, keys: Vec<Key>) -> Result<Vec<TxItem>> {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
@@ -126,10 +143,7 @@ impl ClusterClient {
         let request = self.session.ro_tx(keys);
         self.router.submit(coordinator, self.id(), request);
         match self.await_reply()? {
-            ClientReply::RoTx { items } => Ok(items
-                .into_iter()
-                .map(|item| (item.key, item.response.value))
-                .collect()),
+            ClientReply::RoTx { items } => Ok(items),
             other => Err(Error::Codec {
                 reason: format!("unexpected reply to RO-TX: {other:?}"),
             }),

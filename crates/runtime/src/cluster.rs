@@ -2,13 +2,15 @@
 
 use crate::client::ClusterClient;
 use crate::router::{Delayed, Inbound, Router};
-use crossbeam::channel::{Receiver, RecvTimeoutError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use pocc_adaptive::AdaptiveServer;
-use pocc_clock::{MonotonicClock, SystemClock};
+use pocc_clock::{Clock, MonotonicClock, SystemClock};
 use pocc_cure::CureServer;
+use pocc_exec::{ExecProtocol, OutputSink, ParallelServer};
 use pocc_ha::HaPoccServer;
-use pocc_proto::{ProtocolServer, ServerOutput};
+use pocc_proto::{InstrumentedServer, MetricsSnapshot, ServerIntrospect, ServerOutput};
 use pocc_protocol::PoccServer;
+use pocc_storage::StoreStats;
 use pocc_types::{ClientId, Config, Key, ReplicaId, ServerId, Timestamp};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,10 +31,89 @@ pub enum RuntimeProtocol {
     Adaptive,
 }
 
-/// A running in-process cluster: one thread per server plus a network-delay thread.
+/// A consistent snapshot of one server's introspection surface, taken on the server's own
+/// thread (serial servers) or with the write pipeline fully drained (parallel servers).
+#[derive(Clone, Debug)]
+pub struct ServerProbe {
+    /// The server's metric counters.
+    pub metrics: MetricsSnapshot,
+    /// `(key, update_time, source_replica)` of the latest visible version of every key.
+    pub digest: Vec<(Key, Timestamp, ReplicaId)>,
+    /// Aggregate version-store statistics.
+    pub store_stats: StoreStats,
+}
+
+impl From<RuntimeProtocol> for ExecProtocol {
+    fn from(protocol: RuntimeProtocol) -> ExecProtocol {
+        match protocol {
+            RuntimeProtocol::Pocc => ExecProtocol::Pocc,
+            RuntimeProtocol::Cure => ExecProtocol::Cure,
+            RuntimeProtocol::HaPocc => ExecProtocol::HaPocc,
+            RuntimeProtocol::Adaptive => ExecProtocol::Adaptive,
+        }
+    }
+}
+
+/// Builder for [`Cluster`]. Defaults to [`Config::small_test`] running POCC with serial
+/// servers; set `worker_lanes` on the configuration (or via
+/// [`ClusterBuilder::worker_lanes`]) to run the threaded shard-parallel servers instead.
 ///
-/// Create it with [`Cluster::start`], obtain client handles with [`Cluster::client`], and
-/// stop it with [`Cluster::shutdown`] (also invoked on drop).
+/// ```
+/// use pocc_runtime::{Cluster, RuntimeProtocol};
+///
+/// let cluster = Cluster::builder()
+///     .protocol(RuntimeProtocol::Pocc)
+///     .worker_lanes(2)
+///     .start();
+/// # cluster.shutdown();
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    config: Config,
+    protocol: RuntimeProtocol,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            config: Config::small_test(),
+            protocol: RuntimeProtocol::Pocc,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Uses `config` as the deployment configuration.
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs `protocol` on every server.
+    pub fn protocol(mut self, protocol: RuntimeProtocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Shortcut for setting `worker_lanes` on the configuration: `1` (the default) runs
+    /// each server as a single thread, larger values run the shard-parallel execution
+    /// runtime with that many worker lanes per server.
+    pub fn worker_lanes(mut self, lanes: usize) -> Self {
+        self.config.worker_lanes = lanes;
+        self
+    }
+
+    /// Starts the cluster.
+    pub fn start(self) -> Cluster {
+        Cluster::start_inner(self.config, self.protocol)
+    }
+}
+
+/// A running in-process cluster: one thread per server (plus that server's worker lanes
+/// when `worker_lanes > 1`) and a network-delay thread.
+///
+/// Create it with [`Cluster::builder`], obtain client handles with [`Cluster::client`],
+/// and stop it with [`Cluster::shutdown`] (also invoked on drop).
 pub struct Cluster {
     router: Router,
     threads: Vec<JoinHandle<()>>,
@@ -42,8 +123,21 @@ pub struct Cluster {
 }
 
 impl Cluster {
+    /// Returns a builder for configuring and starting a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
     /// Starts a cluster of `config.num_servers()` server threads running `protocol`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Cluster::builder().config(..).protocol(..).start()`"
+    )]
     pub fn start(config: Config, protocol: RuntimeProtocol) -> Cluster {
+        Cluster::start_inner(config, protocol)
+    }
+
+    fn start_inner(config: Config, protocol: RuntimeProtocol) -> Cluster {
         config.validate().expect("cluster configuration is valid");
         let (router, mut inboxes, network_rx) = Router::new(config.clone());
         let running = Arc::new(AtomicBool::new(true));
@@ -114,6 +208,26 @@ impl Cluster {
         ClusterClient::new(id, home, self.router.clone(), snapshot_reads)
     }
 
+    /// Takes a consistent introspection snapshot of one server: metrics, convergence
+    /// digest and store statistics. Works for both serial and shard-parallel servers (the
+    /// latter drain their write pipeline first, so the snapshot is never mid-operation).
+    pub fn probe(&self, server: ServerId) -> ServerProbe {
+        let (tx, rx) = unbounded();
+        self.router.probe(server, tx);
+        rx.recv_timeout(Duration::from_secs(10))
+            .expect("server answers introspection probes")
+    }
+
+    /// Probes every server of the cluster, in `config.servers()` order.
+    pub fn probe_all(&self) -> Vec<(ServerId, ServerProbe)> {
+        self.config()
+            .servers()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|id| (id, self.probe(id)))
+            .collect()
+    }
+
     /// Stops every thread and waits for them to exit.
     pub fn shutdown(mut self) {
         self.stop();
@@ -146,7 +260,11 @@ fn server_thread(
     running: Arc<AtomicBool>,
 ) {
     let clock = MonotonicClock::new(SystemClock::with_epoch(router.epoch()));
-    let mut server: Box<dyn ProtocolServer> = match protocol {
+    if config.worker_lanes > 1 {
+        parallel_server_thread(id, config, protocol, router, inbox, running, clock);
+        return;
+    }
+    let mut server: Box<dyn InstrumentedServer> = match protocol {
         RuntimeProtocol::Pocc => Box::new(PoccServer::new(id, config.clone(), clock)),
         RuntimeProtocol::Cure => Box::new(CureServer::new(id, config.clone(), clock)),
         RuntimeProtocol::HaPocc => Box::new(HaPoccServer::new(id, config.clone(), clock)),
@@ -173,10 +291,66 @@ fn server_thread(
                 let outputs = server.handle_server_message(from, message);
                 dispatch(&router, id, outputs);
             }
+            Ok(Inbound::Probe { reply }) => {
+                let _ = reply.send(probe_of(server.as_ref()));
+            }
             Ok(Inbound::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
+    }
+}
+
+/// The server-thread body for `worker_lanes > 1`: the thread becomes the dispatcher in
+/// front of a [`ParallelServer`], forwarding client operations to its lanes and handling
+/// server messages, ticks and probes synchronously. Replies and replication leave through
+/// the output sink straight onto the router, bypassing this thread entirely.
+fn parallel_server_thread<C: Clock + 'static>(
+    id: ServerId,
+    config: Config,
+    protocol: RuntimeProtocol,
+    router: Router,
+    inbox: Receiver<Inbound>,
+    running: Arc<AtomicBool>,
+    clock: C,
+) {
+    let sink_router = router.clone();
+    let sink: OutputSink = Arc::new(move |output| match output {
+        ServerOutput::Reply { client, reply } => sink_router.reply(client, reply),
+        ServerOutput::Send { to, message } => sink_router.send_server(id, to, message),
+    });
+    let server = ParallelServer::start(id, config.clone(), protocol.into(), clock, sink);
+
+    let tick_every = config.heartbeat_interval;
+    let mut next_tick = Instant::now() + tick_every;
+
+    while running.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        if now >= next_tick {
+            server.tick();
+            next_tick = now + tick_every;
+            continue;
+        }
+        match inbox.recv_timeout(next_tick - now) {
+            Ok(Inbound::FromClient { client, request }) => server.submit_client(client, request),
+            Ok(Inbound::FromServer { from, message }) => {
+                server.handle_server_message(from, message)
+            }
+            Ok(Inbound::Probe { reply }) => {
+                let _ = reply.send(probe_of(&server));
+            }
+            Ok(Inbound::Shutdown) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn probe_of<S: ServerIntrospect + ?Sized>(server: &S) -> ServerProbe {
+    ServerProbe {
+        metrics: server.metrics(),
+        digest: server.digest(),
+        store_stats: server.store_stats(),
     }
 }
 
@@ -273,7 +447,10 @@ mod tests {
 
     #[test]
     fn put_then_get_through_a_real_cluster() {
-        let cluster = Cluster::start(small_config(), RuntimeProtocol::Pocc);
+        let cluster = Cluster::builder()
+            .config(small_config())
+            .protocol(RuntimeProtocol::Pocc)
+            .start();
         let mut client = cluster.client(ReplicaId(0));
         let ut = client.put(Key(7), Value::from("v")).unwrap();
         assert!(ut > Timestamp::ZERO);
@@ -284,7 +461,10 @@ mod tests {
 
     #[test]
     fn writes_replicate_across_data_centers() {
-        let cluster = Cluster::start(small_config(), RuntimeProtocol::Pocc);
+        let cluster = Cluster::builder()
+            .config(small_config())
+            .protocol(RuntimeProtocol::Pocc)
+            .start();
         let mut writer = cluster.client(ReplicaId(0));
         let mut reader = cluster.client(ReplicaId(1));
         writer.put(Key(42), Value::from("geo")).unwrap();
@@ -303,7 +483,10 @@ mod tests {
 
     #[test]
     fn adaptive_cluster_serves_the_same_api() {
-        let cluster = Cluster::start(small_config(), RuntimeProtocol::Adaptive);
+        let cluster = Cluster::builder()
+            .config(small_config())
+            .protocol(RuntimeProtocol::Adaptive)
+            .start();
         let mut client = cluster.client(ReplicaId(0));
         client.put(Key(11), Value::from("adaptive")).unwrap();
         assert_eq!(
@@ -317,7 +500,10 @@ mod tests {
 
     #[test]
     fn cure_cluster_serves_the_same_api() {
-        let cluster = Cluster::start(small_config(), RuntimeProtocol::Cure);
+        let cluster = Cluster::builder()
+            .config(small_config())
+            .protocol(RuntimeProtocol::Cure)
+            .start();
         let mut client = cluster.client(ReplicaId(0));
         client.put(Key(9), Value::from("cure")).unwrap();
         assert_eq!(client.get(Key(9)).unwrap().unwrap().as_slice(), b"cure");
@@ -328,7 +514,10 @@ mod tests {
 
     #[test]
     fn read_only_transactions_span_partitions() {
-        let cluster = Cluster::start(small_config(), RuntimeProtocol::Pocc);
+        let cluster = Cluster::builder()
+            .config(small_config())
+            .protocol(RuntimeProtocol::Pocc)
+            .start();
         let mut client = cluster.client(ReplicaId(0));
         // Write to several keys so the transaction spans both partitions.
         for k in 0..6u64 {
@@ -342,6 +531,55 @@ mod tests {
         let results = client.ro_tx((0..6u64).map(Key).collect()).unwrap();
         assert_eq!(results.len(), 6);
         assert!(results.iter().all(|(_, v)| v.is_some()));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn parallel_servers_serve_clients_and_replicate() {
+        let cluster = Cluster::builder()
+            .config(small_config())
+            .protocol(RuntimeProtocol::Pocc)
+            .worker_lanes(4)
+            .start();
+        let mut writer = cluster.client(ReplicaId(0));
+        let mut reader = cluster.client(ReplicaId(1));
+        for k in 0..16u64 {
+            writer.put(Key(k), Value::from(k)).unwrap();
+        }
+        assert_eq!(writer.get(Key(3)).unwrap().unwrap(), Value::from(3u64));
+        let mut found = None;
+        for _ in 0..200 {
+            if let Some(v) = reader.get(Key(15)).unwrap() {
+                found = Some(v);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(found.expect("writes replicate"), Value::from(15u64));
+        // Probes drain the write pipeline: the writer's home DC served all 16 PUTs.
+        let served: u64 = cluster
+            .probe_all()
+            .into_iter()
+            .filter(|(id, _)| id.replica == ReplicaId(0))
+            .map(|(_, probe)| probe.metrics.puts_served)
+            .sum();
+        assert_eq!(served, 16);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn probes_reach_serial_servers() {
+        let cluster = Cluster::builder()
+            .config(small_config())
+            .protocol(RuntimeProtocol::Pocc)
+            .start();
+        let mut client = cluster.client(ReplicaId(0));
+        client.put(Key(1), Value::from("p")).unwrap();
+        let target = server_for_key(cluster.config(), ReplicaId(0), Key(1));
+        let probe = cluster.probe(target);
+        assert_eq!(probe.metrics.puts_served, 1);
+        assert_eq!(probe.store_stats.versions, 1);
+        assert_eq!(probe.digest.len(), 1);
         cluster.shutdown();
     }
 

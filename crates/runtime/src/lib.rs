@@ -28,7 +28,10 @@
 //!     ))
 //!     .build()
 //!     .unwrap();
-//! let cluster = Cluster::start(config, RuntimeProtocol::Pocc);
+//! let cluster = Cluster::builder()
+//!     .config(config)
+//!     .protocol(RuntimeProtocol::Pocc)
+//!     .start();
 //! let mut client = cluster.client(ReplicaId(0));
 //! client.put(Key(1), Value::from("hello")).unwrap();
 //! assert_eq!(
@@ -37,6 +40,11 @@
 //! );
 //! cluster.shutdown();
 //! ```
+//!
+//! Setting `worker_lanes` to more than 1 (via [`ClusterBuilder::worker_lanes`] or the
+//! configuration) switches every server from a single-threaded state machine to the
+//! shard-parallel execution runtime of `pocc-exec`, where client operations are key-hash
+//! routed to worker-lane threads and writes are pipelined.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,5 +54,5 @@ mod cluster;
 mod router;
 
 pub use client::ClusterClient;
-pub use cluster::{Cluster, RuntimeProtocol};
+pub use cluster::{Cluster, ClusterBuilder, RuntimeProtocol, ServerProbe};
 pub use router::Router;

@@ -1,6 +1,7 @@
 //! Message routing between server threads, client handles and the delay-injecting
 //! network thread.
 
+use crate::cluster::ServerProbe;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use pocc_proto::{ClientReply, ClientRequest, ServerMessage};
@@ -25,6 +26,11 @@ pub(crate) enum Inbound {
         from: ServerId,
         /// The message.
         message: ServerMessage,
+    },
+    /// Ask the server thread for a consistent introspection snapshot.
+    Probe {
+        /// Where to send the snapshot.
+        reply: Sender<ServerProbe>,
     },
     /// Ask the server thread to exit.
     Shutdown,
@@ -135,6 +141,13 @@ impl Router {
     pub(crate) fn deliver_server(&self, from: ServerId, to: ServerId, message: ServerMessage) {
         if let Some(tx) = self.server_inboxes.get(&to) {
             let _ = tx.send(Inbound::FromServer { from, message });
+        }
+    }
+
+    /// Asks a server thread for an introspection snapshot, delivered on `reply`.
+    pub(crate) fn probe(&self, to: ServerId, reply: Sender<ServerProbe>) {
+        if let Some(tx) = self.server_inboxes.get(&to) {
+            let _ = tx.send(Inbound::Probe { reply });
         }
     }
 

@@ -119,6 +119,9 @@ pub struct SimConfigBuilder {
     replicas: usize,
     storage_shards: Option<usize>,
     replication_batching: Option<bool>,
+    stabilization_interval: Option<Duration>,
+    heartbeat_interval: Option<Duration>,
+    max_clock_skew: Option<Duration>,
     protocol: ProtocolKind,
     clients_per_partition: usize,
     mix: WorkloadMix,
@@ -144,6 +147,9 @@ impl Default for SimConfigBuilder {
             replicas: 3,
             storage_shards: None,
             replication_batching: None,
+            stabilization_interval: None,
+            heartbeat_interval: None,
+            max_clock_skew: None,
             protocol: ProtocolKind::Pocc,
             clients_per_partition: 4,
             mix: WorkloadMix::balanced(),
@@ -193,6 +199,27 @@ impl SimConfigBuilder {
     /// deployment's `replication_batching`).
     pub fn replication_batching(mut self, yes: bool) -> Self {
         self.replication_batching = Some(yes);
+        self
+    }
+
+    /// Overrides the deployment's stabilization interval (Cure\*'s GSS exchange timer),
+    /// including an explicitly supplied deployment.
+    pub fn stabilization_interval(mut self, d: Duration) -> Self {
+        self.stabilization_interval = Some(d);
+        self
+    }
+
+    /// Overrides the deployment's heartbeat interval `∆`, including an explicitly
+    /// supplied deployment.
+    pub fn heartbeat_interval(mut self, d: Duration) -> Self {
+        self.heartbeat_interval = Some(d);
+        self
+    }
+
+    /// Overrides the deployment's maximum absolute clock skew, including an explicitly
+    /// supplied deployment.
+    pub fn max_clock_skew(mut self, d: Duration) -> Self {
+        self.max_clock_skew = Some(d);
         self
     }
 
@@ -309,6 +336,15 @@ impl SimConfigBuilder {
         if let Some(batching) = self.replication_batching {
             deployment.replication_batching = batching;
         }
+        if let Some(stab) = self.stabilization_interval {
+            deployment.stabilization_interval = stab;
+        }
+        if let Some(hb) = self.heartbeat_interval {
+            deployment.heartbeat_interval = hb;
+        }
+        if let Some(skew) = self.max_clock_skew {
+            deployment.max_clock_skew = skew;
+        }
         SimConfig {
             deployment,
             protocol: self.protocol,
@@ -402,6 +438,32 @@ mod tests {
             .build();
         assert_eq!(cfg.deployment.storage_shards, 2);
         assert!(cfg.deployment.replication_batching);
+    }
+
+    #[test]
+    fn timer_overrides_reach_the_deployment() {
+        let cfg = SimConfig::builder()
+            .stabilization_interval(Duration::from_millis(50))
+            .heartbeat_interval(Duration::from_micros(750))
+            .max_clock_skew(Duration::from_millis(2))
+            .build();
+        assert_eq!(
+            cfg.deployment.stabilization_interval,
+            Duration::from_millis(50)
+        );
+        assert_eq!(
+            cfg.deployment.heartbeat_interval,
+            Duration::from_micros(750)
+        );
+        assert_eq!(cfg.deployment.max_clock_skew, Duration::from_millis(2));
+
+        // Overrides also apply on top of an explicit deployment.
+        let deployment = Config::builder().num_replicas(2).build().unwrap();
+        let cfg = SimConfig::builder()
+            .deployment(deployment)
+            .max_clock_skew(Duration::from_millis(1))
+            .build();
+        assert_eq!(cfg.deployment.max_clock_skew, Duration::from_millis(1));
     }
 
     #[test]

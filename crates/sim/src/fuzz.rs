@@ -1,6 +1,7 @@
 //! A seeded interleaving fuzzer for the protocol engine.
 //!
-//! [`run_fuzz_case`] drives a hand-pumped cluster of [`ProtocolServer`]s — no event queue,
+//! [`run_fuzz_case`] drives a hand-pumped cluster of [`pocc_proto::ProtocolServer`]s — no
+//! event queue,
 //! no latency model — through an arbitrary interleaving of client operations, message
 //! deliveries, server ticks, clock advances and chaos toggles (partitions, heals,
 //! drop/duplication of idempotent periodic messages), all drawn from one seeded RNG. After
@@ -34,7 +35,7 @@ use pocc_adaptive::AdaptiveServer;
 use pocc_clock::{Clock, ManualClock};
 use pocc_cure::CureServer;
 use pocc_ha::HaPoccServer;
-use pocc_proto::{ClientReply, ProtocolClient, ProtocolServer, ServerMessage, ServerOutput};
+use pocc_proto::{ClientReply, InstrumentedServer, ProtocolClient, ServerMessage, ServerOutput};
 use pocc_protocol::{Client, PoccServer};
 use pocc_storage::partition_for_key;
 use pocc_types::{ClientId, Config, Key, ReplicaId, ServerId, Timestamp, Value};
@@ -204,7 +205,7 @@ struct FuzzClient {
 struct Cluster {
     deployment: Config,
     clock: ManualClock,
-    servers: BTreeMap<ServerId, Box<dyn ProtocolServer>>,
+    servers: BTreeMap<ServerId, Box<dyn InstrumentedServer>>,
     /// Per-directed-link FIFO queues of undelivered messages.
     links: BTreeMap<(ServerId, ServerId), VecDeque<ServerMessage>>,
     /// Partitioned DC pairs (both orderings stored).
@@ -228,7 +229,7 @@ fn build_server(
     id: ServerId,
     cfg: &Config,
     clock: &ManualClock,
-) -> Box<dyn ProtocolServer> {
+) -> Box<dyn InstrumentedServer> {
     match protocol {
         ProtocolKind::Pocc => Box::new(PoccServer::new(id, cfg.clone(), clock.clone())),
         ProtocolKind::Cure => Box::new(CureServer::new(id, cfg.clone(), clock.clone())),
@@ -246,7 +247,7 @@ impl Cluster {
             .build()
             .expect("fuzz deployment config is valid");
         let clock = ManualClock::new(Timestamp::from(Duration::from_millis(10)));
-        let servers: BTreeMap<ServerId, Box<dyn ProtocolServer>> = deployment
+        let servers: BTreeMap<ServerId, Box<dyn InstrumentedServer>> = deployment
             .servers()
             .map(|id| (id, build_server(case.protocol, id, &deployment, &clock)))
             .collect();

@@ -12,7 +12,7 @@ use pocc_cure::CureServer;
 use pocc_ha::HaPoccServer;
 use pocc_net::{LatencyModel, SimNetwork};
 use pocc_proto::{
-    ClientReply, ClientRequest, Envelope, MetricsSnapshot, ProtocolClient, ProtocolServer,
+    ClientReply, ClientRequest, Envelope, InstrumentedServer, MetricsSnapshot, ProtocolClient,
     ServerMessage, ServerOutput,
 };
 use pocc_protocol::{Client, PoccServer};
@@ -41,7 +41,7 @@ struct Outstanding {
 }
 
 struct ServerEntry {
-    server: Box<dyn ProtocolServer>,
+    server: Box<dyn InstrumentedServer>,
     busy_until: Timestamp,
 }
 
@@ -109,7 +109,7 @@ impl Simulation {
         let mut servers = HashMap::new();
         for id in deployment.servers() {
             let clock = factory.clock_for(id);
-            let server: Box<dyn ProtocolServer> = match cfg.protocol {
+            let server: Box<dyn InstrumentedServer> = match cfg.protocol {
                 ProtocolKind::Pocc => Box::new(PoccServer::new(id, deployment.clone(), clock)),
                 ProtocolKind::Cure => Box::new(CureServer::new(id, deployment.clone(), clock)),
                 ProtocolKind::HaPocc => Box::new(HaPoccServer::new(id, deployment.clone(), clock)),

@@ -26,7 +26,7 @@
 //! use pocc_types::{DependencyVector, Key, PartitionId, ReplicaId, Timestamp, Value, Version};
 //!
 //! // A store for partition 0 of a 1-partition deployment, split into 4 shards.
-//! let mut store = ShardedStore::with_shards(PartitionId(0), 1, 4);
+//! let store = ShardedStore::with_shards(PartitionId(0), 1, 4);
 //!
 //! // Every PUT creates a new version; versions of one key form a chain.
 //! for t in [10, 20] {

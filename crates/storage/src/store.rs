@@ -3,7 +3,9 @@
 use crate::chain::LookupOutcome;
 use crate::shard::{ShardStats, StoreShard};
 use crate::{partition_for_key, shard_for_key};
+use parking_lot::RwLock;
 use pocc_types::{DependencyVector, Error, Key, PartitionId, ReplicaId, Result, Version};
+use std::sync::Arc;
 
 /// Aggregate statistics of a [`ShardedStore`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -58,11 +60,20 @@ pub type PartitionStore = ShardedStore;
 ///
 /// The store validates that inserted keys actually belong to its partition (mis-routed
 /// writes are a bug in the routing layer, reported as [`Error::WrongPartition`]).
+///
+/// Every shard sits behind its own reader-writer lock and every method takes `&self`,
+/// so the threaded runtime's worker lanes can insert into disjoint shards concurrently
+/// while readers serve lock-free-routed GETs from others. `Clone` produces a *handle* to
+/// the same underlying shards (the shard vector is shared), which is what lets an
+/// execution layer hand the store to reader threads while a writer pipeline keeps
+/// appending. Lookups return owned data (cloned versions) rather than references, since
+/// references cannot outlive the internal shard locks; version payloads are cheap,
+/// refcounted byte buffers, so the clones are shallow.
 #[derive(Clone, Debug)]
 pub struct ShardedStore {
     partition: PartitionId,
     num_partitions: usize,
-    shards: Vec<StoreShard>,
+    shards: Arc<Vec<RwLock<StoreShard>>>,
 }
 
 impl ShardedStore {
@@ -83,7 +94,11 @@ impl ShardedStore {
         ShardedStore {
             partition,
             num_partitions,
-            shards: (0..num_shards).map(|_| StoreShard::new()).collect(),
+            shards: Arc::new(
+                (0..num_shards)
+                    .map(|_| RwLock::new(StoreShard::new()))
+                    .collect(),
+            ),
         }
     }
 
@@ -97,15 +112,9 @@ impl ShardedStore {
         self.shards.len()
     }
 
-    /// The shard that owns `key`.
-    fn shard(&self, key: Key) -> &StoreShard {
+    /// The lock guarding the shard that owns `key`.
+    fn shard(&self, key: Key) -> &RwLock<StoreShard> {
         &self.shards[shard_for_key(key, self.shards.len())]
-    }
-
-    /// Mutable access to the shard that owns `key`.
-    fn shard_mut(&mut self, key: Key) -> &mut StoreShard {
-        let idx = shard_for_key(key, self.shards.len());
-        &mut self.shards[idx]
     }
 
     /// Checks that `key` is owned by this partition.
@@ -124,22 +133,22 @@ impl ShardedStore {
 
     /// Inserts a version (a local PUT or a replicated update). Returns an error if the key
     /// is not owned by this partition.
-    pub fn insert(&mut self, version: Version) -> Result<()> {
+    pub fn insert(&self, version: Version) -> Result<()> {
         self.check_ownership(version.key)?;
-        self.shard_mut(version.key).insert(version);
+        self.shard(version.key).write().insert(version);
         Ok(())
     }
 
     /// The freshest version of `key`, regardless of stability (POCC GET, Algorithm 2
     /// line 3). Returns `None` for a key that has never been written.
-    pub fn latest(&self, key: Key) -> Option<&Version> {
-        self.shard(key).latest(key)
+    pub fn latest(&self, key: Key) -> Option<Version> {
+        self.shard(key).read().latest(key).cloned()
     }
 
     /// The freshest version of `key` within snapshot `tv` (RO-TX slice read,
     /// Algorithm 2 lines 43–44).
     pub fn latest_in_snapshot(&self, key: Key, tv: &DependencyVector) -> LookupOutcome {
-        self.shard(key).latest_in_snapshot(key, tv)
+        self.shard(key).read().latest_in_snapshot(key, tv)
     }
 
     /// The freshest version of `key` visible under Cure's pessimistic rule (local versions
@@ -150,7 +159,7 @@ impl ShardedStore {
         gss: &DependencyVector,
         local: ReplicaId,
     ) -> LookupOutcome {
-        self.shard(key).latest_stable(key, gss, local)
+        self.shard(key).read().latest_stable(key, gss, local)
     }
 
     /// Whether the chain of `key` contains at least one version that is **not** stable
@@ -167,7 +176,7 @@ impl ShardedStore {
 
     /// Number of versions of `key` that are not stable under `gss`.
     pub fn unmerged_count(&self, key: Key, gss: &DependencyVector, local: ReplicaId) -> usize {
-        self.shard(key).count_invisible(key, |v| {
+        self.shard(key).read().count_invisible(key, |v| {
             v.source_replica == local
                 || (v.update_time <= gss.get(v.source_replica) && v.visible_under(gss))
         })
@@ -184,7 +193,7 @@ impl ShardedStore {
     /// only when the key has a chain, the owning shard has collected garbage, and `tv`
     /// does not cover the shard's GC watermark.
     pub fn snapshot_may_predate_gc(&self, key: Key, tv: &DependencyVector) -> bool {
-        let shard = self.shard(key);
+        let shard = self.shard(key).read();
         match shard.watermark() {
             Some(w) => !tv.dominates(w) && shard.chain(key).is_some(),
             None => false,
@@ -193,18 +202,18 @@ impl ShardedStore {
 
     /// Runs garbage collection with vector `gv` over every shard (§IV-B), advancing each
     /// shard's watermark. Returns the number of versions removed in this pass.
-    pub fn collect_garbage(&mut self, gv: &DependencyVector) -> usize {
+    pub fn collect_garbage(&self, gv: &DependencyVector) -> usize {
         self.shards
-            .iter_mut()
-            .map(|shard| shard.collect_garbage(gv))
+            .iter()
+            .map(|shard| shard.write().collect_garbage(gv))
             .sum()
     }
 
     /// Aggregate statistics of the store, summed over all shards.
     pub fn stats(&self) -> StoreStats {
         let mut stats = StoreStats::default();
-        for shard in &self.shards {
-            stats.absorb_shard(&shard.stats());
+        for shard in self.shards.iter() {
+            stats.absorb_shard(&shard.read().stats());
         }
         stats
     }
@@ -212,7 +221,10 @@ impl ShardedStore {
     /// Per-shard statistics, indexed by shard. Useful to check how evenly the key space
     /// spreads (the ablation bench prints these).
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.shards.iter().map(StoreShard::stats).collect()
+        self.shards
+            .iter()
+            .map(|shard| shard.read().stats())
+            .collect()
     }
 
     /// A deterministic digest of the *latest* version of every key: `(key, update time,
@@ -223,20 +235,23 @@ impl ShardedStore {
         let mut d: Vec<_> = self
             .shards
             .iter()
-            .flat_map(StoreShard::digest_entries)
+            .flat_map(|shard| shard.read().digest_entries().collect::<Vec<_>>())
             .collect();
         d.sort();
         d
     }
 
-    /// Iterates over all keys with at least one version (arbitrary order).
-    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
-        self.shards.iter().flat_map(StoreShard::keys)
+    /// All keys with at least one version (arbitrary order).
+    pub fn keys(&self) -> Vec<Key> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.read().keys().collect::<Vec<_>>())
+            .collect()
     }
 
-    /// Direct access to the chain of `key`, if present (used by white-box tests).
-    pub fn chain(&self, key: Key) -> Option<&crate::VersionChain> {
-        self.shard(key).chain(key)
+    /// A clone of the chain of `key`, if present (used by white-box tests).
+    pub fn chain(&self, key: Key) -> Option<crate::VersionChain> {
+        self.shard(key).read().chain(key).cloned()
     }
 }
 
@@ -264,7 +279,7 @@ mod tests {
     #[test]
     fn insert_and_read_back_latest() {
         let k = key_in(0, 4);
-        let mut store = PartitionStore::new(PartitionId(0), 4);
+        let store = PartitionStore::new(PartitionId(0), 4);
         store.insert(version(k, 10, 0, &[0, 0, 0])).unwrap();
         store.insert(version(k, 30, 1, &[0, 0, 0])).unwrap();
         assert_eq!(store.latest(k).unwrap().update_time, Timestamp(30));
@@ -275,7 +290,7 @@ mod tests {
     fn misrouted_writes_are_rejected() {
         let num = 4;
         let k = key_in(1, num);
-        let mut store = PartitionStore::new(PartitionId(0), num);
+        let store = PartitionStore::new(PartitionId(0), num);
         let err = store.insert(version(k, 10, 0, &[0, 0, 0])).unwrap_err();
         match err {
             Error::WrongPartition {
@@ -291,7 +306,7 @@ mod tests {
     #[test]
     fn snapshot_and_stable_lookups_delegate_to_the_chain() {
         let k = key_in(0, 2);
-        let mut store = PartitionStore::new(PartitionId(0), 2);
+        let store = PartitionStore::new(PartitionId(0), 2);
         store.insert(version(k, 10, 1, &[0, 0, 0])).unwrap();
         store.insert(version(k, 50, 1, &[0, 40, 0])).unwrap();
 
@@ -312,7 +327,7 @@ mod tests {
     #[test]
     fn unmerged_accounting_matches_definition() {
         let k = key_in(0, 2);
-        let mut store = PartitionStore::new(PartitionId(0), 2);
+        let store = PartitionStore::new(PartitionId(0), 2);
         store.insert(version(k, 10, 1, &[0, 0, 0])).unwrap();
         store.insert(version(k, 50, 1, &[0, 40, 0])).unwrap();
         let gss = dv(&[0, 10, 0]);
@@ -326,7 +341,7 @@ mod tests {
     #[test]
     fn garbage_collection_updates_stats() {
         let k = key_in(0, 2);
-        let mut store = PartitionStore::new(PartitionId(0), 2);
+        let store = PartitionStore::new(PartitionId(0), 2);
         for i in 1..=5u64 {
             store
                 .insert(version(k, i * 10, 0, &[(i - 1) * 10, 0, 0]))
@@ -351,9 +366,9 @@ mod tests {
             .find(|k| partition_for_key(*k, num).index() == 0)
             .unwrap();
 
-        let mut a = PartitionStore::new(PartitionId(0), num);
-        let mut b = PartitionStore::new(PartitionId(0), num);
-        for store in [&mut a, &mut b] {
+        let a = PartitionStore::new(PartitionId(0), num);
+        let b = PartitionStore::new(PartitionId(0), num);
+        for store in [&a, &b] {
             store.insert(version(k1, 10, 0, &[0, 0, 0])).unwrap();
             store.insert(version(k2, 20, 1, &[0, 0, 0])).unwrap();
         }
@@ -366,13 +381,13 @@ mod tests {
         // Converge again by applying the same update to a (different arrival order).
         a.insert(version(k1, 30, 1, &[0, 0, 0])).unwrap();
         assert_eq!(a.digest(), b.digest());
-        assert_eq!(a.keys().count(), 2);
+        assert_eq!(a.keys().len(), 2);
     }
 
     #[test]
     fn chain_accessor_exposes_raw_chain() {
         let k = key_in(0, 2);
-        let mut store = PartitionStore::new(PartitionId(0), 2);
+        let store = PartitionStore::new(PartitionId(0), 2);
         store.insert(version(k, 10, 0, &[0, 0, 0])).unwrap();
         assert_eq!(store.chain(k).unwrap().len(), 1);
         assert!(store.chain(Key(u64::MAX)).is_none());
@@ -381,7 +396,7 @@ mod tests {
     #[test]
     fn sharded_store_spreads_keys_and_aggregates_stats() {
         let num_partitions = 1;
-        let mut store = ShardedStore::with_shards(PartitionId(0), num_partitions, 4);
+        let store = ShardedStore::with_shards(PartitionId(0), num_partitions, 4);
         assert_eq!(store.num_shards(), 4);
         for k in 0..256u64 {
             store.insert(version(Key(k), 10, 0, &[0, 0, 0])).unwrap();
@@ -399,8 +414,8 @@ mod tests {
 
     #[test]
     fn digest_is_shard_count_independent() {
-        let mut one = ShardedStore::new(PartitionId(0), 1);
-        let mut eight = ShardedStore::with_shards(PartitionId(0), 1, 8);
+        let one = ShardedStore::new(PartitionId(0), 1);
+        let eight = ShardedStore::with_shards(PartitionId(0), 1, 8);
         for k in 0..64u64 {
             let v = version(Key(k), 10 + k, (k % 3) as u16, &[0, 0, 0]);
             one.insert(v.clone()).unwrap();

@@ -41,8 +41,8 @@ fn arb_vector() -> impl Strategy<Value = DependencyVector> {
 
 /// Builds one single-shard and one `shards`-shard store and applies the same writes.
 fn build_pair(writes: &[Version], shards: usize) -> (ShardedStore, ShardedStore) {
-    let mut single = ShardedStore::new(PartitionId(0), 1);
-    let mut sharded = ShardedStore::with_shards(PartitionId(0), 1, shards);
+    let single = ShardedStore::new(PartitionId(0), 1);
+    let sharded = ShardedStore::with_shards(PartitionId(0), 1, shards);
     for v in writes {
         single
             .insert(v.clone())
@@ -94,7 +94,7 @@ proptest! {
         shards in 2usize..9,
         gvs in proptest::collection::vec(arb_vector(), 1..4),
     ) {
-        let (mut single, mut sharded) = build_pair(&writes, shards);
+        let (single, sharded) = build_pair(&writes, shards);
         for gv in &gvs {
             prop_assert_eq!(single.collect_garbage(gv), sharded.collect_garbage(gv));
             prop_assert_eq!(single.stats(), sharded.stats());
@@ -134,7 +134,7 @@ fn routing_golden_values_are_stable() {
 /// per-shard statistics always sum to the aggregate.
 #[test]
 fn shard_stats_always_sum_to_aggregate() {
-    let mut store = ShardedStore::with_shards(PartitionId(0), 1, 8);
+    let store = ShardedStore::with_shards(PartitionId(0), 1, 8);
     for k in 0..512u64 {
         for round in 0..3u64 {
             store

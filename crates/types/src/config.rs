@@ -143,6 +143,11 @@ pub struct Config {
     /// Number of key-hashed shards each server splits its partition's version storage
     /// into (intra-partition sharding; `1` reproduces the original unsharded store).
     pub storage_shards: usize,
+    /// Number of worker lanes each server of the *threaded* runtime spreads its client
+    /// load across (`1` reproduces the original serial server loop; the simulator
+    /// ignores this field). Lanes own disjoint sets of storage shards, so values that
+    /// divide `storage_shards` avoid cross-lane shard contention.
+    pub worker_lanes: usize,
     /// Whether servers coalesce replication and garbage-collection traffic per
     /// destination into one batch message per tick, instead of sending one message per
     /// write. Off by default: batching trades up to one heartbeat interval of extra
@@ -232,6 +237,11 @@ impl Config {
                 reason: "heartbeat_interval must be positive".into(),
             });
         }
+        if self.worker_lanes == 0 {
+            return Err(Error::InvalidConfig {
+                reason: "worker_lanes must be at least 1".into(),
+            });
+        }
         if self.storage_shards == 0 {
             return Err(Error::InvalidConfig {
                 reason: "storage_shards must be at least 1".into(),
@@ -274,6 +284,7 @@ pub struct ConfigBuilder {
     replication_service_time: Duration,
     put_waits_for_dependencies: bool,
     storage_shards: usize,
+    worker_lanes: usize,
     replication_batching: bool,
     adaptive_churn_threshold: u32,
     adaptive_churn_window: Duration,
@@ -296,6 +307,7 @@ impl Default for ConfigBuilder {
             replication_service_time: Duration::from_micros(10),
             put_waits_for_dependencies: true,
             storage_shards: 8,
+            worker_lanes: 1,
             replication_batching: false,
             adaptive_churn_threshold: 3,
             adaptive_churn_window: Duration::from_millis(20),
@@ -382,6 +394,12 @@ impl ConfigBuilder {
         self
     }
 
+    /// Sets the number of worker lanes per server of the threaded runtime.
+    pub fn worker_lanes(mut self, n: usize) -> Self {
+        self.worker_lanes = n;
+        self
+    }
+
     /// Sets the number of key-hashed shards per partition store (`1` = unsharded).
     pub fn storage_shards(mut self, n: usize) -> Self {
         self.storage_shards = n;
@@ -436,6 +454,7 @@ impl ConfigBuilder {
             replication_service_time: self.replication_service_time,
             put_waits_for_dependencies: self.put_waits_for_dependencies,
             storage_shards: self.storage_shards,
+            worker_lanes: self.worker_lanes,
             replication_batching: self.replication_batching,
             adaptive_churn_threshold: self.adaptive_churn_threshold,
             adaptive_churn_window: self.adaptive_churn_window,
@@ -497,6 +516,7 @@ mod tests {
         assert!(Config::builder().num_replicas(0).build().is_err());
         assert!(Config::builder().num_partitions(0).build().is_err());
         assert!(Config::builder().storage_shards(0).build().is_err());
+        assert!(Config::builder().worker_lanes(0).build().is_err());
         assert!(Config::builder()
             .heartbeat_interval(Duration::ZERO)
             .build()

@@ -6,8 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use pocc::runtime::{Cluster, RuntimeProtocol};
-use pocc::types::{Config, Key, LatencyMatrix, ReplicaId, Value};
+use pocc::prelude::*;
 use std::time::Duration;
 
 fn main() {
@@ -30,7 +29,10 @@ fn main() {
         config.num_partitions,
         config.num_servers()
     );
-    let cluster = Cluster::start(config, RuntimeProtocol::Pocc);
+    let cluster = Cluster::builder()
+        .config(config)
+        .protocol(RuntimeProtocol::Pocc)
+        .start();
 
     // A client in data center 0 writes a few related keys.
     let mut alice = cluster.client(ReplicaId(0));

@@ -12,8 +12,7 @@
 //! cargo run --example social_network
 //! ```
 
-use pocc::runtime::{Cluster, RuntimeProtocol};
-use pocc::types::{Config, Key, LatencyMatrix, ReplicaId, Value};
+use pocc::prelude::*;
 use std::time::Duration;
 
 /// Keys: photo number `i` lives at `PHOTO_BASE + i`, its comment at `COMMENT_BASE + i`.
@@ -32,7 +31,10 @@ fn main() {
         ))
         .build()
         .expect("valid configuration");
-    let cluster = Cluster::start(config, RuntimeProtocol::Pocc);
+    let cluster = Cluster::builder()
+        .config(config)
+        .protocol(RuntimeProtocol::Pocc)
+        .start();
 
     let mut alice = cluster.client(ReplicaId(0));
     let mut bob = cluster.client(ReplicaId(1));

@@ -18,6 +18,7 @@
 //! | [`net`] | `pocc-net` | Simulated geo network: latency model, FIFO links, partition injection |
 //! | [`workload`] | `pocc-workload` | Zipfian key choice, GET:PUT and transactional mixes |
 //! | [`sim`] | `pocc-sim` | Deterministic discrete-event simulator (regenerates the paper's figures) |
+//! | [`exec`] | `pocc-exec` | Threaded shard-parallel server runtime (worker lanes, write pipelining) |
 //! | [`runtime`] | `pocc-runtime` | Threaded in-process cluster with synchronous client handles |
 //!
 //! ## Quick start
@@ -25,15 +26,18 @@
 //! Run a live, multi-threaded three-data-center cluster on your machine:
 //!
 //! ```
-//! use pocc::runtime::{Cluster, RuntimeProtocol};
-//! use pocc::types::{Config, Key, ReplicaId, Value};
+//! use pocc::prelude::*;
 //!
-//! let cluster = Cluster::start(Config::small_test(), RuntimeProtocol::Pocc);
+//! let cluster = Cluster::builder().protocol(RuntimeProtocol::Pocc).start();
 //! let mut client = cluster.client(ReplicaId(0));
 //! client.put(Key(1), Value::from("hello, geo-replication")).unwrap();
 //! assert!(client.get(Key(1)).unwrap().is_some());
 //! cluster.shutdown();
 //! ```
+//!
+//! Add `.worker_lanes(4)` before `.start()` to run every server on the shard-parallel
+//! execution runtime: client operations are key-hash routed to four worker-lane threads
+//! per server and writes are pipelined (see the [`exec`] crate docs for the model).
 //!
 //! Or reproduce a point of the paper's evaluation with the simulator:
 //!
@@ -63,6 +67,7 @@ pub use pocc_adaptive as adaptive;
 pub use pocc_clock as clock;
 pub use pocc_cure as cure;
 pub use pocc_engine as engine;
+pub use pocc_exec as exec;
 pub use pocc_ha as ha;
 pub use pocc_net as net;
 pub use pocc_proto as proto;
@@ -76,9 +81,24 @@ pub use pocc_workload as workload;
 pub use pocc_adaptive::AdaptiveServer;
 pub use pocc_cure::CureServer;
 pub use pocc_engine::{EngineCore, ProtocolEngine, VisibilityPolicy};
+pub use pocc_exec::{ExecProtocol, ParallelServer};
 pub use pocc_ha::{HaPoccServer, HaSession};
-pub use pocc_proto::{ProtocolClient, ProtocolServer};
+pub use pocc_proto::{InstrumentedServer, ProtocolClient, ProtocolServer, ServerIntrospect};
 pub use pocc_protocol::{Client, PoccServer};
-pub use pocc_runtime::{Cluster, ClusterClient, RuntimeProtocol};
+pub use pocc_runtime::{Cluster, ClusterBuilder, ClusterClient, RuntimeProtocol, ServerProbe};
 pub use pocc_sim::{ProtocolKind, SimConfig, SimReport, Simulation};
 pub use pocc_types::{Config, Key, ReplicaId, Timestamp, Value};
+
+/// One-stop imports for applications, examples and benchmarks: the cluster builder and
+/// client handles, protocol selection for both deployment modes, configuration builders,
+/// the simulator entry points and the common value types.
+pub mod prelude {
+    pub use pocc_exec::{ExecProtocol, FastPathProfile, OutputSink, ParallelServer};
+    pub use pocc_proto::{InstrumentedServer, ProtocolClient, ProtocolServer, ServerIntrospect};
+    pub use pocc_runtime::{Cluster, ClusterBuilder, ClusterClient, RuntimeProtocol, ServerProbe};
+    pub use pocc_sim::{ProtocolKind, SimConfig, SimConfigBuilder, SimReport, Simulation};
+    pub use pocc_types::{
+        ClientId, Config, ConfigBuilder, DependencyVector, Key, LatencyMatrix, PartitionId,
+        ReplicaId, ServerId, Timestamp, Value, VersionVector,
+    };
+}

@@ -12,7 +12,7 @@
 //!   interleaved workload.
 
 use pocc::clock::ManualClock;
-use pocc::proto::{ClientRequest, ProtocolServer, ServerOutput};
+use pocc::proto::{ClientRequest, ProtocolServer, ServerIntrospect, ServerOutput};
 use pocc::protocol::PoccServer;
 use pocc::sim::{ProtocolKind, SimConfig, Simulation};
 use pocc::types::{

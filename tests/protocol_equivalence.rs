@@ -17,7 +17,7 @@ use pocc::adaptive::AdaptiveServer;
 use pocc::clock::ManualClock;
 use pocc::cure::CureServer;
 use pocc::ha::HaPoccServer;
-use pocc::proto::{ClientRequest, ProtocolServer, ServerMessage, ServerOutput};
+use pocc::proto::{ClientRequest, InstrumentedServer, ServerMessage, ServerOutput};
 use pocc::protocol::PoccServer;
 use pocc::sim::{ProtocolKind, SimConfig, Simulation};
 use pocc::types::{ClientId, Config, DependencyVector, Key, ReplicaId, ServerId, Timestamp, Value};
@@ -42,7 +42,7 @@ fn build_server(
     id: ServerId,
     cfg: &Config,
     clock: &ManualClock,
-) -> Box<dyn ProtocolServer> {
+) -> Box<dyn InstrumentedServer> {
     match protocol {
         ProtocolKind::Pocc => Box::new(PoccServer::new(id, cfg.clone(), clock.clone())),
         ProtocolKind::Cure => Box::new(CureServer::new(id, cfg.clone(), clock.clone())),
@@ -63,7 +63,7 @@ fn run_cluster(protocol: ProtocolKind, batching: bool) -> ServerState {
         .build()
         .unwrap();
     let clock = ManualClock::new(Timestamp(10 * MS));
-    let mut servers: HashMap<ServerId, Box<dyn ProtocolServer>> = cfg
+    let mut servers: HashMap<ServerId, Box<dyn InstrumentedServer>> = cfg
         .servers()
         .map(|id| (id, build_server(protocol, id, &cfg, &clock)))
         .collect();
