@@ -165,8 +165,10 @@ impl<C: Clock> VisibilityPolicy<C> for AdaptivePolicy {
             core.last_stabilization = now;
             core.stabilization_round(outputs);
         }
-        // POCC's GC-vector exchange.
-        if now.saturating_since(core.last_gc) >= core.config.gc_interval {
+        // POCC's GC-vector exchange, also triggered early under storage pressure.
+        if now.saturating_since(core.last_gc) >= core.config.gc_interval
+            || core.gc_pressure_due(now)
+        {
             core.last_gc = now;
             core.gc_exchange_round(outputs);
         }

@@ -5,6 +5,7 @@
 //! compare_bench --validate <file.json>...
 //! compare_bench --digests <baseline DIGESTS.json> <current DIGESTS.json>
 //! compare_bench --scaling <report.json> [--min-ratio 1.5]
+//! compare_bench --microbench <baseline.json> <current.json> [--max-alloc-ratio 1.1]
 //! ```
 //!
 //! Exit codes: 0 = gate passed (no regression / all files valid / no digest drift /
@@ -21,8 +22,14 @@
 //! throughput at the sweep's largest `x` must be at least `--min-ratio` times the
 //! throughput at its smallest `x` (the `parallel-smoke` job runs it against
 //! `BENCH_core_scaling.json`, where `x` is the worker-lane count).
+//!
+//! `--microbench` compares two `storage_microbench --json` reports and gates on
+//! **allocations per operation** — deterministic under the harness's counting
+//! allocator, so the gate holds on any machine; ns/op is printed but never gated.
 
-use pocc_bench::compare::{compare, scaling, DEFAULT_THRESHOLD};
+use pocc_bench::compare::{
+    compare, microbench, scaling, DEFAULT_MAX_ALLOC_RATIO, DEFAULT_THRESHOLD,
+};
 use pocc_bench::digest::DigestCorpus;
 use pocc_bench::json;
 use std::process::ExitCode;
@@ -36,6 +43,7 @@ USAGE:
   compare_bench --validate <file.json>...
   compare_bench --digests <baseline.json> <current.json>
   compare_bench --scaling <report.json> [--min-ratio <ratio>]
+  compare_bench --microbench <baseline.json> <current.json> [--max-alloc-ratio <ratio>]
 ";
 
 fn load(path: &str) -> Result<json::Json, String> {
@@ -172,6 +180,54 @@ fn main() -> ExitCode {
                 min_ratio
             );
             ExitCode::FAILURE
+        };
+    }
+
+    if args.first().map(String::as_str) == Some("--microbench") {
+        let mut paths = Vec::new();
+        let mut max_ratio = DEFAULT_MAX_ALLOC_RATIO;
+        let mut it = args[1..].iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--max-alloc-ratio" => {
+                    let v = it.next().and_then(|v| v.parse::<f64>().ok());
+                    match v {
+                        Some(v) if v >= 1.0 => max_ratio = v,
+                        _ => {
+                            eprintln!("error: --max-alloc-ratio needs a ratio >= 1\n{USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                other => paths.push(other.to_string()),
+            }
+        }
+        if paths.len() != 2 {
+            eprintln!("error: --microbench needs a baseline and a current report\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        let (baseline, current) = match (load(&paths[0]), load(&paths[1])) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(err), _) | (_, Err(err)) => {
+                eprintln!("error: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        return match microbench(&baseline, &current, max_ratio) {
+            Ok(cmp) => {
+                print!("{}", cmp.render());
+                if cmp.has_regressions() {
+                    println!("allocation regressions beyond {max_ratio:.2}x the baseline detected");
+                    ExitCode::FAILURE
+                } else {
+                    println!("no allocation regressions beyond {max_ratio:.2}x the baseline");
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                ExitCode::from(2)
+            }
         };
     }
 

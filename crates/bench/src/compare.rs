@@ -255,6 +255,145 @@ pub fn scaling(report: &Json) -> Result<ScalingSummary, String> {
     })
 }
 
+/// The default `--max-alloc-ratio`: a bench's allocations per operation may grow to at
+/// most this multiple of the baseline before the gate fails.
+pub const DEFAULT_MAX_ALLOC_RATIO: f64 = 1.10;
+
+/// Absolute slack (in allocations per operation) added on top of the ratio bound, so
+/// near-zero baselines are not impossible to meet: a bench pinned at `0.000` allocs/op
+/// may drift up to this amount before it counts as a regression.
+pub const ALLOC_SLACK: f64 = 0.01;
+
+/// The comparison of one micro-benchmark across two `MICROBENCH_*.json` reports.
+#[derive(Clone, Debug)]
+pub struct MicrobenchRow {
+    /// The bench name (aligned by name across runs).
+    pub name: String,
+    /// Allocations per operation in the baseline run.
+    pub baseline_allocs: f64,
+    /// Allocations per operation in the candidate run.
+    pub current_allocs: f64,
+    /// Nanoseconds per operation in the candidate run (informational only: wall-clock
+    /// times are machine-dependent, so the gate never keys off them).
+    pub current_ns: f64,
+    /// Whether the bench's allocation count regressed beyond the allowed ratio.
+    pub regressed: bool,
+}
+
+/// The comparison of two micro-benchmark reports (`compare_bench --microbench`).
+///
+/// Unlike the throughput comparison above, the gated quantity is **allocations per
+/// operation**: the counting allocator makes it deterministic and machine-independent,
+/// so any increase is a real code-path change, never noise. ns/op is reported but not
+/// gated.
+#[derive(Clone, Debug)]
+pub struct MicrobenchComparison {
+    /// Per-bench rows, in baseline order.
+    pub rows: Vec<MicrobenchRow>,
+    /// Bench names present in only one of the two runs (a harness change, not a
+    /// regression).
+    pub unmatched: Vec<String>,
+}
+
+impl MicrobenchComparison {
+    /// Whether any bench's allocation count regressed beyond the allowed ratio.
+    pub fn has_regressions(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// A human-readable report table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>16} {:>16} {:>12}\n",
+            "benchmark", "base allocs/op", "cur allocs/op", "cur ns/op"
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:>16.3} {:>16.3} {:>12.1}{}\n",
+                row.name,
+                row.baseline_allocs,
+                row.current_allocs,
+                row.current_ns,
+                if row.regressed { "  << REGRESSION" } else { "" }
+            ));
+        }
+        for name in &self.unmatched {
+            out.push_str(&format!("{name:<24} (present in only one run)\n"));
+        }
+        out
+    }
+}
+
+fn microbench_rows(report: &Json) -> Result<Vec<(String, f64, f64)>, String> {
+    let version = report
+        .get("microbench_schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("report has no microbench_schema_version")?;
+    if version != crate::json::MICROBENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "microbench_schema_version: expected {}, found {version}",
+            crate::json::MICROBENCH_SCHEMA_VERSION
+        ));
+    }
+    let benches = report
+        .get("benches")
+        .and_then(Json::as_array)
+        .ok_or("report has no benches array")?;
+    benches
+        .iter()
+        .map(|b| {
+            let name = b
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("bench without name")?
+                .to_string();
+            let allocs = b
+                .get("allocs_per_op")
+                .and_then(Json::as_f64)
+                .ok_or("bench without allocs_per_op")?;
+            let ns = b
+                .get("ns_per_op")
+                .and_then(Json::as_f64)
+                .ok_or("bench without ns_per_op")?;
+            Ok((name, allocs, ns))
+        })
+        .collect()
+}
+
+/// Compares a candidate micro-benchmark report against a baseline. Benches are aligned
+/// by name; a bench regresses when its allocations per operation exceed
+/// `baseline * max_alloc_ratio + ALLOC_SLACK`.
+pub fn microbench(
+    baseline: &Json,
+    current: &Json,
+    max_alloc_ratio: f64,
+) -> Result<MicrobenchComparison, String> {
+    let base = microbench_rows(baseline)?;
+    let cur = microbench_rows(current)?;
+
+    let mut rows = Vec::new();
+    let mut unmatched = Vec::new();
+    for (name, baseline_allocs, _) in &base {
+        match cur.iter().find(|(n, _, _)| n == name) {
+            Some((_, current_allocs, current_ns)) => rows.push(MicrobenchRow {
+                name: name.clone(),
+                baseline_allocs: *baseline_allocs,
+                current_allocs: *current_allocs,
+                current_ns: *current_ns,
+                regressed: *current_allocs > baseline_allocs * max_alloc_ratio + ALLOC_SLACK,
+            }),
+            None => unmatched.push(name.clone()),
+        }
+    }
+    for (name, _, _) in &cur {
+        if !base.iter().any(|(n, _, _)| n == name) {
+            unmatched.push(name.clone());
+        }
+    }
+
+    Ok(MicrobenchComparison { rows, unmatched })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,5 +517,73 @@ mod tests {
     fn scaling_with_zero_base_throughput_never_passes() {
         let doc = sweep_report("s", &[("a", 1.0, 0.0), ("b", 4.0, 100.0)]);
         assert_eq!(scaling(&doc).unwrap().ratio(), 0.0);
+    }
+
+    fn microbench_report(benches: &[(&str, f64, f64)]) -> Json {
+        Json::Obj(vec![
+            (
+                "microbench_schema_version".into(),
+                Json::u64(crate::json::MICROBENCH_SCHEMA_VERSION),
+            ),
+            (
+                "benches".into(),
+                Json::Arr(
+                    benches
+                        .iter()
+                        .map(|(name, allocs, ns)| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(*name)),
+                                ("allocs_per_op".into(), Json::num(*allocs)),
+                                ("ns_per_op".into(), Json::num(*ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn microbench_gates_alloc_counts_not_wall_clock() {
+        let base = microbench_report(&[("insert", 1.0, 100.0), ("read", 0.0, 50.0)]);
+        // Wall-clock doubled but allocations held: no regression.
+        let cur = microbench_report(&[("insert", 1.0, 200.0), ("read", 0.0, 100.0)]);
+        let cmp = microbench(&base, &cur, DEFAULT_MAX_ALLOC_RATIO).unwrap();
+        assert!(!cmp.has_regressions());
+
+        // Allocations grew past the ratio: regression, and render flags it.
+        let cur = microbench_report(&[("insert", 2.0, 100.0), ("read", 0.0, 50.0)]);
+        let cmp = microbench(&base, &cur, DEFAULT_MAX_ALLOC_RATIO).unwrap();
+        assert!(cmp.has_regressions());
+        assert!(cmp.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn microbench_zero_baselines_get_absolute_slack() {
+        let base = microbench_report(&[("read", 0.0, 50.0)]);
+        // A ratio bound alone would make any nonzero count fail a 0.000 baseline; the
+        // absolute slack tolerates harmless jitter...
+        let cur = microbench_report(&[("read", 0.005, 50.0)]);
+        assert!(!microbench(&base, &cur, DEFAULT_MAX_ALLOC_RATIO)
+            .unwrap()
+            .has_regressions());
+        // ...but a real new allocation per op still fails.
+        let cur = microbench_report(&[("read", 1.0, 50.0)]);
+        assert!(microbench(&base, &cur, DEFAULT_MAX_ALLOC_RATIO)
+            .unwrap()
+            .has_regressions());
+    }
+
+    #[test]
+    fn microbench_unmatched_and_bad_schema_handling() {
+        let base = microbench_report(&[("gone", 1.0, 1.0), ("kept", 1.0, 1.0)]);
+        let cur = microbench_report(&[("kept", 1.0, 1.0), ("new", 1.0, 1.0)]);
+        let cmp = microbench(&base, &cur, DEFAULT_MAX_ALLOC_RATIO).unwrap();
+        assert!(!cmp.has_regressions());
+        assert_eq!(cmp.unmatched, vec!["gone".to_string(), "new".to_string()]);
+
+        let bad = Json::Obj(vec![("microbench_schema_version".into(), Json::u64(999))]);
+        assert!(microbench(&bad, &cur, DEFAULT_MAX_ALLOC_RATIO).is_err());
+        assert!(microbench(&Json::Obj(vec![]), &cur, DEFAULT_MAX_ALLOC_RATIO).is_err());
     }
 }

@@ -18,8 +18,16 @@ use std::fmt::Write as _;
 /// the schema exactly (every documented field is required), so *any* shape change —
 /// adding, renaming or removing a field — bumps the version; consumers comparing across
 /// versions must regenerate the older report. v2 added
-/// `staleness.stable_fallback_gets` (the Adaptive protocol's fall-back counter).
-pub const SCHEMA_VERSION: u64 = 2;
+/// `staleness.stable_fallback_gets` (the Adaptive protocol's fall-back counter); v3
+/// added `store.live_bytes` (approximate bytes of retained version data, the signal
+/// pressure-adaptive GC keys off).
+pub const SCHEMA_VERSION: u64 = 3;
+
+/// The version of the `MICROBENCH_*.json` schema emitted by `storage_microbench --json`
+/// and gated by `compare_bench --microbench`. Distinct from [`SCHEMA_VERSION`]: the
+/// microbench report is a flat list of harness-level measurements (ns/op, allocs/op),
+/// not a scenario report.
+pub const MICROBENCH_SCHEMA_VERSION: u64 = 1;
 
 /// A JSON value. Object keys keep insertion order so output is deterministic.
 #[derive(Clone, Debug, PartialEq)]
@@ -568,7 +576,13 @@ fn validate_point(point: &Json, path: &str) -> Result<(), String> {
     }
 
     let store = require(point, path, "store")?;
-    for key in ["keys", "versions", "max_chain_len", "gc_removed"] {
+    for key in [
+        "keys",
+        "versions",
+        "max_chain_len",
+        "gc_removed",
+        "live_bytes",
+    ] {
         require_num(store, &format!("{path}.store"), key)?;
     }
     require(store, &format!("{path}.store"), "per_shard_versions")?

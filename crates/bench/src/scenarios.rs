@@ -295,6 +295,7 @@ fn point_to_json(point: &PointResult) -> Json {
                     Json::u64(r.store.max_chain_len as u64),
                 ),
                 ("gc_removed".into(), Json::u64(r.store.gc_removed as u64)),
+                ("live_bytes".into(), Json::u64(r.store.live_bytes as u64)),
                 (
                     "per_shard_versions".into(),
                     Json::Arr(

@@ -175,6 +175,13 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Clears the buffer, retaining its allocation. This is what makes a `BytesMut` a
+    /// reusable encode scratch buffer: clear between messages and the backing storage
+    /// is written in place instead of reallocated.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Freezes the buffer into an immutable, shareable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)

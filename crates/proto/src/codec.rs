@@ -9,12 +9,25 @@
 //! byte strings and vectors, one tag byte per enum variant. It is not self-describing and
 //! both ends must agree on the number of data centers only implicitly (vectors carry their
 //! own length).
+//!
+//! # Zero-copy and allocation discipline
+//!
+//! Decoding is zero-copy where the representation allows it: values are sliced out of the
+//! input [`Bytes`] buffer (refcounted, no memcpy) and clock vectors are built directly
+//! into their inline-capacity representation without an intermediate `Vec`. Encoding can
+//! reuse a caller-owned [`BytesMut`] scratch buffer through the `encode_*_into` variants
+//! (`buf.clear()` between messages keeps the allocation); the plain `encode_*` functions
+//! remain the convenient one-shot form.
+//!
+//! Length prefixes are checked on encode: a vector of more than `u16::MAX` entries or a
+//! payload of more than `u32::MAX` bytes is a codec error, never a silently truncated
+//! (and therefore corrupt) wire message.
 
 use crate::{ClientReply, ClientRequest, GetResponse, ServerMessage, TxId, TxItem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pocc_types::{
-    ClientId, DependencyVector, Error, Key, ReplicaId, Result, Timestamp, Value, Version,
-    VersionVector,
+    ClientId, ClockVector, DependencyVector, Error, Key, ReplicaId, Result, Timestamp, Value,
+    Version, VersionVector,
 };
 
 // ---------------------------------------------------------------------------------------
@@ -48,42 +61,60 @@ fn get_replica(buf: &mut Bytes) -> Result<ReplicaId> {
     Ok(ReplicaId(buf.get_u16_le()))
 }
 
-fn put_vector_entries(buf: &mut BytesMut, entries: &[Timestamp]) {
-    buf.put_u16_le(entries.len() as u16);
+fn put_vector_entries(buf: &mut BytesMut, entries: &[Timestamp]) -> Result<()> {
+    let len = u16::try_from(entries.len()).map_err(|_| Error::Codec {
+        reason: format!(
+            "clock vector with {} entries exceeds the u16 wire length prefix",
+            entries.len()
+        ),
+    })?;
+    buf.put_u16_le(len);
     for e in entries {
         put_timestamp(buf, *e);
     }
+    Ok(())
 }
 
-fn get_vector_entries(buf: &mut Bytes) -> Result<Vec<Timestamp>> {
+/// Decodes a length-prefixed clock vector straight into the vector's inline-capacity
+/// representation — no intermediate `Vec` for the deployment sizes of the paper. The
+/// whole entry block is bounds-checked up front, so a hostile length prefix errors out
+/// before anything is allocated.
+fn get_clock_vector(buf: &mut Bytes) -> Result<ClockVector> {
     ensure(buf, 2)?;
     let len = buf.get_u16_le() as usize;
-    let mut out = Vec::with_capacity(len);
-    for _ in 0..len {
-        out.push(get_timestamp(buf)?);
-    }
-    Ok(out)
+    ensure(buf, len * 8)?;
+    ClockVector::try_from_fn(len, |_| Ok(Timestamp::from_micros(buf.get_u64_le())))
 }
 
-fn put_dep_vector(buf: &mut BytesMut, dv: &DependencyVector) {
-    put_vector_entries(buf, dv.as_slice());
+fn put_dep_vector(buf: &mut BytesMut, dv: &DependencyVector) -> Result<()> {
+    put_vector_entries(buf, dv.as_slice())
 }
 
 fn get_dep_vector(buf: &mut Bytes) -> Result<DependencyVector> {
-    Ok(DependencyVector::from_entries(get_vector_entries(buf)?))
+    Ok(DependencyVector(get_clock_vector(buf)?))
 }
 
-fn put_version_vector(buf: &mut BytesMut, vv: &VersionVector) {
-    put_vector_entries(buf, vv.as_slice());
+fn put_version_vector(buf: &mut BytesMut, vv: &VersionVector) -> Result<()> {
+    put_vector_entries(buf, vv.as_slice())
 }
 
 fn get_version_vector(buf: &mut Bytes) -> Result<VersionVector> {
-    Ok(VersionVector::from_entries(get_vector_entries(buf)?))
+    Ok(VersionVector(get_clock_vector(buf)?))
 }
 
-fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
-    buf.put_u32_le(data.len() as u32);
+/// Writes a `u32` element-count prefix, rejecting counts the prefix cannot represent.
+fn put_count(buf: &mut BytesMut, len: usize, what: &str) -> Result<u32> {
+    let len = u32::try_from(len).map_err(|_| Error::Codec {
+        reason: format!("{what} count {len} exceeds the u32 wire length prefix"),
+    })?;
+    buf.put_u32_le(len);
+    Ok(len)
+}
+
+fn put_bytes(buf: &mut BytesMut, data: &[u8]) -> Result<()> {
+    put_count(buf, data.len(), "byte string")?;
     buf.put_slice(data);
+    Ok(())
 }
 
 fn get_bytes(buf: &mut Bytes) -> Result<Bytes> {
@@ -93,14 +124,15 @@ fn get_bytes(buf: &mut Bytes) -> Result<Bytes> {
     Ok(buf.split_to(len))
 }
 
-fn put_opt_value(buf: &mut BytesMut, value: &Option<Value>) {
+fn put_opt_value(buf: &mut BytesMut, value: &Option<Value>) -> Result<()> {
     match value {
         Some(v) => {
             buf.put_u8(1);
-            put_bytes(buf, v.as_slice());
+            put_bytes(buf, v.as_slice())?;
         }
         None => buf.put_u8(0),
     }
+    Ok(())
 }
 
 fn get_opt_value(buf: &mut Bytes) -> Result<Option<Value>> {
@@ -114,11 +146,12 @@ fn get_opt_value(buf: &mut Bytes) -> Result<Option<Value>> {
     }
 }
 
-fn put_keys(buf: &mut BytesMut, keys: &[Key]) {
-    buf.put_u32_le(keys.len() as u32);
+fn put_keys(buf: &mut BytesMut, keys: &[Key]) -> Result<()> {
+    put_count(buf, keys.len(), "key list")?;
     for k in keys {
         put_key(buf, *k);
     }
+    Ok(())
 }
 
 fn get_keys(buf: &mut Bytes) -> Result<Vec<Key>> {
@@ -131,12 +164,12 @@ fn get_keys(buf: &mut Bytes) -> Result<Vec<Key>> {
     Ok(out)
 }
 
-fn put_version(buf: &mut BytesMut, v: &Version) {
+fn put_version(buf: &mut BytesMut, v: &Version) -> Result<()> {
     put_key(buf, v.key);
-    put_bytes(buf, v.value.as_slice());
+    put_bytes(buf, v.value.as_slice())?;
     put_replica(buf, v.source_replica);
     put_timestamp(buf, v.update_time);
-    put_dep_vector(buf, &v.deps);
+    put_dep_vector(buf, &v.deps)
 }
 
 fn get_version(buf: &mut Bytes) -> Result<Version> {
@@ -148,11 +181,12 @@ fn get_version(buf: &mut Bytes) -> Result<Version> {
     Ok(Version::new(key, value, source_replica, update_time, deps))
 }
 
-fn put_get_response(buf: &mut BytesMut, g: &GetResponse) {
-    put_opt_value(buf, &g.value);
+fn put_get_response(buf: &mut BytesMut, g: &GetResponse) -> Result<()> {
+    put_opt_value(buf, &g.value)?;
     put_timestamp(buf, g.update_time);
-    put_dep_vector(buf, &g.deps);
+    put_dep_vector(buf, &g.deps)?;
     put_replica(buf, g.source_replica);
+    Ok(())
 }
 
 fn get_get_response(buf: &mut Bytes) -> Result<GetResponse> {
@@ -164,12 +198,13 @@ fn get_get_response(buf: &mut Bytes) -> Result<GetResponse> {
     })
 }
 
-fn put_tx_items(buf: &mut BytesMut, items: &[TxItem]) {
-    buf.put_u32_le(items.len() as u32);
+fn put_tx_items(buf: &mut BytesMut, items: &[TxItem]) -> Result<()> {
+    put_count(buf, items.len(), "transaction item")?;
     for item in items {
         put_key(buf, item.key);
-        put_get_response(buf, &item.response);
+        put_get_response(buf, &item.response)?;
     }
+    Ok(())
 }
 
 fn get_tx_items(buf: &mut Bytes) -> Result<Vec<TxItem>> {
@@ -185,8 +220,8 @@ fn get_tx_items(buf: &mut Bytes) -> Result<Vec<TxItem>> {
     Ok(out)
 }
 
-fn put_string(buf: &mut BytesMut, s: &str) {
-    put_bytes(buf, s.as_bytes());
+fn put_string(buf: &mut BytesMut, s: &str) -> Result<()> {
+    put_bytes(buf, s.as_bytes())
 }
 
 fn get_string(buf: &mut Bytes) -> Result<String> {
@@ -217,28 +252,37 @@ const REQ_GET: u8 = 1;
 const REQ_PUT: u8 = 2;
 const REQ_ROTX: u8 = 3;
 
-/// Encodes a [`ClientRequest`].
-pub fn encode_request(req: &ClientRequest) -> Bytes {
+/// Encodes a [`ClientRequest`] into a freshly allocated buffer.
+pub fn encode_request(req: &ClientRequest) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(req.wire_size() + 16);
+    encode_request_into(req, &mut buf)?;
+    Ok(buf.freeze())
+}
+
+/// Encodes a [`ClientRequest`] by appending to a caller-owned scratch buffer.
+///
+/// Clearing and reusing one `BytesMut` across messages keeps the encode path
+/// allocation-free once the buffer has grown to the working-set message size.
+pub fn encode_request_into(req: &ClientRequest, buf: &mut BytesMut) -> Result<()> {
     match req {
         ClientRequest::Get { key, rdv } => {
             buf.put_u8(REQ_GET);
-            put_key(&mut buf, *key);
-            put_dep_vector(&mut buf, rdv);
+            put_key(buf, *key);
+            put_dep_vector(buf, rdv)?;
         }
         ClientRequest::Put { key, value, dv } => {
             buf.put_u8(REQ_PUT);
-            put_key(&mut buf, *key);
-            put_bytes(&mut buf, value.as_slice());
-            put_dep_vector(&mut buf, dv);
+            put_key(buf, *key);
+            put_bytes(buf, value.as_slice())?;
+            put_dep_vector(buf, dv)?;
         }
         ClientRequest::RoTx { keys, rdv } => {
             buf.put_u8(REQ_ROTX);
-            put_keys(&mut buf, keys);
-            put_dep_vector(&mut buf, rdv);
+            put_keys(buf, keys)?;
+            put_dep_vector(buf, rdv)?;
         }
     }
-    buf.freeze()
+    Ok(())
 }
 
 /// Decodes a [`ClientRequest`].
@@ -278,28 +322,35 @@ const REP_PUT: u8 = 2;
 const REP_ROTX: u8 = 3;
 const REP_ABORT: u8 = 4;
 
-/// Encodes a [`ClientReply`].
-pub fn encode_reply(reply: &ClientReply) -> Bytes {
+/// Encodes a [`ClientReply`] into a freshly allocated buffer.
+pub fn encode_reply(reply: &ClientReply) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(reply.wire_size() + 16);
+    encode_reply_into(reply, &mut buf)?;
+    Ok(buf.freeze())
+}
+
+/// Encodes a [`ClientReply`] by appending to a caller-owned scratch buffer
+/// (see [`encode_request_into`] for the reuse contract).
+pub fn encode_reply_into(reply: &ClientReply, buf: &mut BytesMut) -> Result<()> {
     match reply {
         ClientReply::Get(g) => {
             buf.put_u8(REP_GET);
-            put_get_response(&mut buf, g);
+            put_get_response(buf, g)?;
         }
         ClientReply::Put { update_time } => {
             buf.put_u8(REP_PUT);
-            put_timestamp(&mut buf, *update_time);
+            put_timestamp(buf, *update_time);
         }
         ClientReply::RoTx { items } => {
             buf.put_u8(REP_ROTX);
-            put_tx_items(&mut buf, items);
+            put_tx_items(buf, items)?;
         }
         ClientReply::SessionAborted { reason } => {
             buf.put_u8(REP_ABORT);
-            put_string(&mut buf, reason);
+            put_string(buf, reason)?;
         }
     }
-    buf.freeze()
+    Ok(())
 }
 
 /// Decodes a [`ClientReply`].
@@ -340,11 +391,11 @@ const MSG_GC: u8 = 6;
 const MSG_BATCH: u8 = 7;
 const MSG_SLICE_ABORT: u8 = 8;
 
-fn put_server_message(buf: &mut BytesMut, msg: &ServerMessage) {
+fn put_server_message(buf: &mut BytesMut, msg: &ServerMessage) -> Result<()> {
     match msg {
         ServerMessage::Replicate { version } => {
             buf.put_u8(MSG_REPLICATE);
-            put_version(buf, version);
+            put_version(buf, version)?;
         }
         ServerMessage::Heartbeat { clock } => {
             buf.put_u8(MSG_HEARTBEAT);
@@ -359,13 +410,13 @@ fn put_server_message(buf: &mut BytesMut, msg: &ServerMessage) {
             buf.put_u8(MSG_SLICE_REQ);
             buf.put_u64_le(tx.0);
             buf.put_u64_le(client.raw());
-            put_keys(buf, keys);
-            put_dep_vector(buf, snapshot);
+            put_keys(buf, keys)?;
+            put_dep_vector(buf, snapshot)?;
         }
         ServerMessage::SliceResponse { tx, items } => {
             buf.put_u8(MSG_SLICE_RESP);
             buf.put_u64_le(tx.0);
-            put_tx_items(buf, items);
+            put_tx_items(buf, items)?;
         }
         ServerMessage::SliceAbort { tx } => {
             buf.put_u8(MSG_SLICE_ABORT);
@@ -373,31 +424,38 @@ fn put_server_message(buf: &mut BytesMut, msg: &ServerMessage) {
         }
         ServerMessage::StabilizationVector { vv } => {
             buf.put_u8(MSG_STABILIZATION);
-            put_version_vector(buf, vv);
+            put_version_vector(buf, vv)?;
         }
         ServerMessage::GcVector { vector } => {
             buf.put_u8(MSG_GC);
-            put_dep_vector(buf, vector);
+            put_dep_vector(buf, vector)?;
         }
         ServerMessage::Batch { messages } => {
             buf.put_u8(MSG_BATCH);
-            buf.put_u32_le(messages.len() as u32);
+            put_count(buf, messages.len(), "batch message")?;
             for inner in messages {
                 debug_assert!(
                     !matches!(inner, ServerMessage::Batch { .. }),
                     "batches are flat; the batcher never nests them"
                 );
-                put_server_message(buf, inner);
+                put_server_message(buf, inner)?;
             }
         }
     }
+    Ok(())
 }
 
-/// Encodes a [`ServerMessage`].
-pub fn encode_server_message(msg: &ServerMessage) -> Bytes {
+/// Encodes a [`ServerMessage`] into a freshly allocated buffer.
+pub fn encode_server_message(msg: &ServerMessage) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(msg.wire_size() + 16);
-    put_server_message(&mut buf, msg);
-    buf.freeze()
+    encode_server_message_into(msg, &mut buf)?;
+    Ok(buf.freeze())
+}
+
+/// Encodes a [`ServerMessage`] by appending to a caller-owned scratch buffer
+/// (see [`encode_request_into`] for the reuse contract).
+pub fn encode_server_message_into(msg: &ServerMessage, buf: &mut BytesMut) -> Result<()> {
+    put_server_message(buf, msg)
 }
 
 /// `in_batch` is true while decoding the members of a batch: batches are flat, so a
@@ -516,7 +574,7 @@ mod tests {
             },
         ];
         for req in reqs {
-            let encoded = encode_request(&req);
+            let encoded = encode_request(&req).unwrap();
             assert_eq!(decode_request(encoded).unwrap(), req);
         }
     }
@@ -555,7 +613,7 @@ mod tests {
             },
         ];
         for reply in replies {
-            let encoded = encode_reply(&reply);
+            let encoded = encode_reply(&reply).unwrap();
             assert_eq!(decode_reply(encoded).unwrap(), reply);
         }
     }
@@ -585,6 +643,7 @@ mod tests {
                 tx: TxId(5),
                 items: vec![],
             },
+            ServerMessage::SliceAbort { tx: TxId(17) },
             ServerMessage::StabilizationVector {
                 vv: VersionVector::from_entries(vec![Timestamp(1), Timestamp(2)]),
             },
@@ -610,7 +669,7 @@ mod tests {
             ServerMessage::Batch { messages: vec![] },
         ];
         for msg in msgs {
-            let encoded = encode_server_message(&msg);
+            let encoded = encode_server_message(&msg).unwrap();
             assert_eq!(decode_server_message(encoded).unwrap(), msg);
         }
     }
@@ -634,7 +693,7 @@ mod tests {
             value: Value::from("hello"),
             dv: dv(&[4, 0, 6]),
         };
-        let encoded = encode_request(&req);
+        let encoded = encode_request(&req).unwrap();
         for cut in 0..encoded.len() {
             let truncated = encoded.slice(0..cut);
             assert!(
@@ -649,7 +708,7 @@ mod tests {
         let msg = ServerMessage::Heartbeat {
             clock: Timestamp(1),
         };
-        let mut raw = BytesMut::from(&encode_server_message(&msg)[..]);
+        let mut raw = BytesMut::from(&encode_server_message(&msg).unwrap()[..]);
         raw.put_u8(0xFF);
         assert!(decode_server_message(raw.freeze()).is_err());
     }
@@ -671,7 +730,131 @@ mod tests {
             rdv: dv(&[1, 2, 3]),
         };
         // The estimate does not count the 2-byte vector length prefix.
-        assert_eq!(encode_request(&req).len(), req.wire_size() + 2);
+        assert_eq!(encode_request(&req).unwrap().len(), req.wire_size() + 2);
+    }
+
+    #[test]
+    fn oversized_vector_is_a_codec_error_not_a_truncation() {
+        // More entries than the u16 length prefix can carry: the old code silently
+        // wrapped the length and produced a corrupt message; now it must error.
+        let too_long = DependencyVector::from_entries(vec![Timestamp(1); u16::MAX as usize + 1]);
+        let req = ClientRequest::Get {
+            key: Key(1),
+            rdv: too_long.clone(),
+        };
+        let err = encode_request(&req).unwrap_err();
+        assert!(err.to_string().contains("u16"), "got: {err}");
+
+        // The boundary value itself still encodes.
+        let max = ClientRequest::Get {
+            key: Key(1),
+            rdv: DependencyVector::from_entries(vec![Timestamp(1); u16::MAX as usize]),
+        };
+        let encoded = encode_request(&max).unwrap();
+        assert_eq!(decode_request(encoded).unwrap(), max);
+
+        // The same guard protects replies and server messages through shared helpers.
+        let msg = ServerMessage::GcVector { vector: too_long };
+        assert!(encode_server_message(&msg).is_err());
+    }
+
+    #[test]
+    fn truncated_replies_are_rejected_at_every_cut() {
+        let reply = ClientReply::RoTx {
+            items: vec![TxItem {
+                key: Key(5),
+                response: GetResponse {
+                    value: Some(Value::from("payload")),
+                    update_time: Timestamp(3),
+                    deps: dv(&[1, 1, 1]),
+                    source_replica: ReplicaId(1),
+                },
+            }],
+        };
+        let encoded = encode_reply(&reply).unwrap();
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_reply(encoded.slice(0..cut)).is_err(),
+                "truncation at {cut} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_server_messages_are_rejected_at_every_cut() {
+        let msg = ServerMessage::Batch {
+            messages: vec![
+                ServerMessage::Replicate {
+                    version: Version::new(
+                        Key(2),
+                        Value::from("xy"),
+                        ReplicaId(1),
+                        Timestamp(7),
+                        dv(&[1, 2, 3]),
+                    ),
+                },
+                ServerMessage::Heartbeat {
+                    clock: Timestamp(123),
+                },
+            ],
+        };
+        let encoded = encode_server_message(&msg).unwrap();
+        for cut in 0..encoded.len() {
+            assert!(
+                decode_server_message(encoded.slice(0..cut)).is_err(),
+                "truncation at {cut} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_buffer_reuse_produces_identical_bytes() {
+        let msgs = [
+            ServerMessage::Heartbeat {
+                clock: Timestamp(123),
+            },
+            ServerMessage::GcVector {
+                vector: dv(&[9, 9, 9]),
+            },
+            ServerMessage::Replicate {
+                version: Version::new(
+                    Key(1),
+                    Value::from("abc"),
+                    ReplicaId(2),
+                    Timestamp(11),
+                    dv(&[1, 2, 3]),
+                ),
+            },
+        ];
+        let mut scratch = BytesMut::with_capacity(256);
+        for msg in &msgs {
+            scratch.clear();
+            encode_server_message_into(msg, &mut scratch).unwrap();
+            assert_eq!(&scratch[..], &encode_server_message(msg).unwrap()[..]);
+        }
+    }
+
+    #[test]
+    fn decoded_value_shares_the_input_buffer() {
+        // Zero-copy contract: the decoded value must be a slice of the wire buffer,
+        // not a fresh copy of it.
+        let req = ClientRequest::Put {
+            key: Key(9),
+            value: Value::from("zero-copy payload"),
+            dv: dv(&[4, 0, 6]),
+        };
+        let encoded = encode_request(&req).unwrap();
+        let base = encoded.as_slice().as_ptr() as usize;
+        match decode_request(encoded.clone()).unwrap() {
+            ClientRequest::Put { value, .. } => {
+                let ptr = value.as_slice().as_ptr() as usize;
+                assert!(
+                    ptr >= base && ptr < base + encoded.len(),
+                    "decoded value must point into the input buffer"
+                );
+            }
+            other => panic!("unexpected decode {other:?}"),
+        }
     }
 }
 
@@ -791,17 +974,17 @@ mod proptests {
     proptest! {
         #[test]
         fn prop_request_round_trip(req in arb_request()) {
-            prop_assert_eq!(decode_request(encode_request(&req)).unwrap(), req);
+            prop_assert_eq!(decode_request(encode_request(&req).unwrap()).unwrap(), req);
         }
 
         #[test]
         fn prop_reply_round_trip(reply in arb_reply()) {
-            prop_assert_eq!(decode_reply(encode_reply(&reply)).unwrap(), reply);
+            prop_assert_eq!(decode_reply(encode_reply(&reply).unwrap()).unwrap(), reply);
         }
 
         #[test]
         fn prop_server_message_round_trip(msg in arb_server_message()) {
-            prop_assert_eq!(decode_server_message(encode_server_message(&msg)).unwrap(), msg);
+            prop_assert_eq!(decode_server_message(encode_server_message(&msg).unwrap()).unwrap(), msg);
         }
 
         #[test]
@@ -810,6 +993,27 @@ mod proptests {
             let _ = decode_request(bytes.clone());
             let _ = decode_reply(bytes.clone());
             let _ = decode_server_message(bytes);
+        }
+
+        #[test]
+        fn prop_garbage_suffix_is_rejected(
+            msg in arb_server_message(),
+            suffix in proptest::collection::vec(any::<u8>(), 1..16)
+        ) {
+            // The codec is self-delimiting: any bytes past the end of a valid message
+            // must be reported as trailing garbage, never silently consumed.
+            let mut raw = BytesMut::from(&encode_server_message(&msg).unwrap()[..]);
+            raw.put_slice(&suffix);
+            prop_assert!(decode_server_message(raw.freeze()).is_err());
+        }
+
+        #[test]
+        fn prop_scratch_encode_matches_one_shot(req in arb_request()) {
+            let mut scratch = BytesMut::new();
+            scratch.put_u8(0xAB); // pre-existing content: _into appends after it
+            scratch.clear();
+            encode_request_into(&req, &mut scratch).unwrap();
+            prop_assert_eq!(&scratch[..], &encode_request(&req).unwrap()[..]);
         }
     }
 }

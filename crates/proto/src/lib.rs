@@ -31,7 +31,7 @@
 //!         DependencyVector::zero(3),
 //!     ),
 //! };
-//! let encoded = codec::encode_server_message(&message);
+//! let encoded = codec::encode_server_message(&message).unwrap();
 //! assert_eq!(codec::decode_server_message(encoded).unwrap(), message);
 //! ```
 //!

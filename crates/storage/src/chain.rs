@@ -114,28 +114,11 @@ impl VersionChain {
 
     /// Generic newest-first lookup: returns the first (freshest) version satisfying
     /// `visible`, along with traversal and staleness statistics.
-    pub fn lookup<F>(&self, mut visible: F) -> LookupOutcome
+    pub fn lookup<F>(&self, visible: F) -> LookupOutcome
     where
         F: FnMut(&Version) -> bool,
     {
-        let mut stats = ChainReadStats::default();
-        for (i, v) in self.versions.iter().enumerate() {
-            stats.traversed = i + 1;
-            if visible(v) {
-                stats.fresher_than_returned = i;
-                stats.unmerged_above = i;
-                return LookupOutcome {
-                    version: Some(v.clone()),
-                    stats,
-                };
-            }
-        }
-        stats.fresher_than_returned = self.versions.len();
-        stats.unmerged_above = self.versions.len();
-        LookupOutcome {
-            version: None,
-            stats,
-        }
+        lookup_newest_first(self.versions.iter(), visible)
     }
 
     /// Counts how many versions in the chain are **not** visible under the given predicate.
@@ -169,6 +152,48 @@ impl VersionChain {
     /// Iterates the chain newest-first.
     pub fn iter(&self) -> impl Iterator<Item = &Version> {
         self.versions.iter()
+    }
+
+    /// Builds a chain from versions already in newest-first last-writer-wins order.
+    /// Used by the slab-backed shard to materialize a chain view for white-box callers.
+    pub(crate) fn from_sorted(versions: Vec<Version>) -> Self {
+        debug_assert!(versions
+            .windows(2)
+            .all(|w| w[0].wins_over(&w[1]) || w[0].lww_cmp(&w[1]) == std::cmp::Ordering::Equal));
+        VersionChain { versions }
+    }
+}
+
+/// Newest-first lookup over any version iterator: returns the first (freshest) version
+/// satisfying `visible`, with traversal and staleness statistics. Shared by the
+/// materialized [`VersionChain`] and the slab-backed shard storage, so both report the
+/// paper's staleness metrics identically.
+pub(crate) fn lookup_newest_first<'a, F>(
+    iter: impl Iterator<Item = &'a Version>,
+    mut visible: F,
+) -> LookupOutcome
+where
+    F: FnMut(&Version) -> bool,
+{
+    let mut stats = ChainReadStats::default();
+    let mut inspected = 0;
+    for (i, v) in iter.enumerate() {
+        inspected = i + 1;
+        stats.traversed = inspected;
+        if visible(v) {
+            stats.fresher_than_returned = i;
+            stats.unmerged_above = i;
+            return LookupOutcome {
+                version: Some(v.clone()),
+                stats,
+            };
+        }
+    }
+    stats.fresher_than_returned = inspected;
+    stats.unmerged_above = inspected;
+    LookupOutcome {
+        version: None,
+        stats,
     }
 }
 

@@ -5,8 +5,19 @@
 //! statistics and garbage-collection watermark, so shards can be worked on (inserted
 //! into, read, collected) without touching — or in future work, without locking — any
 //! sibling shard.
+//!
+//! # Memory layout
+//!
+//! Version payloads live in a per-shard **slab** ([`VersionSlab`]): one growable slot
+//! array with a free list. A per-key chain is then just a newest-first list of `u32`
+//! slot indices. Compared with storing `Version` structs directly inside per-key `Vec`s
+//! this (a) turns the steady-state insert-after-GC path into free-list reuse with no
+//! heap allocation at all, (b) makes the ordered insert shift 4-byte indices instead of
+//! full `Version` structs, and (c) concentrates version memory in one allocation per
+//! shard instead of one per key. Garbage collection returns slots to the free list, so
+//! shard memory stops growing once the workload's live set stabilizes.
 
-use crate::chain::{LookupOutcome, VersionChain};
+use crate::chain::{lookup_newest_first, LookupOutcome, VersionChain};
 use pocc_types::{DependencyVector, Key, Timestamp, Version};
 use std::collections::HashMap;
 
@@ -21,6 +32,8 @@ pub struct ShardStats {
     pub max_chain_len: usize,
     /// Versions removed by garbage collection from this shard since creation.
     pub gc_removed: usize,
+    /// Approximate bytes of live version data (wire-size sum of retained versions).
+    pub live_bytes: usize,
 }
 
 impl ShardStats {
@@ -31,14 +44,72 @@ impl ShardStats {
         self.versions += other.versions;
         self.max_chain_len = self.max_chain_len.max(other.max_chain_len);
         self.gc_removed += other.gc_removed;
+        self.live_bytes += other.live_bytes;
     }
 }
 
-/// One key-hashed shard: a collection of version chains plus per-shard GC state.
+/// Slot storage for the versions of one shard: a growable array of slots with a free
+/// list. Indices are stable for the lifetime of the version they hold and are recycled
+/// after release, so steady-state insert-after-GC traffic reuses slots instead of
+/// growing the heap.
+#[derive(Clone, Debug, Default)]
+struct VersionSlab {
+    slots: Vec<Option<Version>>,
+    free: Vec<u32>,
+}
+
+impl VersionSlab {
+    /// Stores a version, reusing a free slot when one exists.
+    fn alloc(&mut self, version: Version) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = Some(version);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len())
+                    .expect("more than u32::MAX live versions in one shard");
+                self.slots.push(Some(version));
+                idx
+            }
+        }
+    }
+
+    /// Removes and returns the version in `idx`, putting the slot on the free list.
+    fn release(&mut self, idx: u32) -> Version {
+        let version = self.slots[idx as usize]
+            .take()
+            .expect("release of an empty slab slot");
+        self.free.push(idx);
+        version
+    }
+
+    /// The version stored in `idx`.
+    #[inline]
+    fn get(&self, idx: u32) -> &Version {
+        self.slots[idx as usize]
+            .as_ref()
+            .expect("read of an empty slab slot")
+    }
+}
+
+/// The newest-first chain of one key, as slot indices into the shard's slab.
+#[derive(Clone, Debug, Default)]
+struct SlabChain {
+    idxs: Vec<u32>,
+}
+
+/// One key-hashed shard: slab-backed version chains plus per-shard GC state.
 #[derive(Clone, Debug, Default)]
 pub struct StoreShard {
-    chains: HashMap<Key, VersionChain>,
+    slab: VersionSlab,
+    chains: HashMap<Key, SlabChain>,
     gc_removed: usize,
+    /// Approximate bytes of live version data, maintained incrementally on insert/GC.
+    live_bytes: usize,
+    /// Length of the longest chain: bumped on insert, recomputed exactly during GC
+    /// (which walks every chain anyway). Never underestimates between GC passes.
+    longest_chain: usize,
     /// The entry-wise maximum of every GC vector applied to this shard — the shard's
     /// garbage-collection watermark. Versions below it (except chain heads) are gone.
     watermark: Option<DependencyVector>,
@@ -55,62 +126,124 @@ impl StoreShard {
         self.chains.len()
     }
 
-    /// Inserts a version into the chain of its key.
-    pub fn insert(&mut self, version: Version) {
-        self.chains.entry(version.key).or_default().insert(version);
+    /// Whether any version of `key` is stored in this shard.
+    pub fn has_key(&self, key: Key) -> bool {
+        self.chains.contains_key(&key)
     }
 
-    /// The chain of `key`, if any version of it exists.
-    pub fn chain(&self, key: Key) -> Option<&VersionChain> {
-        self.chains.get(&key)
+    /// Inserts a version into the chain of its key, keeping newest-first last-writer-wins
+    /// order. Duplicate `(update_time, source replica)` pairs are ignored.
+    pub fn insert(&mut self, version: Version) {
+        let StoreShard { slab, chains, .. } = self;
+        let chain = chains.entry(version.key).or_default();
+        let pos = chain
+            .idxs
+            .partition_point(|&i| slab.get(i).wins_over(&version));
+        if let Some(&at) = chain.idxs.get(pos) {
+            let existing = slab.get(at);
+            if existing.update_time == version.update_time
+                && existing.source_replica == version.source_replica
+            {
+                return;
+            }
+        }
+        self.live_bytes += version.wire_size();
+        let idx = slab.alloc(version);
+        chain.idxs.insert(pos, idx);
+        self.longest_chain = self.longest_chain.max(chain.idxs.len());
+    }
+
+    /// Iterates the versions of one chain newest-first.
+    fn chain_versions<'a>(
+        &'a self,
+        chain: &'a SlabChain,
+    ) -> impl Iterator<Item = &'a Version> + 'a {
+        chain.idxs.iter().map(move |&i| self.slab.get(i))
+    }
+
+    /// A materialized clone of the chain of `key`, if any version of it exists.
+    /// This copies the chain's versions; it is a white-box inspection helper, not a
+    /// hot-path read (the lookups below read the slab in place).
+    pub fn chain(&self, key: Key) -> Option<VersionChain> {
+        self.chains
+            .get(&key)
+            .map(|c| VersionChain::from_sorted(self.chain_versions(c).cloned().collect::<Vec<_>>()))
     }
 
     /// The freshest version of `key`, regardless of stability.
     pub fn latest(&self, key: Key) -> Option<&Version> {
-        self.chains.get(&key).and_then(|c| c.latest())
+        self.chains
+            .get(&key)
+            .and_then(|c| c.idxs.first())
+            .map(|&i| self.slab.get(i))
     }
 
     /// The freshest version of `key` within snapshot `tv`.
     pub fn latest_in_snapshot(&self, key: Key, tv: &DependencyVector) -> LookupOutcome {
-        self.chains
-            .get(&key)
-            .map(|c| c.latest_in_snapshot(tv))
-            .unwrap_or_default()
+        match self.chains.get(&key) {
+            Some(c) => lookup_newest_first(self.chain_versions(c), |v| {
+                v.update_time <= tv.get(v.source_replica) && v.visible_under(tv)
+            }),
+            None => LookupOutcome::default(),
+        }
     }
 
-    /// The freshest version of `key` visible under a stability predicate built from `gss`
-    /// and the local replica (see [`VersionChain::latest_stable`]).
+    /// The freshest version of `key` visible under Cure's pessimistic rule: local
+    /// versions are always visible, remote versions only when covered by `gss`.
     pub fn latest_stable(
         &self,
         key: Key,
         gss: &DependencyVector,
         local: pocc_types::ReplicaId,
     ) -> LookupOutcome {
-        self.chains
-            .get(&key)
-            .map(|c| c.latest_stable(gss, local))
-            .unwrap_or_default()
+        match self.chains.get(&key) {
+            Some(c) => lookup_newest_first(self.chain_versions(c), |v| {
+                v.source_replica == local
+                    || (v.update_time <= gss.get(v.source_replica) && v.visible_under(gss))
+            }),
+            None => LookupOutcome::default(),
+        }
     }
 
     /// Number of versions of `key` that are invisible under `visible`.
-    pub fn count_invisible<F>(&self, key: Key, visible: F) -> usize
+    pub fn count_invisible<F>(&self, key: Key, mut visible: F) -> usize
     where
         F: FnMut(&Version) -> bool,
     {
-        self.chains
-            .get(&key)
-            .map(|c| c.count_invisible(visible))
-            .unwrap_or(0)
+        match self.chains.get(&key) {
+            Some(c) => self.chain_versions(c).filter(|v| !visible(v)).count(),
+            None => 0,
+        }
     }
 
     /// Runs garbage collection with vector `gv` over every chain of this shard, advancing
-    /// the shard watermark. Returns the number of versions removed.
+    /// the shard watermark. Retains, per chain, every version down to and including the
+    /// first one covered by `gv` (§IV-B); released versions go back to the slab free
+    /// list. Returns the number of versions removed.
     pub fn collect_garbage(&mut self, gv: &DependencyVector) -> usize {
+        let StoreShard { slab, chains, .. } = self;
         let mut removed = 0;
-        for chain in self.chains.values_mut() {
-            removed += chain.collect(gv);
+        let mut freed_bytes = 0;
+        let mut longest = 0;
+        for chain in chains.values_mut() {
+            let keep = chain.idxs.iter().position(|&i| {
+                let v = slab.get(i);
+                v.update_time <= gv.get(v.source_replica) && v.visible_under(gv)
+            });
+            if let Some(idx) = keep {
+                if idx + 1 < chain.idxs.len() {
+                    for &i in &chain.idxs[idx + 1..] {
+                        freed_bytes += slab.release(i).wire_size();
+                        removed += 1;
+                    }
+                    chain.idxs.truncate(idx + 1);
+                }
+            }
+            longest = longest.max(chain.idxs.len());
         }
         self.gc_removed += removed;
+        self.live_bytes -= freed_bytes;
+        self.longest_chain = longest;
         match &mut self.watermark {
             Some(w) => w.join(gv),
             none => *none = Some(gv.clone()),
@@ -124,16 +257,30 @@ impl StoreShard {
         self.watermark.as_ref()
     }
 
+    /// Approximate bytes of live version data in this shard (wire-size sum), maintained
+    /// incrementally. This is the signal pressure-adaptive GC keys off.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes
+    }
+
+    /// Length of the longest chain in this shard. Exact after every GC pass; between
+    /// passes it is an upper-bound watermark bumped on insert (chains only grow between
+    /// GCs, so it is in fact exact whenever it matters for pressure checks).
+    pub fn longest_chain(&self) -> usize {
+        self.longest_chain
+    }
+
     /// Statistics of this shard.
     pub fn stats(&self) -> ShardStats {
         let mut stats = ShardStats {
             keys: self.chains.len(),
             gc_removed: self.gc_removed,
+            live_bytes: self.live_bytes,
             ..ShardStats::default()
         };
         for chain in self.chains.values() {
-            stats.versions += chain.len();
-            stats.max_chain_len = stats.max_chain_len.max(chain.len());
+            stats.versions += chain.idxs.len();
+            stats.max_chain_len = stats.max_chain_len.max(chain.idxs.len());
         }
         stats
     }
@@ -148,9 +295,12 @@ impl StoreShard {
     pub fn digest_entries(
         &self,
     ) -> impl Iterator<Item = (Key, Timestamp, pocc_types::ReplicaId)> + '_ {
-        self.chains
-            .iter()
-            .filter_map(|(k, c)| c.latest().map(|v| (*k, v.update_time, v.source_replica)))
+        self.chains.iter().filter_map(|(k, c)| {
+            c.idxs
+                .first()
+                .map(|&i| self.slab.get(i))
+                .map(|v| (*k, v.update_time, v.source_replica))
+        })
     }
 }
 
@@ -188,6 +338,8 @@ mod tests {
         assert!(shard.latest(Key(9)).is_none());
         assert_eq!(shard.keys().count(), 2);
         assert_eq!(shard.digest_entries().count(), 2);
+        assert!(shard.has_key(Key(1)));
+        assert!(!shard.has_key(Key(9)));
     }
 
     #[test]
@@ -221,5 +373,62 @@ mod tests {
             .is_none());
         assert_eq!(shard.count_invisible(Key(1), |_| false), 0);
         assert!(shard.chain(Key(1)).is_none());
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_grow_the_slab_or_live_bytes() {
+        let mut shard = StoreShard::new();
+        shard.insert(version(1, 10, &[0, 0]));
+        let bytes_after_first = shard.live_bytes();
+        assert!(bytes_after_first > 0);
+        shard.insert(version(1, 10, &[0, 0]));
+        assert_eq!(shard.stats().versions, 1);
+        assert_eq!(shard.live_bytes(), bytes_after_first);
+    }
+
+    #[test]
+    fn gc_returns_slots_to_the_free_list_and_live_bytes_shrink() {
+        let mut shard = StoreShard::new();
+        for i in 1..=8u64 {
+            shard.insert(version(1, i * 10, &[(i - 1) * 10, 0]));
+        }
+        let slots_before = shard.slab.slots.len();
+        let bytes_before = shard.live_bytes();
+        let removed = shard.collect_garbage(&dv(&[100, 100]));
+        assert_eq!(removed, 7);
+        assert_eq!(shard.slab.free.len(), 7);
+        assert!(shard.live_bytes() < bytes_before);
+        assert_eq!(shard.longest_chain(), 1);
+
+        // Re-inserting reuses the freed slots: the slot array does not grow.
+        for i in 9..=15u64 {
+            shard.insert(version(1, i * 10, &[(i - 1) * 10, 0]));
+        }
+        assert_eq!(shard.slab.slots.len(), slots_before);
+        assert_eq!(shard.slab.free.len(), 0);
+        assert_eq!(shard.stats().versions, 8);
+    }
+
+    #[test]
+    fn longest_chain_is_bumped_on_insert_and_exact_after_gc() {
+        let mut shard = StoreShard::new();
+        for i in 1..=5u64 {
+            shard.insert(version(1, i * 10, &[(i - 1) * 10, 0]));
+        }
+        shard.insert(version(2, 10, &[0, 0]));
+        assert_eq!(shard.longest_chain(), 5);
+        shard.collect_garbage(&dv(&[100, 100]));
+        assert_eq!(shard.longest_chain(), 1);
+    }
+
+    #[test]
+    fn materialized_chain_matches_slab_order() {
+        let mut shard = StoreShard::new();
+        shard.insert(version(1, 10, &[0, 0]));
+        shard.insert(version(1, 30, &[0, 0]));
+        shard.insert(version(1, 20, &[0, 0]));
+        let chain = shard.chain(Key(1)).unwrap();
+        let times: Vec<u64> = chain.iter().map(|v| v.update_time.as_micros()).collect();
+        assert_eq!(times, vec![30, 20, 10]);
     }
 }

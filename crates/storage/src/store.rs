@@ -18,6 +18,8 @@ pub struct StoreStats {
     pub max_chain_len: usize,
     /// Total number of versions removed by garbage collection since the store was created.
     pub gc_removed: usize,
+    /// Approximate bytes of live version data (wire-size sum of retained versions).
+    pub live_bytes: usize,
 }
 
 impl StoreStats {
@@ -29,6 +31,7 @@ impl StoreStats {
         self.versions += other.versions;
         self.max_chain_len = self.max_chain_len.max(other.max_chain_len);
         self.gc_removed += other.gc_removed;
+        self.live_bytes += other.live_bytes;
     }
 
     /// Accumulates one shard's statistics into this aggregate.
@@ -38,6 +41,7 @@ impl StoreStats {
             versions: shard.versions,
             max_chain_len: shard.max_chain_len,
             gc_removed: shard.gc_removed,
+            live_bytes: shard.live_bytes,
         });
     }
 }
@@ -195,9 +199,21 @@ impl ShardedStore {
     pub fn snapshot_may_predate_gc(&self, key: Key, tv: &DependencyVector) -> bool {
         let shard = self.shard(key).read();
         match shard.watermark() {
-            Some(w) => !tv.dominates(w) && shard.chain(key).is_some(),
+            Some(w) => !tv.dominates(w) && shard.has_key(key),
             None => false,
         }
+    }
+
+    /// Whether any shard's retained history exceeds the given pressure bounds: a chain
+    /// longer than `max_chain_len` versions, or more than `max_live_bytes` of live
+    /// version data in one shard. Either signal means GC is overdue for that shard, so
+    /// the check short-circuits on the first offender. Pressure-adaptive GC
+    /// (`Config::gc_pressure`) polls this between interval-driven GC ticks.
+    pub fn pressure_exceeded(&self, max_chain_len: usize, max_live_bytes: usize) -> bool {
+        self.shards.iter().any(|shard| {
+            let shard = shard.read();
+            shard.longest_chain() > max_chain_len || shard.live_bytes() > max_live_bytes
+        })
     }
 
     /// Runs garbage collection with vector `gv` over every shard (§IV-B), advancing each
@@ -249,9 +265,9 @@ impl ShardedStore {
             .collect()
     }
 
-    /// A clone of the chain of `key`, if present (used by white-box tests).
+    /// A materialized clone of the chain of `key`, if present (used by white-box tests).
     pub fn chain(&self, key: Key) -> Option<crate::VersionChain> {
-        self.shard(key).read().chain(key).cloned()
+        self.shard(key).read().chain(key)
     }
 }
 

@@ -160,6 +160,20 @@ pub struct Config {
     /// churn is counted (scores halve at every window boundary, so classification decays
     /// once a key cools down).
     pub adaptive_churn_window: Duration,
+    /// Whether servers run garbage collection *early* — before the next `gc_interval`
+    /// boundary — when a store shard's retained history exceeds the pressure bounds
+    /// below. Off by default: interval-only GC reproduces the paper's §IV-B behaviour;
+    /// pressure-adaptive GC bounds chain length and memory under write skew.
+    pub gc_pressure: bool,
+    /// Pressure bound on the longest version chain of any one store shard; exceeding it
+    /// (with [`Config::gc_pressure`] on) triggers an early GC pass.
+    pub gc_pressure_max_chain_len: usize,
+    /// Pressure bound on the live version bytes retained by any one store shard;
+    /// exceeding it (with [`Config::gc_pressure`] on) triggers an early GC pass.
+    pub gc_pressure_max_live_bytes: usize,
+    /// Minimum spacing between pressure-triggered GC passes, so a shard pinned above the
+    /// bounds by not-yet-stable versions does not collect on every server tick.
+    pub gc_pressure_backoff: Duration,
 }
 
 impl Config {
@@ -257,6 +271,18 @@ impl Config {
                 reason: "adaptive_churn_window must be positive".into(),
             });
         }
+        if self.gc_pressure {
+            if self.gc_pressure_max_chain_len == 0 {
+                return Err(Error::InvalidConfig {
+                    reason: "gc_pressure_max_chain_len must be at least 1".into(),
+                });
+            }
+            if self.gc_pressure_max_live_bytes == 0 {
+                return Err(Error::InvalidConfig {
+                    reason: "gc_pressure_max_live_bytes must be positive".into(),
+                });
+            }
+        }
         self.latency.validate(self.num_replicas)
     }
 }
@@ -288,6 +314,10 @@ pub struct ConfigBuilder {
     replication_batching: bool,
     adaptive_churn_threshold: u32,
     adaptive_churn_window: Duration,
+    gc_pressure: bool,
+    gc_pressure_max_chain_len: usize,
+    gc_pressure_max_live_bytes: usize,
+    gc_pressure_backoff: Duration,
 }
 
 impl Default for ConfigBuilder {
@@ -311,6 +341,10 @@ impl Default for ConfigBuilder {
             replication_batching: false,
             adaptive_churn_threshold: 3,
             adaptive_churn_window: Duration::from_millis(20),
+            gc_pressure: false,
+            gc_pressure_max_chain_len: 64,
+            gc_pressure_max_live_bytes: 4 << 20,
+            gc_pressure_backoff: Duration::from_millis(10),
         }
     }
 }
@@ -426,6 +460,31 @@ impl ConfigBuilder {
         self
     }
 
+    /// Enables or disables pressure-adaptive garbage collection (early GC passes when a
+    /// store shard exceeds the chain-length or live-bytes bounds).
+    pub fn gc_pressure(mut self, yes: bool) -> Self {
+        self.gc_pressure = yes;
+        self
+    }
+
+    /// Sets the per-shard chain-length bound above which pressure-adaptive GC fires.
+    pub fn gc_pressure_max_chain_len(mut self, n: usize) -> Self {
+        self.gc_pressure_max_chain_len = n;
+        self
+    }
+
+    /// Sets the per-shard live-bytes bound above which pressure-adaptive GC fires.
+    pub fn gc_pressure_max_live_bytes(mut self, n: usize) -> Self {
+        self.gc_pressure_max_live_bytes = n;
+        self
+    }
+
+    /// Sets the minimum spacing between pressure-triggered GC passes.
+    pub fn gc_pressure_backoff(mut self, d: Duration) -> Self {
+        self.gc_pressure_backoff = d;
+        self
+    }
+
     /// Builds and validates the configuration.
     pub fn build(self) -> Result<Config> {
         let latency = self.latency.unwrap_or_else(|| {
@@ -458,6 +517,10 @@ impl ConfigBuilder {
             replication_batching: self.replication_batching,
             adaptive_churn_threshold: self.adaptive_churn_threshold,
             adaptive_churn_window: self.adaptive_churn_window,
+            gc_pressure: self.gc_pressure,
+            gc_pressure_max_chain_len: self.gc_pressure_max_chain_len,
+            gc_pressure_max_live_bytes: self.gc_pressure_max_live_bytes,
+            gc_pressure_backoff: self.gc_pressure_backoff,
         };
         config.validate()?;
         Ok(config)
@@ -509,6 +572,38 @@ mod tests {
         let d = Config::default();
         assert_eq!(d.storage_shards, 8);
         assert!(!d.replication_batching, "batching is opt-in");
+    }
+
+    #[test]
+    fn gc_pressure_knobs_round_trip_and_validate() {
+        let d = Config::default();
+        assert!(!d.gc_pressure, "pressure-adaptive GC is opt-in");
+        let c = Config::builder()
+            .gc_pressure(true)
+            .gc_pressure_max_chain_len(16)
+            .gc_pressure_max_live_bytes(1 << 20)
+            .gc_pressure_backoff(Duration::from_millis(2))
+            .build()
+            .unwrap();
+        assert!(c.gc_pressure);
+        assert_eq!(c.gc_pressure_max_chain_len, 16);
+        assert_eq!(c.gc_pressure_max_live_bytes, 1 << 20);
+        assert_eq!(c.gc_pressure_backoff, Duration::from_millis(2));
+        // The bounds are only validated when the feature is on.
+        assert!(Config::builder()
+            .gc_pressure_max_chain_len(0)
+            .build()
+            .is_ok());
+        assert!(Config::builder()
+            .gc_pressure(true)
+            .gc_pressure_max_chain_len(0)
+            .build()
+            .is_err());
+        assert!(Config::builder()
+            .gc_pressure(true)
+            .gc_pressure_max_live_bytes(0)
+            .build()
+            .is_err());
     }
 
     #[test]

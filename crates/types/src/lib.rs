@@ -59,4 +59,4 @@ pub use error::{Error, Result};
 pub use ids::{ClientId, PartitionId, ReplicaId, ServerId};
 pub use item::{Key, Value, Version};
 pub use timestamp::Timestamp;
-pub use vector::{DependencyVector, VectorOrdering, VersionVector};
+pub use vector::{ClockVector, DependencyVector, VectorOrdering, VersionVector};

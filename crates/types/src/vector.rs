@@ -44,53 +44,167 @@ pub enum VectorOrdering {
 /// deployment; all binary operations require both operands to have the same length and
 /// panic otherwise (mixing vectors from differently-sized deployments is a programming
 /// error, not a runtime condition).
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// # Memory layout
+///
+/// Deployments in the paper span 2–8 data centers, and a vector is attached to *every*
+/// item version, wire message and client session — so vector copies sit on every hot
+/// path. Up to [`ClockVector::INLINE_CAPACITY`] entries are therefore stored inline in
+/// the struct itself: cloning such a vector is a plain memcpy with **zero** heap
+/// allocations. Longer vectors spill to a heap `Vec` and behave like the naive
+/// representation. Equality and hashing see only the logical entries, so an inline
+/// vector and a (hypothetical) spilled one of equal contents compare equal.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct ClockVector {
-    entries: Vec<Timestamp>,
+    /// Logical number of entries (the spare inline slots beyond `len` are dead space).
+    len: u32,
+    /// Entry storage when `len <= INLINE_CAPACITY`.
+    inline: [Timestamp; ClockVector::INLINE_CAPACITY],
+    /// Entry storage when `len > INLINE_CAPACITY` — holds *all* entries; the inline
+    /// array is ignored.
+    spill: Vec<Timestamp>,
 }
 
 impl ClockVector {
+    /// Maximum number of entries stored inline (without a heap allocation). Covers the
+    /// 2–8 data-center topologies of the paper's evaluation with room to spare.
+    pub const INLINE_CAPACITY: usize = 8;
+
+    const ZERO_INLINE: [Timestamp; Self::INLINE_CAPACITY] =
+        [Timestamp::ZERO; Self::INLINE_CAPACITY];
+
     /// Creates a vector of `num_replicas` zero entries.
     pub fn zero(num_replicas: usize) -> Self {
-        ClockVector {
-            entries: vec![Timestamp::ZERO; num_replicas],
+        if num_replicas <= Self::INLINE_CAPACITY {
+            ClockVector {
+                len: num_replicas as u32,
+                inline: Self::ZERO_INLINE,
+                spill: Vec::new(),
+            }
+        } else {
+            ClockVector {
+                len: num_replicas as u32,
+                inline: Self::ZERO_INLINE,
+                spill: vec![Timestamp::ZERO; num_replicas],
+            }
         }
     }
 
     /// Creates a vector from explicit entries.
     pub fn from_entries(entries: Vec<Timestamp>) -> Self {
-        ClockVector { entries }
+        if entries.len() <= Self::INLINE_CAPACITY {
+            Self::from_slice(&entries)
+        } else {
+            ClockVector {
+                len: entries.len() as u32,
+                inline: Self::ZERO_INLINE,
+                spill: entries,
+            }
+        }
+    }
+
+    /// Creates a vector by copying a slice of entries. Allocation-free for slices of up
+    /// to [`INLINE_CAPACITY`](Self::INLINE_CAPACITY) entries.
+    pub fn from_slice(entries: &[Timestamp]) -> Self {
+        if entries.len() <= Self::INLINE_CAPACITY {
+            let mut inline = Self::ZERO_INLINE;
+            inline[..entries.len()].copy_from_slice(entries);
+            ClockVector {
+                len: entries.len() as u32,
+                inline,
+                spill: Vec::new(),
+            }
+        } else {
+            ClockVector {
+                len: entries.len() as u32,
+                inline: Self::ZERO_INLINE,
+                spill: entries.to_vec(),
+            }
+        }
+    }
+
+    /// Builds a vector of `len` entries from a fallible producer, short-circuiting on the
+    /// first error. Allocation-free for up to [`INLINE_CAPACITY`](Self::INLINE_CAPACITY)
+    /// entries — this is the wire-decode constructor: the codec reads entries straight
+    /// from the input buffer into the inline array without an intermediate `Vec`.
+    pub fn try_from_fn<E>(
+        len: usize,
+        mut f: impl FnMut(usize) -> Result<Timestamp, E>,
+    ) -> Result<Self, E> {
+        if len <= Self::INLINE_CAPACITY {
+            let mut inline = Self::ZERO_INLINE;
+            for (i, slot) in inline[..len].iter_mut().enumerate() {
+                *slot = f(i)?;
+            }
+            Ok(ClockVector {
+                len: len as u32,
+                inline,
+                spill: Vec::new(),
+            })
+        } else {
+            let mut spill = Vec::with_capacity(len);
+            for i in 0..len {
+                spill.push(f(i)?);
+            }
+            Ok(ClockVector {
+                len: len as u32,
+                inline: Self::ZERO_INLINE,
+                spill,
+            })
+        }
+    }
+
+    /// The logical entries as a slice.
+    #[inline]
+    fn entries(&self) -> &[Timestamp] {
+        let n = self.len as usize;
+        if n <= Self::INLINE_CAPACITY {
+            &self.inline[..n]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The logical entries as a mutable slice.
+    #[inline]
+    fn entries_mut(&mut self) -> &mut [Timestamp] {
+        let n = self.len as usize;
+        if n <= Self::INLINE_CAPACITY {
+            &mut self.inline[..n]
+        } else {
+            &mut self.spill
+        }
     }
 
     /// Number of entries (the number of data centers `M`).
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len as usize
     }
 
     /// Whether the vector has no entries. A zero-length vector is only meaningful in
     /// degenerate single-process tests.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Returns entry `i`.
     #[inline]
     pub fn get(&self, replica: ReplicaId) -> Timestamp {
-        self.entries[replica.index()]
+        self.entries()[replica.index()]
     }
 
     /// Sets entry `i` to exactly `ts`.
     #[inline]
     pub fn set(&mut self, replica: ReplicaId, ts: Timestamp) {
-        self.entries[replica.index()] = ts;
+        self.entries_mut()[replica.index()] = ts;
     }
 
     /// Advances entry `i` to `ts` if `ts` is larger (no-op otherwise).
     #[inline]
     pub fn advance(&mut self, replica: ReplicaId, ts: Timestamp) {
-        let e = &mut self.entries[replica.index()];
+        let e = &mut self.entries_mut()[replica.index()];
         if ts > *e {
             *e = ts;
         }
@@ -107,7 +221,7 @@ impl ClockVector {
             self.len(),
             other.len()
         );
-        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+        for (a, b) in self.entries_mut().iter_mut().zip(other.entries()) {
             if *b > *a {
                 *a = *b;
             }
@@ -132,7 +246,7 @@ impl ClockVector {
             self.len(),
             other.len()
         );
-        for (a, b) in self.entries.iter_mut().zip(&other.entries) {
+        for (a, b) in self.entries_mut().iter_mut().zip(other.entries()) {
             if *b < *a {
                 *a = *b;
             }
@@ -149,7 +263,10 @@ impl ClockVector {
     /// Whether every entry of `self` is `>=` the corresponding entry of `other`.
     pub fn dominates(&self, other: &ClockVector) -> bool {
         assert_eq!(self.len(), other.len());
-        self.entries.iter().zip(&other.entries).all(|(a, b)| a >= b)
+        self.entries()
+            .iter()
+            .zip(other.entries())
+            .all(|(a, b)| a >= b)
     }
 
     /// Whether every entry of `self` except `skip` is `>=` the corresponding entry of
@@ -159,9 +276,9 @@ impl ClockVector {
     /// skipped because dependencies on locally-originated items are trivially satisfied.
     pub fn dominates_except(&self, other: &ClockVector, skip: ReplicaId) -> bool {
         assert_eq!(self.len(), other.len());
-        self.entries
+        self.entries()
             .iter()
-            .zip(&other.entries)
+            .zip(other.entries())
             .enumerate()
             .all(|(i, (a, b))| i == skip.index() || a >= b)
     }
@@ -171,7 +288,7 @@ impl ClockVector {
         assert_eq!(self.len(), other.len());
         let mut less = false;
         let mut greater = false;
-        for (a, b) in self.entries.iter().zip(&other.entries) {
+        for (a, b) in self.entries().iter().zip(other.entries()) {
             if a < b {
                 less = true;
             } else if a > b {
@@ -190,7 +307,7 @@ impl ClockVector {
     /// which waits until the local physical clock exceeds `max(DV_c)` so that the new
     /// item's update time is larger than any of its potential dependencies.
     pub fn max_entry(&self) -> Timestamp {
-        self.entries
+        self.entries()
             .iter()
             .copied()
             .max()
@@ -199,7 +316,7 @@ impl ClockVector {
 
     /// The minimum entry of the vector.
     pub fn min_entry(&self) -> Timestamp {
-        self.entries
+        self.entries()
             .iter()
             .copied()
             .min()
@@ -208,7 +325,7 @@ impl ClockVector {
 
     /// Iterator over `(replica, timestamp)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ReplicaId, Timestamp)> + '_ {
-        self.entries
+        self.entries()
             .iter()
             .enumerate()
             .map(|(i, ts)| (ReplicaId::from(i), *ts))
@@ -216,13 +333,27 @@ impl ClockVector {
 
     /// The raw entries, indexed by replica.
     pub fn as_slice(&self) -> &[Timestamp] {
-        &self.entries
+        self.entries()
     }
 
     /// Approximate wire size of the vector in bytes (8 bytes per entry). Used by the
     /// simulator's metadata-overhead accounting.
     pub fn wire_size(&self) -> usize {
-        self.entries.len() * 8
+        self.len() * 8
+    }
+}
+
+impl PartialEq for ClockVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries() == other.entries()
+    }
+}
+
+impl Eq for ClockVector {}
+
+impl std::hash::Hash for ClockVector {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.entries().hash(state);
     }
 }
 
@@ -230,14 +361,14 @@ impl Index<ReplicaId> for ClockVector {
     type Output = Timestamp;
 
     fn index(&self, index: ReplicaId) -> &Timestamp {
-        &self.entries[index.index()]
+        &self.entries()[index.index()]
     }
 }
 
 impl fmt::Debug for ClockVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, e) in self.entries.iter().enumerate() {
+        for (i, e) in self.entries().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -268,6 +399,12 @@ macro_rules! vector_newtype {
             /// Creates a vector from explicit per-replica entries.
             pub fn from_entries(entries: Vec<Timestamp>) -> Self {
                 $name(ClockVector::from_entries(entries))
+            }
+
+            /// Creates a vector by copying a slice of entries (allocation-free for up to
+            /// [`ClockVector::INLINE_CAPACITY`] entries).
+            pub fn from_slice(entries: &[Timestamp]) -> Self {
+                $name(ClockVector::from_slice(entries))
             }
 
             /// Number of entries (the number of data centers `M`).
@@ -566,6 +703,67 @@ mod tests {
     fn wire_size_is_linear_in_replicas() {
         assert_eq!(ClockVector::zero(3).wire_size(), 24);
         assert_eq!(DependencyVector::zero(5).wire_size(), 40);
+    }
+
+    #[test]
+    fn spilled_vectors_behave_like_inline_ones() {
+        // 12 entries > INLINE_CAPACITY: the spill path must be semantically identical.
+        let n = ClockVector::INLINE_CAPACITY + 4;
+        let a = ClockVector::from_entries((0..n as u64).map(Timestamp).collect());
+        let b = ClockVector::from_slice(a.as_slice());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), n);
+        assert_eq!(a.get(ReplicaId(11)), Timestamp(11));
+        assert_eq!(a.max_entry(), Timestamp(11));
+
+        let mut j = ClockVector::zero(n);
+        j.join(&a);
+        assert_eq!(j, a);
+        j.advance(ReplicaId(0), Timestamp(99));
+        assert_eq!(j.get(ReplicaId(0)), Timestamp(99));
+        assert!(j.dominates(&a));
+    }
+
+    #[test]
+    fn from_slice_matches_from_entries() {
+        for n in [0usize, 1, 3, 8, 9, 17] {
+            let entries: Vec<Timestamp> = (0..n as u64).map(Timestamp).collect();
+            let a = ClockVector::from_slice(&entries);
+            let b = ClockVector::from_entries(entries);
+            assert_eq!(a, b);
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn try_from_fn_builds_and_short_circuits() {
+        let v = ClockVector::try_from_fn::<()>(3, |i| Ok(Timestamp(i as u64 * 10))).unwrap();
+        assert_eq!(v, cv(&[0, 10, 20]));
+
+        let mut calls = 0;
+        let err = ClockVector::try_from_fn(10, |i| {
+            calls += 1;
+            if i == 2 {
+                Err("boom")
+            } else {
+                Ok(Timestamp::ZERO)
+            }
+        });
+        assert_eq!(err.unwrap_err(), "boom");
+        assert_eq!(calls, 3, "must stop at the first error");
+    }
+
+    #[test]
+    fn equality_and_hash_see_only_logical_entries() {
+        use std::collections::HashSet;
+        let a = ClockVector::from_slice(&[Timestamp(1), Timestamp(2)]);
+        let mut b = ClockVector::zero(2);
+        b.set(ReplicaId(0), Timestamp(1));
+        b.set(ReplicaId(1), Timestamp(2));
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
     }
 
     #[test]
