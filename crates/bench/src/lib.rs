@@ -15,6 +15,10 @@
 //! * [`digest`] — one behaviour digest per scenario point, collected into the versioned
 //!   `DIGESTS.json` corpus; `compare_bench --digests` diffs two corpora and CI runs that
 //!   diff as a blocking drift gate.
+//! * [`loadgen`] — the open-loop load generator behind the `loadgen` binary: drives the
+//!   cluster runtime (channel or TCP transport) on a fixed arrival schedule with
+//!   pipelined connections and coordinated-omission-safe latency capture, reporting
+//!   through the same `BENCH_*.json` schema.
 //! * [`parallel`] — the wall-clock driver behind `core_scaling`: runs the threaded
 //!   shard-parallel server runtime (`pocc-exec`) on real OS threads and reports measured
 //!   throughput per worker-lane count. Wall-clock scenarios are excluded from the digest
@@ -41,6 +45,7 @@
 pub mod compare;
 pub mod digest;
 pub mod json;
+pub mod loadgen;
 pub mod parallel;
 pub mod scenarios;
 

@@ -9,7 +9,7 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::{Deref, RangeBounds};
+use std::ops::{Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// Shared `Debug` body for both buffer types: print as a byte string like the real crate.
@@ -182,6 +182,12 @@ impl BytesMut {
         self.data.clear();
     }
 
+    /// Shortens the buffer to `len` bytes, keeping the front. No-op if the buffer is
+    /// already shorter. Lets a staged-write scratch roll back a partially written suffix.
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
     /// Freezes the buffer into an immutable, shareable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -200,6 +206,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 
@@ -337,6 +349,20 @@ mod tests {
         let mut set = HashSet::new();
         set.insert(a);
         assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn written_bytes_can_be_patched_in_place() {
+        // Reserve a 4-byte length slot, append a payload, then backfill the slot —
+        // the pattern the length-prefixed wire framer uses.
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u32_le(0);
+        w.put_slice(b"payload");
+        let len = (w.len() - 4) as u32;
+        w[..4].copy_from_slice(&len.to_le_bytes());
+        let mut r = w.freeze();
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(&r[..], b"payload");
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub struct EngineCore<C> {
     /// Coalesces replication/GC traffic per destination when batching is enabled
     /// (`Config::replication_batching`); flushed at the start of every tick.
     batcher: MessageBatcher,
+    /// The sibling replicas (same partition, every other DC), computed once: replication
+    /// fans out to this list on every PUT, so it must not be rebuilt per operation.
+    siblings: Vec<ServerId>,
+    /// The local peers (same DC, every other partition), computed once for the same
+    /// reason (stabilization and GC rounds fan out to it).
+    local_peers: Vec<ServerId>,
     /// Parked operations, in arrival order.
     parked: Vec<Parked>,
     /// Read-only transactions this server coordinates.
@@ -108,6 +114,16 @@ impl<C: Clock> EngineCore<C> {
             extra_work: 0,
             slice_unmerged,
             batcher: MessageBatcher::new(config.replication_batching),
+            siblings: config
+                .replicas()
+                .filter(|r| *r != id.replica)
+                .map(|r| id.sibling(r))
+                .collect(),
+            local_peers: config
+                .partitions()
+                .filter(|p| *p != id.partition)
+                .map(|p| id.local_peer(p))
+                .collect(),
             parked: Vec::new(),
             transactions: HashMap::new(),
             next_tx: TxId(0),
@@ -184,21 +200,16 @@ impl<C: Clock> EngineCore<C> {
     }
 
     /// The sibling replicas of this server: same partition, every other data center.
-    pub fn siblings(&self) -> Vec<ServerId> {
-        self.config
-            .replicas()
-            .filter(|r| *r != self.id.replica)
-            .map(|r| self.id.sibling(r))
-            .collect()
+    /// Computed once at construction — fan-out loops iterate it by index so they can
+    /// keep calling `&mut self` send methods without cloning the list.
+    pub fn siblings(&self) -> &[ServerId] {
+        &self.siblings
     }
 
     /// The local peers of this server: same data center, every other partition.
-    pub fn local_peers(&self) -> Vec<ServerId> {
-        self.config
-            .partitions()
-            .filter(|p| *p != self.id.partition)
-            .map(|p| self.id.local_peer(p))
-            .collect()
+    /// Computed once at construction, like [`EngineCore::siblings`].
+    pub fn local_peers(&self) -> &[ServerId] {
+        &self.local_peers
     }
 
     // -----------------------------------------------------------------------------------
@@ -375,7 +386,8 @@ impl<C: Clock> EngineCore<C> {
         // Lines 12–14: asynchronously replicate to the sibling replicas, in timestamp order
         // (guaranteed because PUTs are processed in clock order and channels are FIFO;
         // the batcher preserves buffer order, so batching keeps the guarantee).
-        for sibling in self.siblings() {
+        for i in 0..self.siblings.len() {
+            let sibling = self.siblings[i];
             let msg = ServerMessage::Replicate {
                 version: version.clone(),
             };
@@ -755,7 +767,8 @@ impl<C: Clock> EngineCore<C> {
         let local = self.id.replica;
         if now >= self.vv.get(local) + self.config.heartbeat_interval {
             self.vv.set(local, now);
-            for sibling in self.siblings() {
+            for i in 0..self.siblings.len() {
+                let sibling = self.siblings[i];
                 let msg = ServerMessage::Heartbeat { clock: now };
                 let out = self.send(sibling, msg);
                 outputs.push(out);
@@ -787,7 +800,8 @@ impl<C: Clock> EngineCore<C> {
     /// from every local peer are known.
     pub fn gc_exchange_round(&mut self, outputs: &mut Vec<ServerOutput>) {
         let contribution = self.gc_contribution();
-        for peer in self.local_peers() {
+        for i in 0..self.local_peers.len() {
+            let peer = self.local_peers[i];
             let msg = ServerMessage::GcVector {
                 vector: contribution.clone(),
             };
@@ -866,7 +880,8 @@ impl<C: Clock> EngineCore<C> {
     /// and refresh the GSS from what is known so far.
     pub fn stabilization_round(&mut self, outputs: &mut Vec<ServerOutput>) {
         let vv = self.vv.clone();
-        for peer in self.local_peers() {
+        for i in 0..self.local_peers.len() {
+            let peer = self.local_peers[i];
             let msg = ServerMessage::StabilizationVector { vv: vv.clone() };
             let out = self.send(peer, msg);
             outputs.push(out);

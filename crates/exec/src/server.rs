@@ -101,7 +101,8 @@ impl<C: Clock> Shared<C> {
             let core = spine.engine.core_mut();
             core.vv.advance(self.id.replica, res.ts);
             core.metrics.puts_served += 1;
-            for sibling in core.siblings() {
+            for i in 0..core.siblings().len() {
+                let sibling = core.siblings()[i];
                 let msg = ServerMessage::Replicate {
                     version: version.clone(),
                 };

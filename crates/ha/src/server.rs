@@ -477,7 +477,8 @@ impl<C: Clock> VisibilityPolicy<C> for HaPolicy {
         if now.saturating_since(core.last_stabilization) >= core.config.ha_stabilization_interval {
             core.last_stabilization = now;
             let vv = core.vv.clone();
-            for peer in core.local_peers() {
+            for i in 0..core.local_peers().len() {
+                let peer = core.local_peers()[i];
                 core.metrics.stabilization_messages += 1;
                 core.metrics.bytes_sent += vv.wire_size() as u64;
                 outputs.push(ServerOutput::send(

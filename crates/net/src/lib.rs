@@ -1,8 +1,10 @@
-//! The simulated geo-replicated network substrate.
+//! Network substrates: the simulated geo-replicated network and the real transports.
 //!
 //! The paper's system model (§II-C) assumes point-to-point **lossless FIFO channels**
 //! between nodes; the evaluation runs on three AWS regions connected by wide-area links.
-//! This crate models that substrate for the discrete-event simulator:
+//! This crate provides that substrate twice over:
+//!
+//! For the discrete-event simulator:
 //!
 //! * [`LatencyModel`] — per-link one-way delays (LAN within a data center, WAN between
 //!   data centers) with optional bounded random jitter,
@@ -14,12 +16,19 @@
 //! The network does not own an event queue: the simulator asks it *when* each message
 //! should be delivered and schedules the delivery itself. This keeps the network model
 //! independently testable.
+//!
+//! For the threaded runtime, the [`transport`] module defines the pluggable
+//! [`transport::Transport`] trait with two real backends — in-process channels
+//! ([`transport::ChannelTransport`]) and TCP sockets with length-prefixed frames and
+//! batched writes ([`transport::TcpTransport`]) — over the same sans-IO node logic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod latency;
 mod network;
+pub mod transport;
 
 pub use latency::LatencyModel;
 pub use network::{NetworkStats, SimNetwork};
+pub use transport::{ClientPort, EventSink, Transport, TransportEvent, TransportKind};

@@ -1,0 +1,369 @@
+//! Length-prefixed framing for the TCP transport.
+//!
+//! Every frame is `[len: u32 LE][kind: u8][payload]`, where `len` counts the kind byte
+//! plus the payload. The payload of [`REQUEST`]/[`REPLY`]/[`SERVER_MSG`] frames is exactly
+//! one message in the `pocc-proto` wire codec (the codec rejects trailing bytes, so a
+//! frame can never smuggle a second message). The two hello kinds carry the tiny
+//! fixed-size identity payloads a connection announces itself with.
+//!
+//! The framer is IO-free: [`FrameWriter`] stages any number of frames into one reused
+//! [`BytesMut`] scratch (so a flush is a single `write` call and steady-state encoding
+//! allocates nothing), and [`FrameDecoder`] accumulates raw reads and yields complete
+//! frames, handling partial reads, frames split across reads and several frames per read.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use pocc_proto::{codec, ClientReply, ClientRequest, ServerMessage};
+use pocc_types::{ClientId, Error, Result, ServerId};
+
+/// First frame on a client connection: `[client_id: u64 LE]`.
+pub const HELLO_CLIENT: u8 = 0;
+/// First frame on a server-to-server connection: `[replica: u16 LE][partition: u32 LE]`.
+pub const HELLO_SERVER: u8 = 1;
+/// A [`ClientRequest`] in the `pocc-proto` codec.
+pub const REQUEST: u8 = 2;
+/// A [`ClientReply`] in the `pocc-proto` codec.
+pub const REPLY: u8 = 3;
+/// A [`ServerMessage`] in the `pocc-proto` codec.
+pub const SERVER_MSG: u8 = 4;
+
+/// Upper bound on `len`; larger frames are rejected before any buffering happens, so a
+/// corrupt or malicious length prefix cannot make the decoder allocate without bound.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Bytes of framing overhead per message (`len` prefix plus the kind byte).
+pub const FRAME_HEADER: usize = 5;
+
+/// Stages frames into one reused scratch buffer.
+///
+/// `stage_*` appends a frame (reserving the length slot, encoding the message in place
+/// through the codec's `encode_*_into` and backfilling the length); the connection then
+/// writes [`FrameWriter::bytes`] with a single `write` call and [`FrameWriter::clear`]s.
+/// The backing allocation is retained across flushes.
+#[derive(Default)]
+pub struct FrameWriter {
+    buf: BytesMut,
+}
+
+impl FrameWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        FrameWriter {
+            buf: BytesMut::with_capacity(16 * 1024),
+        }
+    }
+
+    /// The staged, wire-ready bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Number of staged bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drops the staged bytes, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Stages a frame of `kind` whose payload `encode` writes directly into the scratch.
+    /// On encode failure the partially written frame is rolled back.
+    fn stage_with(
+        &mut self,
+        kind: u8,
+        encode: impl FnOnce(&mut BytesMut) -> Result<()>,
+    ) -> Result<()> {
+        let at = self.buf.len();
+        self.buf.put_u32_le(0); // length slot, backfilled below
+        self.buf.put_u8(kind);
+        if let Err(err) = encode(&mut self.buf) {
+            self.buf.truncate(at);
+            return Err(err);
+        }
+        let len = self.buf.len() - at - 4;
+        if len > MAX_FRAME {
+            self.buf.truncate(at);
+            return Err(Error::Codec {
+                reason: format!("frame of {len} bytes exceeds MAX_FRAME"),
+            });
+        }
+        self.buf[at..at + 4].copy_from_slice(&(len as u32).to_le_bytes());
+        Ok(())
+    }
+
+    /// Stages a client hello announcing `client`.
+    pub fn stage_hello_client(&mut self, client: ClientId) -> Result<()> {
+        self.stage_with(HELLO_CLIENT, |buf| {
+            buf.put_u64_le(client.raw());
+            Ok(())
+        })
+    }
+
+    /// Stages a server hello announcing `server`.
+    pub fn stage_hello_server(&mut self, server: ServerId) -> Result<()> {
+        self.stage_with(HELLO_SERVER, |buf| {
+            buf.put_u16_le(server.replica.0);
+            buf.put_u32_le(server.partition.0);
+            Ok(())
+        })
+    }
+
+    /// Stages a client request frame.
+    pub fn stage_request(&mut self, request: &ClientRequest) -> Result<()> {
+        self.stage_with(REQUEST, |buf| codec::encode_request_into(request, buf))
+    }
+
+    /// Stages a client reply frame.
+    pub fn stage_reply(&mut self, reply: &ClientReply) -> Result<()> {
+        self.stage_with(REPLY, |buf| codec::encode_reply_into(reply, buf))
+    }
+
+    /// Stages a server-to-server message frame.
+    pub fn stage_server_message(&mut self, message: &ServerMessage) -> Result<()> {
+        self.stage_with(SERVER_MSG, |buf| {
+            codec::encode_server_message_into(message, buf)
+        })
+    }
+}
+
+/// Decodes the hello-client payload.
+pub fn decode_hello_client(payload: &Bytes) -> Result<ClientId> {
+    if payload.len() != 8 {
+        return Err(Error::Codec {
+            reason: format!(
+                "client hello payload of {} bytes, expected 8",
+                payload.len()
+            ),
+        });
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(payload);
+    Ok(ClientId(u64::from_le_bytes(raw)))
+}
+
+/// Decodes the hello-server payload.
+pub fn decode_hello_server(payload: &Bytes) -> Result<ServerId> {
+    if payload.len() != 6 {
+        return Err(Error::Codec {
+            reason: format!(
+                "server hello payload of {} bytes, expected 6",
+                payload.len()
+            ),
+        });
+    }
+    let replica = u16::from_le_bytes([payload[0], payload[1]]);
+    let partition = u32::from_le_bytes([payload[2], payload[3], payload[4], payload[5]]);
+    Ok(ServerId::new(replica, partition))
+}
+
+/// Reassembles frames from a raw byte stream.
+///
+/// Feed every read with [`FrameDecoder::extend`], then drain complete frames with
+/// [`FrameDecoder::next_frame`]. The internal buffer is reused across reads; consumed
+/// bytes are compacted away lazily so steady-state decoding does not reallocate.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, data: &[u8]) {
+        // Compact before growing: once everything buffered was consumed the whole buffer
+        // can be recycled, and a large consumed prefix is worth the memmove.
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Yields the next complete frame as `(kind, payload)`, or `None` if the buffered
+    /// bytes end mid-frame. Oversized and kind-less frames are rejected.
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Bytes)>> {
+        let available = self.buffered();
+        if available < 4 {
+            return Ok(None);
+        }
+        let at = self.start;
+        let len = u32::from_le_bytes([
+            self.buf[at],
+            self.buf[at + 1],
+            self.buf[at + 2],
+            self.buf[at + 3],
+        ]) as usize;
+        if len == 0 {
+            return Err(Error::Codec {
+                reason: "zero-length frame (missing kind byte)".into(),
+            });
+        }
+        if len > MAX_FRAME {
+            return Err(Error::Codec {
+                reason: format!("frame of {len} bytes exceeds MAX_FRAME"),
+            });
+        }
+        if available < 4 + len {
+            return Ok(None);
+        }
+        let kind = self.buf[at + 4];
+        let payload = Bytes::copy_from_slice(&self.buf[at + 5..at + 4 + len]);
+        self.start += 4 + len;
+        Ok(Some((kind, payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pocc_types::{DependencyVector, Key, Timestamp};
+
+    fn sample_request() -> ClientRequest {
+        ClientRequest::Get {
+            key: Key(7),
+            rdv: DependencyVector::zero(3),
+        }
+    }
+
+    fn drain(decoder: &mut FrameDecoder) -> Vec<(u8, Bytes)> {
+        let mut frames = Vec::new();
+        while let Some(frame) = decoder.next_frame().unwrap() {
+            frames.push(frame);
+        }
+        frames
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_decoder() {
+        let mut w = FrameWriter::new();
+        w.stage_hello_client(ClientId(42)).unwrap();
+        w.stage_request(&sample_request()).unwrap();
+        w.stage_reply(&ClientReply::Put {
+            update_time: Timestamp(9),
+        })
+        .unwrap();
+        let mut d = FrameDecoder::new();
+        d.extend(w.bytes());
+        let frames = drain(&mut d);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0].0, HELLO_CLIENT);
+        assert_eq!(decode_hello_client(&frames[0].1).unwrap(), ClientId(42));
+        assert_eq!(frames[1].0, REQUEST);
+        assert_eq!(
+            codec::decode_request(frames[1].1.clone()).unwrap(),
+            sample_request()
+        );
+        assert_eq!(frames[2].0, REPLY);
+        assert_eq!(
+            codec::decode_reply(frames[2].1.clone()).unwrap(),
+            ClientReply::Put {
+                update_time: Timestamp(9)
+            }
+        );
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn partial_reads_and_split_frames_reassemble() {
+        let mut w = FrameWriter::new();
+        w.stage_hello_server(ServerId::new(1u16, 3u32)).unwrap();
+        w.stage_server_message(&ServerMessage::Heartbeat {
+            clock: Timestamp(5),
+        })
+        .unwrap();
+        let wire = w.bytes().to_vec();
+
+        // Feed the stream one byte at a time: every frame arrives split across reads.
+        let mut d = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for byte in &wire {
+            d.extend(&[*byte]);
+            frames.extend(drain(&mut d));
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            decode_hello_server(&frames[0].1).unwrap(),
+            ServerId::new(1u16, 3u32)
+        );
+        assert_eq!(
+            codec::decode_server_message(frames[1].1.clone()).unwrap(),
+            ServerMessage::Heartbeat {
+                clock: Timestamp(5)
+            }
+        );
+
+        // A split mid-length-prefix also reassembles.
+        let mut d = FrameDecoder::new();
+        d.extend(&wire[..2]);
+        assert!(d.next_frame().unwrap().is_none());
+        d.extend(&wire[2..]);
+        assert_eq!(drain(&mut d).len(), 2);
+    }
+
+    #[test]
+    fn writer_clear_retains_staging_across_flushes() {
+        let mut w = FrameWriter::new();
+        w.stage_request(&sample_request()).unwrap();
+        let first = w.bytes().to_vec();
+        w.clear();
+        assert!(w.is_empty());
+        w.stage_request(&sample_request()).unwrap();
+        assert_eq!(
+            w.bytes(),
+            &first[..],
+            "staging is deterministic after clear"
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        // A length prefix beyond MAX_FRAME must error immediately, without waiting for
+        // (or trying to buffer) the advertised payload.
+        let mut d = FrameDecoder::new();
+        let len = (MAX_FRAME as u32 + 1).to_le_bytes();
+        d.extend(&len);
+        let err = d.next_frame().unwrap_err();
+        assert!(matches!(err, Error::Codec { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn zero_length_frames_are_rejected() {
+        let mut d = FrameDecoder::new();
+        d.extend(&0u32.to_le_bytes());
+        assert!(d.next_frame().is_err());
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_bytes() {
+        let mut w = FrameWriter::new();
+        w.stage_hello_client(ClientId(1)).unwrap();
+        let wire = w.bytes().to_vec();
+        let mut d = FrameDecoder::new();
+        for _ in 0..1000 {
+            d.extend(&wire);
+            assert!(d.next_frame().unwrap().is_some());
+        }
+        assert_eq!(d.buffered(), 0);
+        // The backing buffer was recycled rather than growing with every frame.
+        assert!(d.buf.len() <= 2 * 64 * 1024);
+    }
+}

@@ -1,0 +1,141 @@
+//! Pluggable transports: how a cluster's nodes and clients actually exchange messages.
+//!
+//! The protocol state machines are sans-IO; a [`Transport`] is the piece that moves their
+//! inputs and outputs between nodes. The discrete-event simulator drives the machines
+//! directly (no transport at all); the threaded runtime plugs in one of two real
+//! backends:
+//!
+//! * [`ChannelTransport`] — in-process channels between threads, no syscalls, with the
+//!   same configurable inter-DC delay injection as the simulator's latency model. This is
+//!   the reference backend: the differential suite pins it store-equivalent to
+//!   `SimNetwork` runs.
+//! * [`TcpTransport`] — real sockets on localhost with length-prefixed frames over the
+//!   `pocc-proto` wire codec, per-connection write coalescing and buffer-reusing reads.
+//!
+//! Inbound traffic is pushed into an [`EventSink`] the runtime provides (it forwards to
+//! the per-server thread inboxes); outbound traffic goes through the trait methods.
+//! Clients talk to a transport through a [`ClientPort`], which hides whether a request
+//! crosses a channel or a socket.
+
+mod channel;
+pub mod frame;
+mod tcp;
+
+pub use channel::ChannelTransport;
+pub use tcp::TcpTransport;
+
+use pocc_proto::{ClientReply, ClientRequest, ServerMessage};
+use pocc_types::{ClientId, Result, ServerId};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The transport backends a cluster can run on, i.e. the `--transport` registry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportKind {
+    /// In-process channels between threads (no syscalls, emulated WAN delays).
+    Channel,
+    /// TCP sockets on localhost (real syscalls, real kernel network stack).
+    Tcp,
+}
+
+impl TransportKind {
+    /// Every available backend, for registry listings.
+    pub fn all() -> &'static [TransportKind] {
+        &[TransportKind::Channel, TransportKind::Tcp]
+    }
+
+    /// The backend's registry name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Channel => "channel",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Parses a registry name.
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        TransportKind::all()
+            .iter()
+            .copied()
+            .find(|kind| kind.name() == s)
+    }
+}
+
+/// An inbound event a transport delivers to a node.
+#[derive(Debug)]
+pub enum TransportEvent {
+    /// A request from a client session.
+    Client {
+        /// The issuing client.
+        client: ClientId,
+        /// The request.
+        request: ClientRequest,
+    },
+    /// A message from another server.
+    Peer {
+        /// The sending server.
+        from: ServerId,
+        /// The message.
+        message: ServerMessage,
+    },
+}
+
+/// Where a transport delivers inbound traffic: called as `(to, event)` for every event
+/// addressed to node `to`. The runtime points this at the per-server thread inboxes.
+pub type EventSink = Arc<dyn Fn(ServerId, TransportEvent) + Send + Sync>;
+
+/// A message-moving backend connecting the nodes of one cluster (and its clients).
+///
+/// Outbound sends may buffer: [`Transport::send_server`] is allowed to coalesce traffic
+/// per destination until [`Transport::flush`] (the TCP backend stages frames into one
+/// per-connection scratch and writes them with a single syscall). Buffering MUST preserve
+/// per-link send order — the protocols assume lossless FIFO channels — and `reply` must
+/// not overtake earlier replies to the same client. The runtime flushes after every
+/// processed inbox batch and every tick, so nothing is deferred longer than a tick.
+pub trait Transport: Send + Sync {
+    /// Sends (or stages) a server-to-server message from `from` to `to`.
+    fn send_server(&self, from: ServerId, to: ServerId, message: ServerMessage);
+
+    /// Delivers a reply from server `from` to a client session, dropping it silently if
+    /// the session is gone (the client may have timed out and disconnected).
+    fn reply(&self, from: ServerId, client: ClientId, reply: ClientReply);
+
+    /// Writes out everything staged by `from` since the last flush.
+    fn flush(&self, from: ServerId);
+
+    /// Opens a client port for `client`. The id must be unique across the cluster.
+    fn client_port(&self, client: ClientId) -> Box<dyn ClientPort>;
+
+    /// The socket address of `server`, when the backend has one (TCP only) — this is what
+    /// external load generators connect to.
+    fn addr(&self, server: ServerId) -> Option<SocketAddr>;
+
+    /// Tears the backend down: stops helper threads and closes sockets. Idempotent.
+    fn shutdown(&self);
+}
+
+/// A client session's connection(s) into the cluster.
+///
+/// Requests to the same server are delivered in submission order; replies arrive on a
+/// single merged stream in the order servers sent them.
+pub trait ClientPort: Send {
+    /// Sends `request` to server `to` on behalf of this port's client.
+    fn submit(&mut self, to: ServerId, request: ClientRequest) -> Result<()>;
+
+    /// Waits up to `timeout` for the next reply addressed to this port's client.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<ClientReply>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_kind_registry_round_trips() {
+        for kind in TransportKind::all() {
+            assert_eq!(TransportKind::parse(kind.name()), Some(*kind));
+        }
+        assert_eq!(TransportKind::parse("carrier-pigeon"), None);
+    }
+}

@@ -1,33 +1,37 @@
 //! Synchronous client handles for the threaded cluster.
 
 use crate::cluster::server_for_key;
-use crate::router::Router;
-use crossbeam::channel::{unbounded, Receiver};
+use pocc_net::transport::ClientPort;
 use pocc_proto::{ClientReply, GetResponse, ProtocolClient, TxItem};
 use pocc_protocol::Client;
 use pocc_storage::partition_for_key;
-use pocc_types::{ClientId, Error, Key, Result, ServerId, Timestamp, Value};
+use pocc_types::{ClientId, Config, Error, Key, Result, ServerId, Timestamp, Value};
 use std::time::Duration;
 
 /// A synchronous client session against a running [`crate::Cluster`].
 ///
 /// The handle owns the protocol-level [`Client`] (dependency tracking of Algorithm 1) and
-/// a private reply channel; each call routes the request to the server owning the key's
-/// partition in the client's data center, blocks for the reply and folds it back into the
-/// session — exactly the closed-loop behaviour of the paper's clients.
+/// a transport [`ClientPort`]; each call routes the request to the server owning the
+/// key's partition in the client's data center, blocks for the reply and folds it back
+/// into the session — exactly the closed-loop behaviour of the paper's clients. Whether
+/// the request crosses an in-process channel or a TCP socket is the port's business.
 pub struct ClusterClient {
     session: Client,
-    router: Router,
-    replies: Receiver<ClientReply>,
+    config: Config,
+    port: Box<dyn ClientPort>,
     timeout: Duration,
     reinitializations: u64,
 }
 
 impl ClusterClient {
-    pub(crate) fn new(id: ClientId, home: ServerId, router: Router, snapshot_reads: bool) -> Self {
-        let (tx, rx) = unbounded();
-        router.register_client(id, tx);
-        let num_replicas = router.config().num_replicas;
+    pub(crate) fn new(
+        id: ClientId,
+        home: ServerId,
+        config: Config,
+        port: Box<dyn ClientPort>,
+        snapshot_reads: bool,
+    ) -> Self {
+        let num_replicas = config.num_replicas;
         let session = if snapshot_reads {
             Client::new_snapshot_reads(id, home, num_replicas)
         } else {
@@ -35,8 +39,8 @@ impl ClusterClient {
         };
         ClusterClient {
             session,
-            router,
-            replies: rx,
+            config,
+            port,
             timeout: Duration::from_secs(10),
             reinitializations: 0,
         }
@@ -69,12 +73,7 @@ impl ClusterClient {
     }
 
     fn await_reply(&mut self) -> Result<ClientReply> {
-        let reply = self
-            .replies
-            .recv_timeout(self.timeout)
-            .map_err(|_| Error::ChannelClosed {
-                endpoint: format!("reply channel of {}", self.id()),
-            })?;
+        let reply = self.port.recv_timeout(self.timeout)?;
         match self.session.process_reply(&reply) {
             Ok(()) => Ok(reply),
             Err(err @ Error::SessionAborted { .. }) => {
@@ -88,9 +87,9 @@ impl ClusterClient {
 
     /// Writes `value` under `key`. Returns the update timestamp assigned by the server.
     pub fn put(&mut self, key: Key, value: Value) -> Result<Timestamp> {
-        let target = server_for_key(self.router.config(), self.replica(), key);
+        let target = server_for_key(&self.config, self.replica(), key);
         let request = self.session.put(key, value);
-        self.router.submit(target, self.id(), request);
+        self.port.submit(target, request)?;
         match self.await_reply()? {
             ClientReply::Put { update_time } => Ok(update_time),
             other => Err(Error::Codec {
@@ -108,9 +107,9 @@ impl ClusterClient {
     /// dependency vector and source replica. Consistency checkers and the differential
     /// suite use this to record reads as protocol-level observations.
     pub fn get_versioned(&mut self, key: Key) -> Result<GetResponse> {
-        let target = server_for_key(self.router.config(), self.replica(), key);
+        let target = server_for_key(&self.config, self.replica(), key);
         let request = self.session.get(key);
-        self.router.submit(target, self.id(), request);
+        self.port.submit(target, request)?;
         match self.await_reply()? {
             ClientReply::Get(resp) => Ok(resp),
             other => Err(Error::Codec {
@@ -138,21 +137,15 @@ impl ClusterClient {
         // The coordinator is the local server owning the first key's partition.
         let coordinator = ServerId::new(
             self.replica(),
-            partition_for_key(keys[0], self.router.config().num_partitions),
+            partition_for_key(keys[0], self.config.num_partitions),
         );
         let request = self.session.ro_tx(keys);
-        self.router.submit(coordinator, self.id(), request);
+        self.port.submit(coordinator, request)?;
         match self.await_reply()? {
             ClientReply::RoTx { items } => Ok(items),
             other => Err(Error::Codec {
                 reason: format!("unexpected reply to RO-TX: {other:?}"),
             }),
         }
-    }
-}
-
-impl Drop for ClusterClient {
-    fn drop(&mut self) {
-        self.router.unregister_client(self.id());
     }
 }

@@ -1,18 +1,19 @@
-//! The cluster: server threads, the network-delay thread and lifecycle management.
+//! The cluster: server threads over a pluggable transport, and lifecycle management.
 
 use crate::client::ClusterClient;
-use crate::router::{Delayed, Inbound, Router};
+use crate::router::{Inbound, Router};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use pocc_adaptive::AdaptiveServer;
 use pocc_clock::{Clock, MonotonicClock, SystemClock};
 use pocc_cure::CureServer;
 use pocc_exec::{ExecProtocol, OutputSink, ParallelServer};
 use pocc_ha::HaPoccServer;
+use pocc_net::transport::{ClientPort, TransportKind};
 use pocc_proto::{InstrumentedServer, MetricsSnapshot, ServerIntrospect, ServerOutput};
 use pocc_protocol::PoccServer;
 use pocc_storage::StoreStats;
 use pocc_types::{ClientId, Config, Key, ReplicaId, ServerId, Timestamp};
-use std::collections::BinaryHeap;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -54,15 +55,22 @@ impl From<RuntimeProtocol> for ExecProtocol {
     }
 }
 
+/// How many additional inbox events a server thread drains greedily after a blocking
+/// receive before writing out staged transport traffic. Bounds reply latency while
+/// letting the TCP backend coalesce a burst into one `write` per peer.
+const DRAIN_BUDGET: usize = 128;
+
 /// Builder for [`Cluster`]. Defaults to [`Config::small_test`] running POCC with serial
-/// servers; set `worker_lanes` on the configuration (or via
-/// [`ClusterBuilder::worker_lanes`]) to run the threaded shard-parallel servers instead.
+/// servers on the in-process channel transport; set `worker_lanes` on the configuration
+/// (or via [`ClusterBuilder::worker_lanes`]) to run the threaded shard-parallel servers,
+/// and [`ClusterBuilder::transport`] to pick the transport backend.
 ///
 /// ```
-/// use pocc_runtime::{Cluster, RuntimeProtocol};
+/// use pocc_runtime::{Cluster, RuntimeProtocol, TransportKind};
 ///
 /// let cluster = Cluster::builder()
 ///     .protocol(RuntimeProtocol::Pocc)
+///     .transport(TransportKind::Channel)
 ///     .worker_lanes(2)
 ///     .start();
 /// # cluster.shutdown();
@@ -71,6 +79,7 @@ impl From<RuntimeProtocol> for ExecProtocol {
 pub struct ClusterBuilder {
     config: Config,
     protocol: RuntimeProtocol,
+    transport: TransportKind,
 }
 
 impl Default for ClusterBuilder {
@@ -78,6 +87,7 @@ impl Default for ClusterBuilder {
         ClusterBuilder {
             config: Config::small_test(),
             protocol: RuntimeProtocol::Pocc,
+            transport: TransportKind::Channel,
         }
     }
 }
@@ -95,6 +105,12 @@ impl ClusterBuilder {
         self
     }
 
+    /// Connects the servers through `transport` (default: in-process channels).
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Shortcut for setting `worker_lanes` on the configuration: `1` (the default) runs
     /// each server as a single thread, larger values run the shard-parallel execution
     /// runtime with that many worker lanes per server.
@@ -105,12 +121,12 @@ impl ClusterBuilder {
 
     /// Starts the cluster.
     pub fn start(self) -> Cluster {
-        Cluster::start_inner(self.config, self.protocol)
+        Cluster::start_inner(self.config, self.protocol, self.transport)
     }
 }
 
 /// A running in-process cluster: one thread per server (plus that server's worker lanes
-/// when `worker_lanes > 1`) and a network-delay thread.
+/// when `worker_lanes > 1`) connected by the chosen transport backend.
 ///
 /// Create it with [`Cluster::builder`], obtain client handles with [`Cluster::client`],
 /// and stop it with [`Cluster::shutdown`] (also invoked on drop).
@@ -120,6 +136,7 @@ pub struct Cluster {
     running: Arc<AtomicBool>,
     next_client: Arc<AtomicU64>,
     protocol: RuntimeProtocol,
+    transport: TransportKind,
 }
 
 impl Cluster {
@@ -134,12 +151,12 @@ impl Cluster {
         note = "use `Cluster::builder().config(..).protocol(..).start()`"
     )]
     pub fn start(config: Config, protocol: RuntimeProtocol) -> Cluster {
-        Cluster::start_inner(config, protocol)
+        Cluster::start_inner(config, protocol, TransportKind::Channel)
     }
 
-    fn start_inner(config: Config, protocol: RuntimeProtocol) -> Cluster {
+    fn start_inner(config: Config, protocol: RuntimeProtocol, transport: TransportKind) -> Cluster {
         config.validate().expect("cluster configuration is valid");
-        let (router, mut inboxes, network_rx) = Router::new(config.clone());
+        let (router, mut inboxes) = Router::new(config.clone(), transport);
         let running = Arc::new(AtomicBool::new(true));
         let mut threads = Vec::new();
 
@@ -164,22 +181,13 @@ impl Cluster {
             threads.push(handle);
         }
 
-        {
-            let net_router = router.clone();
-            let net_running = Arc::clone(&running);
-            let handle = std::thread::Builder::new()
-                .name("pocc-network".into())
-                .spawn(move || network_thread(net_router, network_rx, net_running))
-                .expect("spawning the network thread succeeds");
-            threads.push(handle);
-        }
-
         Cluster {
             router,
             threads,
             running,
             next_client: Arc::new(AtomicU64::new(0)),
             protocol,
+            transport,
         }
     }
 
@@ -188,9 +196,20 @@ impl Cluster {
         self.protocol
     }
 
+    /// The transport backend this cluster runs on.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
     /// The deployment configuration.
     pub fn config(&self) -> &Config {
         self.router.config()
+    }
+
+    /// The socket address of `server` — `Some` on the TCP transport (this is what
+    /// external load generators connect to), `None` on the channel transport.
+    pub fn server_addr(&self, server: ServerId) -> Option<SocketAddr> {
+        self.router.server_addr(server)
     }
 
     /// Opens a client session in data center `replica`. The session is collocated with an
@@ -205,7 +224,17 @@ impl Cluster {
             self.protocol,
             RuntimeProtocol::Cure | RuntimeProtocol::Adaptive
         );
-        ClusterClient::new(id, home, self.router.clone(), snapshot_reads)
+        let port = self.router.client_port(id);
+        ClusterClient::new(id, home, self.config().clone(), port, snapshot_reads)
+    }
+
+    /// Opens a raw transport port paired with a fresh client id, for external drivers
+    /// (load generators) that run their own protocol sessions and manage pipelining
+    /// themselves. On the TCP transport the port dials real localhost sockets, exactly
+    /// like an out-of-process client would.
+    pub fn open_port(&self) -> (ClientId, Box<dyn ClientPort>) {
+        let id = ClientId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        (id, self.router.client_port(id))
     }
 
     /// Takes a consistent introspection snapshot of one server: metrics, convergence
@@ -240,6 +269,7 @@ impl Cluster {
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
+        self.router.shutdown_transport();
     }
 }
 
@@ -250,7 +280,9 @@ impl Drop for Cluster {
 }
 
 /// The per-server thread body: build the protocol state machine, then loop between the
-/// inbox and the periodic tick until shutdown.
+/// inbox and the periodic tick until shutdown. After every processed batch the staged
+/// transport traffic is flushed, so the TCP backend's write coalescing never defers a
+/// message past the handling of the inputs that produced it.
 fn server_thread(
     id: ServerId,
     config: Config,
@@ -279,32 +311,58 @@ fn server_thread(
         if now >= next_tick {
             let outputs = server.tick();
             dispatch(&router, id, outputs);
+            router.flush(id);
             next_tick = now + tick_every;
             continue;
         }
         match inbox.recv_timeout(next_tick - now) {
-            Ok(Inbound::FromClient { client, request }) => {
-                let outputs = server.handle_client_request(client, request);
-                dispatch(&router, id, outputs);
+            Ok(first) => {
+                // Greedily drain whatever else is already queued (bounded), then flush
+                // once: a burst of pipelined requests becomes one write per peer.
+                let mut event = Some(first);
+                let mut drained = 0;
+                let mut shutdown = false;
+                while let Some(ev) = event.take() {
+                    match ev {
+                        Inbound::FromClient { client, request } => {
+                            let outputs = server.handle_client_request(client, request);
+                            dispatch(&router, id, outputs);
+                        }
+                        Inbound::FromServer { from, message } => {
+                            let outputs = server.handle_server_message(from, message);
+                            dispatch(&router, id, outputs);
+                        }
+                        Inbound::Probe { reply } => {
+                            let _ = reply.send(probe_of(server.as_ref()));
+                        }
+                        Inbound::Shutdown => {
+                            shutdown = true;
+                            break;
+                        }
+                    }
+                    drained += 1;
+                    if drained >= DRAIN_BUDGET {
+                        break;
+                    }
+                    event = inbox.try_recv().ok();
+                }
+                router.flush(id);
+                if shutdown {
+                    break;
+                }
             }
-            Ok(Inbound::FromServer { from, message }) => {
-                let outputs = server.handle_server_message(from, message);
-                dispatch(&router, id, outputs);
-            }
-            Ok(Inbound::Probe { reply }) => {
-                let _ = reply.send(probe_of(server.as_ref()));
-            }
-            Ok(Inbound::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
+    router.flush(id);
 }
 
 /// The server-thread body for `worker_lanes > 1`: the thread becomes the dispatcher in
 /// front of a [`ParallelServer`], forwarding client operations to its lanes and handling
-/// server messages, ticks and probes synchronously. Replies and replication leave through
-/// the output sink straight onto the router, bypassing this thread entirely.
+/// server messages, ticks and probes synchronously. Replies leave through the output sink
+/// straight onto the transport (flushed immediately — a client is blocked on each);
+/// replication staged by lanes is written out by this thread's tick/batch flushes.
 fn parallel_server_thread<C: Clock + 'static>(
     id: ServerId,
     config: Config,
@@ -316,7 +374,7 @@ fn parallel_server_thread<C: Clock + 'static>(
 ) {
     let sink_router = router.clone();
     let sink: OutputSink = Arc::new(move |output| match output {
-        ServerOutput::Reply { client, reply } => sink_router.reply(client, reply),
+        ServerOutput::Reply { client, reply } => sink_router.reply(id, client, reply),
         ServerOutput::Send { to, message } => sink_router.send_server(id, to, message),
     });
     let server = ParallelServer::start(id, config.clone(), protocol.into(), clock, sink);
@@ -328,13 +386,15 @@ fn parallel_server_thread<C: Clock + 'static>(
         let now = Instant::now();
         if now >= next_tick {
             server.tick();
+            router.flush(id);
             next_tick = now + tick_every;
             continue;
         }
         match inbox.recv_timeout(next_tick - now) {
             Ok(Inbound::FromClient { client, request }) => server.submit_client(client, request),
             Ok(Inbound::FromServer { from, message }) => {
-                server.handle_server_message(from, message)
+                server.handle_server_message(from, message);
+                router.flush(id);
             }
             Ok(Inbound::Probe { reply }) => {
                 let _ = reply.send(probe_of(&server));
@@ -344,6 +404,7 @@ fn parallel_server_thread<C: Clock + 'static>(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
+    router.flush(id);
 }
 
 fn probe_of<S: ServerIntrospect + ?Sized>(server: &S) -> ServerProbe {
@@ -357,58 +418,8 @@ fn probe_of<S: ServerIntrospect + ?Sized>(server: &S) -> ServerProbe {
 fn dispatch(router: &Router, from: ServerId, outputs: Vec<ServerOutput>) {
     for output in outputs {
         match output {
-            ServerOutput::Reply { client, reply } => router.reply(client, reply),
+            ServerOutput::Reply { client, reply } => router.reply(from, client, reply),
             ServerOutput::Send { to, message } => router.send_server(from, to, message),
-        }
-    }
-}
-
-/// The network thread: holds cross-DC messages until their delivery deadline, preserving
-/// per-link FIFO order (deadlines on a link are non-decreasing because the delay per DC
-/// pair is constant).
-fn network_thread(router: Router, rx: Receiver<Delayed>, running: Arc<AtomicBool>) {
-    struct Pending(Delayed);
-    impl PartialEq for Pending {
-        fn eq(&self, other: &Self) -> bool {
-            self.0.deliver_at == other.0.deliver_at
-        }
-    }
-    impl Eq for Pending {}
-    impl PartialOrd for Pending {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Pending {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Reverse: the binary heap must pop the earliest deadline first.
-            other.0.deliver_at.cmp(&self.0.deliver_at)
-        }
-    }
-
-    let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
-    while running.load(Ordering::Relaxed) || !heap.is_empty() {
-        let now = Instant::now();
-        while let Some(head) = heap.peek() {
-            if head.0.deliver_at <= now {
-                let Pending(d) = heap.pop().expect("peeked element exists");
-                router.deliver_server(d.from, d.to, d.message);
-            } else {
-                break;
-            }
-        }
-        let timeout = heap
-            .peek()
-            .map(|head| head.0.deliver_at.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(5));
-        match rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
-            Ok(delayed) => heap.push(Pending(delayed)),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => {
-                if heap.is_empty() {
-                    break;
-                }
-            }
         }
     }
 }
@@ -478,6 +489,31 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(found.expect("value replicates").as_slice(), b"geo");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_cluster_serves_clients_and_replicates() {
+        let cluster = Cluster::builder()
+            .config(small_config())
+            .protocol(RuntimeProtocol::Pocc)
+            .transport(TransportKind::Tcp)
+            .start();
+        assert!(cluster.server_addr(ServerId::new(0u16, 0u32)).is_some());
+        let mut writer = cluster.client(ReplicaId(0));
+        let mut reader = cluster.client(ReplicaId(1));
+        let ut = writer.put(Key(7), Value::from("wire")).unwrap();
+        assert!(ut > Timestamp::ZERO);
+        assert_eq!(writer.get(Key(7)).unwrap().unwrap().as_slice(), b"wire");
+        let mut found = None;
+        for _ in 0..500 {
+            if let Some(v) = reader.get(Key(7)).unwrap() {
+                found = Some(v);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(found.expect("value replicates").as_slice(), b"wire");
         cluster.shutdown();
     }
 

@@ -6,10 +6,13 @@
 //! wide-area delays between data centers, and synchronous client handles that applications
 //! call like an ordinary key-value store client library.
 //!
-//! This is the "local multi-node emulation" deployment mode: it demonstrates the system
-//! end-to-end in real time (the examples use it), provides a second, independent driver
-//! for the protocol code (the integration tests run the same workloads through it), and is
-//! the natural seam where real TCP transport could be attached.
+//! This is the "local multi-node deployment" mode: it demonstrates the system end-to-end
+//! in real time (the examples use it) and provides a second, independent driver for the
+//! protocol code (the integration tests run the same workloads through it). The wire is
+//! pluggable via [`TransportKind`]: the default in-process channel transport moves
+//! messages between threads with emulated WAN delays, and the TCP transport runs the very
+//! same servers behind real localhost sockets with length-prefixed codec frames, serving
+//! both [`ClusterClient`] handles and external load generators.
 //!
 //! # Example
 //!
@@ -55,4 +58,5 @@ mod router;
 
 pub use client::ClusterClient;
 pub use cluster::{Cluster, ClusterBuilder, RuntimeProtocol, ServerProbe};
+pub use pocc_net::transport::{ClientPort, TransportKind};
 pub use router::Router;

@@ -85,7 +85,9 @@ pub use pocc_exec::{ExecProtocol, ParallelServer};
 pub use pocc_ha::{HaPoccServer, HaSession};
 pub use pocc_proto::{InstrumentedServer, ProtocolClient, ProtocolServer, ServerIntrospect};
 pub use pocc_protocol::{Client, PoccServer};
-pub use pocc_runtime::{Cluster, ClusterBuilder, ClusterClient, RuntimeProtocol, ServerProbe};
+pub use pocc_runtime::{
+    Cluster, ClusterBuilder, ClusterClient, RuntimeProtocol, ServerProbe, TransportKind,
+};
 pub use pocc_sim::{ProtocolKind, SimConfig, SimReport, Simulation};
 pub use pocc_types::{Config, Key, ReplicaId, Timestamp, Value};
 
@@ -95,7 +97,9 @@ pub use pocc_types::{Config, Key, ReplicaId, Timestamp, Value};
 pub mod prelude {
     pub use pocc_exec::{ExecProtocol, FastPathProfile, OutputSink, ParallelServer};
     pub use pocc_proto::{InstrumentedServer, ProtocolClient, ProtocolServer, ServerIntrospect};
-    pub use pocc_runtime::{Cluster, ClusterBuilder, ClusterClient, RuntimeProtocol, ServerProbe};
+    pub use pocc_runtime::{
+        Cluster, ClusterBuilder, ClusterClient, RuntimeProtocol, ServerProbe, TransportKind,
+    };
     pub use pocc_sim::{ProtocolKind, SimConfig, SimConfigBuilder, SimReport, Simulation};
     pub use pocc_types::{
         ClientId, Config, ConfigBuilder, DependencyVector, Key, LatencyMatrix, PartitionId,
