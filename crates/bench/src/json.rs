@@ -20,8 +20,10 @@ use std::fmt::Write as _;
 /// versions must regenerate the older report. v2 added
 /// `staleness.stable_fallback_gets` (the Adaptive protocol's fall-back counter); v3
 /// added `store.live_bytes` (approximate bytes of retained version data, the signal
-/// pressure-adaptive GC keys off).
-pub const SCHEMA_VERSION: u64 = 3;
+/// pressure-adaptive GC keys off); v4 added the `contention` block (lane fast-path
+/// hit/miss counts, spine-mutex acquisitions and pipeline-drain spins of the threaded
+/// runtime — all zero for simulated scenarios).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// The version of the `MICROBENCH_*.json` schema emitted by `storage_microbench --json`
 /// and gated by `compare_bench --microbench`. Distinct from [`SCHEMA_VERSION`]: the
@@ -588,6 +590,16 @@ fn validate_point(point: &Json, path: &str) -> Result<(), String> {
     require(store, &format!("{path}.store"), "per_shard_versions")?
         .as_array()
         .ok_or_else(|| format!("{path}.store.per_shard_versions: expected an array"))?;
+
+    let contention = require(point, path, "contention")?;
+    for key in [
+        "lane_fast_path_hits",
+        "lane_fast_path_misses",
+        "spine_acquisitions",
+        "drain_spins",
+    ] {
+        require_num(contention, &format!("{path}.contention"), key)?;
+    }
 
     let consistency = require(point, path, "consistency")?;
     require_num(consistency, &format!("{path}.consistency"), "violations")?;

@@ -7,6 +7,13 @@
 //! per lane count — the number CI's `parallel-smoke` job gates with
 //! `compare_bench --scaling`.
 //!
+//! Two drivers share this module. `core_scaling` runs a single-replica server and
+//! measures pure client throughput. `replication_scaling` configures the server as one
+//! replica of a multi-replica deployment and feeds it *replicated remote versions* —
+//! batched `Replicate` envelopes from synthetic sibling origins, at twice the local
+//! write volume — alongside the client stream, measuring how the per-origin remote
+//! apply pipeline scales with the lane count.
+//!
 //! Wall-clock runs are timing-dependent, so scenarios of this kind
 //! ([`crate::scenarios::ScenarioKind::Parallel`]) are excluded from the digest corpus.
 //! Their reports serialise to the same versioned `BENCH_*.json` schema with empty
@@ -18,12 +25,17 @@ use crate::Scale;
 use pocc_clock::{MonotonicClock, SystemClock};
 use pocc_exec::{ExecProtocol, OutputSink, ParallelServer};
 use pocc_net::NetworkStats;
-use pocc_proto::{ClientReply, ClientRequest, ServerIntrospect, ServerOutput};
+use pocc_proto::{ClientReply, ClientRequest, ServerIntrospect, ServerMessage, ServerOutput};
 use pocc_sim::{LatencyStats, ProtocolKind, SimReport};
-use pocc_types::{ClientId, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Value};
+use pocc_types::{
+    ClientId, DependencyVector, Key, PartitionId, ReplicaId, ServerId, Timestamp, Value, Version,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Remote versions per injected `Batch` envelope (matches the batcher's typical fill).
+const REMOTE_BATCH: usize = 32;
 
 /// Operations in the measured stream per point. Wall-clock points need enough work for
 /// the lane ratio to be stable against scheduler noise, but the smoke size still has to
@@ -53,7 +65,12 @@ fn exec_protocol(kind: ProtocolKind) -> ExecProtocol {
 /// The pre-generated operation stream: a 1:1 GET:PUT mix (the repo's "write-heavy" mix)
 /// in runs of [`RUN_LENGTH`], keys scattered over the keyspace by a multiplicative hash
 /// so every lane sees an even share of both classes.
-fn generate_ops(n: u64, keys: u64, value_size: usize) -> Vec<(ClientId, ClientRequest)> {
+fn generate_ops(
+    n: u64,
+    keys: u64,
+    value_size: usize,
+    num_replicas: usize,
+) -> Vec<(ClientId, ClientRequest)> {
     let payload = Value::from(vec![0x5a_u8; value_size.max(1)]);
     (0..n)
         .map(|i| {
@@ -62,15 +79,51 @@ fn generate_ops(n: u64, keys: u64, value_size: usize) -> Vec<(ClientId, ClientRe
                 ClientRequest::Put {
                     key,
                     value: payload.clone(),
-                    dv: DependencyVector::zero(1),
+                    dv: DependencyVector::zero(num_replicas),
                 }
             } else {
                 ClientRequest::Get {
                     key,
-                    rdv: DependencyVector::zero(1),
+                    rdv: DependencyVector::zero(num_replicas),
                 }
             };
             (ClientId(i), request)
+        })
+        .collect()
+}
+
+/// Pre-generated replication traffic from one synthetic sibling origin: `Batch`
+/// envelopes of [`REMOTE_BATCH`] versions each, update times strictly increasing (the
+/// FIFO order a real sibling's replication channel guarantees).
+fn generate_remote_batches(
+    origin: ReplicaId,
+    n: u64,
+    keys: u64,
+    value_size: usize,
+    num_replicas: usize,
+) -> Vec<ServerMessage> {
+    let payload = Value::from(vec![0xa5_u8; value_size.max(1)]);
+    (0..n)
+        .collect::<Vec<_>>()
+        .chunks(REMOTE_BATCH)
+        .map(|chunk| ServerMessage::Batch {
+            messages: chunk
+                .iter()
+                .map(|&i| {
+                    let key = Key((i.wrapping_add(u64::from(origin.0) << 32))
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        % keys.max(1));
+                    ServerMessage::Replicate {
+                        version: Version::new(
+                            key,
+                            payload.clone(),
+                            origin,
+                            Timestamp::from_micros(i + 1),
+                            DependencyVector::zero(num_replicas),
+                        ),
+                    }
+                })
+                .collect(),
         })
         .collect()
 }
@@ -88,11 +141,19 @@ fn wait_for(done: &AtomicU64, target: u64) {
 /// Panics if the server loses or duplicates operations — a wall-clock benchmark run
 /// doubles as a smoke-level correctness check of the threaded runtime.
 pub fn run_point(scale: Scale, point: &ScenarioPoint) -> SimReport {
+    if point.config.deployment.num_replicas > 1 {
+        return run_replication_point(scale, point);
+    }
+    run_client_point(scale, point)
+}
+
+/// The single-replica client-throughput driver behind `core_scaling`.
+fn run_client_point(scale: Scale, point: &ScenarioPoint) -> SimReport {
     let cfg = &point.config;
     let deployment = cfg.deployment.clone();
     let n = measured_ops(scale);
     let warmup_n = n / 8;
-    let ops = generate_ops(warmup_n + n, cfg.keys_per_partition, cfg.value_size);
+    let ops = generate_ops(warmup_n + n, cfg.keys_per_partition, cfg.value_size, 1);
     let issued_puts = ops
         .iter()
         .filter(|(_, r)| matches!(r, ClientRequest::Put { .. }))
@@ -127,13 +188,17 @@ pub fn run_point(scale: Scale, point: &ScenarioPoint) -> SimReport {
 
     let (warm, measured) = ops.split_at(warmup_n as usize);
     for (client, request) in warm {
-        server.submit_client(*client, request.clone());
+        server
+            .submit_client(*client, request.clone())
+            .expect("benchmark server is running");
     }
     wait_for(&done, warmup_n);
 
     let started = Instant::now();
     for (client, request) in measured {
-        server.submit_client(*client, request.clone());
+        server
+            .submit_client(*client, request.clone())
+            .expect("benchmark server is running");
     }
     wait_for(&done, warmup_n + n);
     let measured_window = started.elapsed();
@@ -166,6 +231,163 @@ pub fn run_point(scale: Scale, point: &ScenarioPoint) -> SimReport {
         rotx_completed: 0,
         sessions_reinitialized: 0,
         throughput_ops_per_sec: n as f64 / measured_window.as_secs_f64(),
+        latency_all: LatencyStats::new(),
+        latency_get: LatencyStats::new(),
+        latency_put: LatencyStats::new(),
+        latency_rotx: LatencyStats::new(),
+        server_metrics,
+        network: NetworkStats::default(),
+        store,
+        store_shards,
+        consistency_violations: 0,
+        converged: true,
+    }
+}
+
+/// The multi-replica remote-apply driver behind `replication_scaling`: one
+/// [`ParallelServer`] acting as replica 0 of an `R`-replica deployment, fed a client
+/// stream interleaved with batched `Replicate` traffic from the `R−1` synthetic sibling
+/// origins at twice the client PUT volume — the ratio a real replica sees when every
+/// replica writes at the same rate. Throughput counts client operations *and* applied
+/// remote versions; the window closes only once every injected version has been
+/// absorbed (the final metrics probe drains the pipeline).
+fn run_replication_point(scale: Scale, point: &ScenarioPoint) -> SimReport {
+    let cfg = &point.config;
+    let deployment = cfg.deployment.clone();
+    let replicas = deployment.num_replicas;
+    let n = measured_ops(scale) / 2;
+    let warmup_n = n / 8;
+    let ops = generate_ops(
+        warmup_n + n,
+        cfg.keys_per_partition,
+        cfg.value_size,
+        replicas,
+    );
+    let issued_puts = ops
+        .iter()
+        .filter(|(_, r)| matches!(r, ClientRequest::Put { .. }))
+        .count() as u64;
+
+    // Twice the measured client PUT volume, split evenly over the sibling origins.
+    let remote_per_origin = n / (replicas as u64 - 1);
+    let origins: Vec<(ServerId, Vec<ServerMessage>)> = (1..replicas as u16)
+        .map(|r| {
+            let origin = ReplicaId(r);
+            (
+                ServerId::new(origin, PartitionId(0)),
+                generate_remote_batches(
+                    origin,
+                    remote_per_origin,
+                    cfg.keys_per_partition,
+                    cfg.value_size,
+                    replicas,
+                ),
+            )
+        })
+        .collect();
+    let remote_total: u64 = remote_per_origin * (replicas as u64 - 1);
+
+    let done = Arc::new(AtomicU64::new(0));
+    let put_replies = Arc::new(AtomicU64::new(0));
+    let sink: OutputSink = {
+        let done = Arc::clone(&done);
+        let put_replies = Arc::clone(&put_replies);
+        Arc::new(move |out| {
+            // Replication fan-out of local PUTs (`Send` outputs) has no receiver here.
+            if let ServerOutput::Reply { reply, .. } = out {
+                if matches!(reply, ClientReply::Put { .. }) {
+                    put_replies.fetch_add(1, Ordering::Relaxed);
+                }
+                done.fetch_add(1, Ordering::Release);
+            }
+        })
+    };
+
+    let mut server = ParallelServer::start(
+        ServerId::new(ReplicaId(0), PartitionId(0)),
+        deployment,
+        exec_protocol(cfg.protocol),
+        MonotonicClock::new(SystemClock::new()),
+        sink,
+    );
+
+    let (warm, measured) = ops.split_at(warmup_n as usize);
+    for (client, request) in warm {
+        server
+            .submit_client(*client, request.clone())
+            .expect("benchmark server is running");
+    }
+    wait_for(&done, warmup_n);
+
+    // Interleave: one round-robin pass over the origins' batch streams per
+    // [`REMOTE_BATCH`]-sized run of client operations, so remote apply and client
+    // traffic genuinely contend the way they do on a live replica.
+    let started = Instant::now();
+    let mut remote_iters: Vec<_> = origins
+        .iter()
+        .map(|(origin, batches)| (*origin, batches.iter()))
+        .collect();
+    for (i, (client, request)) in measured.iter().enumerate() {
+        if i % REMOTE_BATCH == 0 {
+            for (origin, iter) in &mut remote_iters {
+                if let Some(batch) = iter.next() {
+                    server.handle_server_message(*origin, batch.clone());
+                }
+            }
+        }
+        server
+            .submit_client(*client, request.clone())
+            .expect("benchmark server is running");
+    }
+    // The client stream can outpace the batch interleave; flush the stragglers.
+    for (origin, iter) in &mut remote_iters {
+        for batch in iter {
+            server.handle_server_message(*origin, batch.clone());
+        }
+    }
+    wait_for(&done, warmup_n + n);
+    // The probe drains the remote pipeline, so the window covers every applied version.
+    let server_metrics = server.metrics();
+    let measured_window = started.elapsed();
+
+    assert_eq!(
+        put_replies.load(Ordering::Relaxed),
+        issued_puts,
+        "{}: every issued PUT must be acknowledged exactly once",
+        point.label
+    );
+    assert_eq!(
+        server_metrics.replicate_received, remote_total,
+        "{}: every injected remote version must be absorbed",
+        point.label
+    );
+    assert_eq!(
+        server_metrics.puts_served, issued_puts,
+        "{}: every issued PUT must be published on the spine",
+        point.label
+    );
+    let store = server.store_stats();
+    let store_shards = server.shard_stats();
+    server.shutdown();
+
+    let measured_puts = measured
+        .iter()
+        .filter(|(_, r)| matches!(r, ClientRequest::Put { .. }))
+        .count() as u64;
+    let total = n + remote_total;
+    SimReport {
+        protocol: cfg.protocol,
+        replicas,
+        partitions: cfg.deployment.num_partitions,
+        clients: 1,
+        measured_window,
+        operations_completed: total,
+        gets_completed: n - measured_puts,
+        // Remote applies are write work; count them with the local PUTs.
+        puts_completed: measured_puts + remote_total,
+        rotx_completed: 0,
+        sessions_reinitialized: 0,
+        throughput_ops_per_sec: total as f64 / measured_window.as_secs_f64(),
         latency_all: LatencyStats::new(),
         latency_get: LatencyStats::new(),
         latency_put: LatencyStats::new(),

@@ -308,6 +308,21 @@ fn point_to_json(point: &PointResult) -> Json {
             ]),
         ),
         (
+            "contention".into(),
+            Json::Obj(vec![
+                (
+                    "lane_fast_path_hits".into(),
+                    Json::u64(m.lane_fast_path_hits),
+                ),
+                (
+                    "lane_fast_path_misses".into(),
+                    Json::u64(m.lane_fast_path_misses),
+                ),
+                ("spine_acquisitions".into(), Json::u64(m.spine_acquisitions)),
+                ("drain_spins".into(), Json::u64(m.drain_spins)),
+            ]),
+        ),
+        (
             "consistency".into(),
             Json::Obj(vec![
                 ("violations".into(), Json::u64(r.consistency_violations)),
@@ -505,6 +520,13 @@ pub fn all() -> Vec<Scenario> {
             x_axis: "worker_lanes",
             kind: ScenarioKind::Parallel,
             points_fn: core_scaling,
+        },
+        Scenario {
+            name: "replication_scaling",
+            title: "Threaded runtime: wall-clock remote-apply throughput vs worker-lane count (3 replicas)",
+            x_axis: "worker_lanes",
+            kind: ScenarioKind::Parallel,
+            points_fn: replication_scaling,
         },
     ]
 }
@@ -1167,6 +1189,36 @@ fn core_scaling(scale: Scale) -> Vec<ScenarioPoint> {
                 .worker_lanes(lanes)
                 .build()
                 .expect("core_scaling deployment is valid");
+            ScenarioPoint {
+                label: label(ProtocolKind::Pocc, "lanes", lanes),
+                x: lanes as f64,
+                config: point(scale, ProtocolKind::Pocc)
+                    .deployment(deployment)
+                    .clients_per_partition(1)
+                    .mix(WorkloadMix::write_heavy())
+                    .value_size(64)
+                    .build(),
+            }
+        })
+        .collect()
+}
+
+/// The remote-apply pipeline's evidence scenario: one server configured as replica 0 of
+/// a three-replica deployment, swept over worker lane counts. The driver
+/// ([`crate::parallel`]) feeds it batched `Replicate` traffic from the two synthetic
+/// sibling origins at twice the client PUT volume — the steady-state ratio on a real
+/// replica — so the throughput ratio between points measures how well remote installs
+/// parallelise across lanes instead of serialising on the spine.
+fn replication_scaling(scale: Scale) -> Vec<ScenarioPoint> {
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|lanes| {
+            let deployment = pocc_types::Config::builder()
+                .num_replicas(3)
+                .num_partitions(1)
+                .worker_lanes(lanes)
+                .build()
+                .expect("replication_scaling deployment is valid");
             ScenarioPoint {
                 label: label(ProtocolKind::Pocc, "lanes", lanes),
                 x: lanes as f64,

@@ -4,7 +4,8 @@
 //! returning guards directly, without a poison `Result`. Poisoned locks panic, which
 //! matches how the workspace treats a panicked thread holding a lock: unrecoverable.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, TryLockError};
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutex whose `lock` returns the guard directly (panics if poisoned).
 #[derive(Debug, Default)]
@@ -19,6 +20,16 @@ impl<T> Mutex<T> {
     /// Acquires the mutex, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().expect("mutex poisoned")
+    }
+
+    /// Attempts to acquire the mutex without blocking; `None` if it is held
+    /// (panics if poisoned).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::WouldBlock) => None,
+            Err(TryLockError::Poisoned(_)) => panic!("mutex poisoned"),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -58,6 +69,16 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn try_lock_fails_only_while_held() {
+        let m = Mutex::new(1);
+        {
+            let _held = m.lock();
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.try_lock().expect("uncontended"), 1);
     }
 
     #[test]

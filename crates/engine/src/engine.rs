@@ -144,6 +144,29 @@ impl<C: Clock, P: VisibilityPolicy<C>> ProtocolEngine<C, P> {
         (&mut self.core, &mut self.policy)
     }
 
+    /// Absorbs the bookkeeping half of one replicated remote version: replication
+    /// accounting, the origin's version-vector advance, the policy's `on_replicate`
+    /// hook and a re-evaluation of parked operations (Algorithm 2 lines 16–18 minus
+    /// the store insert).
+    ///
+    /// The version itself must already be installed in the store — the serial
+    /// `Replicate` arm inserts it immediately before calling this, and the threaded
+    /// runtime's lanes install it off-spine before the sweep publishes the advance —
+    /// because advancing the vector claims coverage of everything from that origin at
+    /// or below `update_time`.
+    pub fn absorb_remote_version(
+        &mut self,
+        from: ServerId,
+        key: Key,
+        update_time: Timestamp,
+        outputs: &mut Vec<ServerOutput>,
+    ) {
+        self.core.metrics.replicate_received += 1;
+        self.core.vv.advance(from.replica, update_time);
+        self.policy.on_replicate(&mut self.core, from, key);
+        self.core.unpark(outputs);
+    }
+
     fn dispatch_message(
         &mut self,
         from: ServerId,
@@ -153,15 +176,13 @@ impl<C: Clock, P: VisibilityPolicy<C>> ProtocolEngine<C, P> {
         match message {
             ServerMessage::Replicate { version } => {
                 // Algorithm 2 lines 16–18.
-                self.core.metrics.replicate_received += 1;
-                self.core.vv.advance(from.replica, version.update_time);
                 let key = version.key;
+                let update_time = version.update_time;
                 self.core
                     .store
                     .insert(version)
                     .expect("replicated update routed to the wrong partition");
-                self.policy.on_replicate(&mut self.core, from, key);
-                self.core.unpark(outputs);
+                self.absorb_remote_version(from, key, update_time, outputs);
             }
             ServerMessage::Heartbeat { clock } => {
                 // Algorithm 2 lines 27–28.

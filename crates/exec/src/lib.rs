@@ -26,10 +26,21 @@
 //!   engine never observes a version vector ahead of the store (a heartbeat promising a
 //!   timestamp while a smaller-timestamped write is still in flight would break the
 //!   sibling replicas' coverage reasoning).
-//! * **Epoch snapshots for readers.** Lanes publish the engine's version vector into a
-//!   read-mostly snapshot after every pipeline drain. A batch consisting purely of GETs
-//!   whose dependencies are covered by the snapshot is served straight from the sharded
-//!   store without touching the spine at all — readers never lock the write path.
+//! * **Remote-apply pipelining.** Replicated versions from sibling replicas — (R−1)×
+//!   the local write volume in an R-replica deployment — are queued on a per-origin
+//!   FIFO and routed to their key's lane, which installs them into the sharded store
+//!   without the spine lock. The spine absorbs the installed prefix of each origin
+//!   queue on its next sweep (version-vector advance, replication accounting, policy
+//!   `on_replicate` hook), in per-origin timestamp order, so its coverage promises
+//!   never run ahead of the store. A drain that finds unstarted remote slots installs
+//!   them itself (claim-based helping) rather than waiting on a lane that may itself be
+//!   blocked on the spine.
+//! * **Epoch snapshots for readers.** The spine publishes the engine's version vector
+//!   as one atomic timestamp per replica ([`PublishedVector`]) after every sweep. A
+//!   batch consisting purely of GETs whose dependencies are covered by the publication
+//!   — and, under POCC, entirely-local read-only transactions whose snapshot it covers
+//!   — is served straight from the sharded store without taking any lock at all:
+//!   readers never touch the write path, not even a read-lock.
 //!
 //! What stays deterministic under threads: per-key final state (convergence digests),
 //! causal consistency (the checker passes), and order-insensitive metric totals.
@@ -41,8 +52,10 @@
 #![warn(missing_docs)]
 
 mod server;
+mod snapshot;
 
-pub use server::{OutputSink, ParallelServer};
+pub use server::{OutputSink, ParallelServer, ServerClosed};
+pub use snapshot::PublishedVector;
 
 use pocc_clock::Clock;
 use pocc_engine::VisibilityPolicy;
@@ -120,6 +133,8 @@ pub struct FastPathProfile {
     /// Whether PUT eligibility requires the client's remote dependencies to be covered
     /// (POCC's configurable wait); `false` means PUTs are unconditionally eligible.
     pub puts_check_deps: bool,
-    /// Whether lanes may serve dependency-covered GETs from the store directly.
+    /// Whether lanes may serve dependency-covered GETs — and, when the published
+    /// snapshot covers them, entirely-local read-only transactions — from the store
+    /// directly.
     pub gets: bool,
 }

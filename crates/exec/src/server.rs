@@ -1,17 +1,18 @@
 //! The threaded server: worker lanes over a spine-locked protocol engine.
 
+use crate::snapshot::PublishedVector;
 use crate::{ExecProtocol, FastPathProfile};
 use crossbeam::channel::{bounded, Receiver, SyncSender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use pocc_clock::Clock;
 use pocc_engine::{ProtocolEngine, VisibilityPolicy};
 use pocc_proto::{
     ClientReply, ClientRequest, GetResponse, MetricsSnapshot, ProtocolServer, ServerIntrospect,
-    ServerMessage, ServerOutput,
+    ServerMessage, ServerOutput, TxItem,
 };
-use pocc_storage::{shard_for_key, ShardStats, ShardedStore, StoreStats};
+use pocc_storage::{partition_for_key, shard_for_key, ShardStats, ShardedStore, StoreStats};
 use pocc_types::{
-    ClientId, Config, DependencyVector, Key, ReplicaId, ServerId, Timestamp, Version, VersionVector,
+    ClientId, Config, DependencyVector, Key, ReplicaId, ServerId, Timestamp, Version,
 };
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -33,9 +34,30 @@ type Engine<C> = ProtocolEngine<C, Box<dyn VisibilityPolicy<C>>>;
 const MAILBOX: usize = 1024;
 /// Maximum operations a lane coalesces into one batch (amortises spine locking).
 const BATCH: usize = 64;
+/// Drain iterations spent yielding before falling back to short parks: lanes complete
+/// their slots within a few instructions of going off-lock, so a yield almost always
+/// suffices; the park only triggers when the owning lane thread was descheduled.
+const DRAIN_SPIN_LIMIT: u64 = 64;
+/// How long a drain iteration parks once the spin budget is exhausted.
+const DRAIN_PARK: std::time::Duration = std::time::Duration::from_micros(50);
+
+/// The server has shut down its worker lanes and can no longer accept operations.
+/// Returned by [`ParallelServer::submit_client`] when a submission races shutdown
+/// (a *full* mailbox is not an error — it blocks the submitter as backpressure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerClosed;
+
+impl std::fmt::Display for ServerClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the server's worker lanes have shut down")
+    }
+}
+
+impl std::error::Error for ServerClosed {}
 
 enum LaneMsg {
     Op(ClientId, ClientRequest),
+    Remote(Arc<RemoteSlot>),
     Shutdown,
 }
 
@@ -52,6 +74,51 @@ struct Reservation {
     slot: Arc<Slot>,
 }
 
+/// One replicated remote version on its way into the store. The payload travels to the
+/// key's lane, which installs it off-spine; `claimed` lets the spine-side drain install
+/// a slot itself instead of waiting on a lane that may be blocked on the spine mutex.
+struct RemoteSlot {
+    claimed: AtomicBool,
+    done: AtomicBool,
+    version: Mutex<Option<Version>>,
+}
+
+impl RemoteSlot {
+    fn new(version: Version) -> Self {
+        RemoteSlot {
+            claimed: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            version: Mutex::new(Some(version)),
+        }
+    }
+
+    /// Installs the version into `store` exactly once, no matter how many threads race
+    /// here (the owning lane and any number of drains may all try).
+    fn install(&self, store: &ShardedStore) {
+        if self.claimed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let version = self
+            .version
+            .lock()
+            .take()
+            .expect("an unclaimed remote slot holds its version");
+        store
+            .insert(version)
+            .expect("replicated update routed to the wrong partition");
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// A queued remote version: what the sweep needs to absorb the advance once the slot's
+/// payload is installed.
+struct RemoteRes {
+    from: ServerId,
+    key: Key,
+    ts: Timestamp,
+    slot: Arc<RemoteSlot>,
+}
+
 /// The spine: the full protocol engine plus the write pipeline, behind one mutex.
 struct Spine<C> {
     engine: Engine<C>,
@@ -62,28 +129,61 @@ struct Spine<C> {
     floor: Timestamp,
 }
 
+/// Counters of operations lanes served without the spine, folded into
+/// [`MetricsSnapshot`] by probes (the engine only sees spine-dispatched operations).
+#[derive(Default)]
+struct LaneCounters {
+    gets: AtomicU64,
+    rotx: AtomicU64,
+    tx_items: AtomicU64,
+    old_tx_items: AtomicU64,
+    fast_path_hits: AtomicU64,
+    fast_path_misses: AtomicU64,
+    spine_acquisitions: AtomicU64,
+    drain_spins: AtomicU64,
+}
+
 struct Shared<C> {
     id: ServerId,
     num_replicas: usize,
+    num_partitions: usize,
     num_shards: usize,
     put_waits_for_dependencies: bool,
     profile: FastPathProfile,
     /// Handle to the same sharded store the engine owns (lanes insert, readers read).
     store: ShardedStore,
     spine: Mutex<Spine<C>>,
-    /// Epoch snapshot of the engine's version vector, refreshed after every pipeline
-    /// drain. GET-only batches covered by it are served without touching the spine.
-    published: RwLock<VersionVector>,
-    /// GETs served directly by lanes (the engine's `gets_served` counter only sees
-    /// spine-dispatched operations; probes add this in).
-    lane_gets: AtomicU64,
+    /// Queued remote versions, one FIFO per origin replica (replication channels are
+    /// FIFO and siblings send in timestamp order, so each queue is timestamp-ordered).
+    /// Guarded by its own mutex so enqueueing never waits on a spine drain.
+    /// Lock order: spine before remote, never the reverse.
+    remote: Mutex<Vec<VecDeque<RemoteRes>>>,
+    /// Epoch snapshot of the engine's version vector as per-replica atomics, advanced
+    /// after every pipeline sweep. Snapshot-covered GET/RO-TX batches are served
+    /// against it without taking any lock.
+    published: PublishedVector,
+    lane: LaneCounters,
     sink: OutputSink,
 }
 
 impl<C: Clock> Shared<C> {
-    /// Publishes the contiguous prefix of completed reservations into the engine:
-    /// version-vector advance, PUT accounting and replication fan-out, in timestamp
-    /// order. Must be called with the spine lock held (hence `&mut Spine`).
+    fn lock_spine(&self) -> parking_lot::MutexGuard<'_, Spine<C>> {
+        let spine = self.spine.lock();
+        self.lane.spine_acquisitions.fetch_add(1, Ordering::Relaxed);
+        spine
+    }
+
+    fn try_lock_spine(&self) -> Option<parking_lot::MutexGuard<'_, Spine<C>>> {
+        let spine = self.spine.try_lock()?;
+        self.lane.spine_acquisitions.fetch_add(1, Ordering::Relaxed);
+        Some(spine)
+    }
+
+    /// Publishes the contiguous prefix of completed local reservations and installed
+    /// remote versions into the engine: version-vector advances, PUT accounting and
+    /// replication fan-out for local writes, replication accounting and the policy's
+    /// `on_replicate` hook for remote ones — all in per-origin timestamp order. Must be
+    /// called with the spine lock held (hence `&mut Spine`).
     fn sweep(&self, spine: &mut Spine<C>) {
         let mut outputs = Vec::new();
         let mut published = false;
@@ -110,25 +210,64 @@ impl<C: Clock> Shared<C> {
             }
             published = true;
         }
+        {
+            let mut remote = self.remote.lock();
+            for queue in remote.iter_mut() {
+                while queue
+                    .front()
+                    .is_some_and(|r| r.slot.done.load(Ordering::Acquire))
+                {
+                    let res = queue.pop_front().expect("front exists");
+                    spine
+                        .engine
+                        .absorb_remote_version(res.from, res.key, res.ts, &mut outputs);
+                    published = true;
+                }
+            }
+        }
         if published {
-            // The local VV entry advanced: parked slices (and, after remote traffic,
-            // parked client operations) may now be servable.
+            // Local and/or origin VV entries advanced: parked operations may now be
+            // servable, and lane readers get a fresher epoch snapshot.
             spine.engine.core_mut().unpark(&mut outputs);
-            *self.published.write() = spine.engine.core().vv.clone();
+            self.published.refresh_from(&spine.engine.core().vv);
         }
         self.ship(outputs);
     }
 
-    /// Waits until every in-flight reservation has been published. Lanes complete their
-    /// slots without taking any lock, so spinning here (while holding the spine) cannot
-    /// deadlock; a lane wanting to *reserve* simply blocks on the spine mutex.
+    /// Waits until every in-flight reservation and queued remote version has been
+    /// published. Queued remote slots are installed *by this thread* (see
+    /// [`RemoteSlot::install`]): their owning lane may be blocked on the spine mutex we
+    /// hold, so waiting for it would deadlock. Local reservations are only ever
+    /// completed off-lock, immediately after classification, so a short spin covers
+    /// them; the park only triggers when the owning lane was descheduled mid-insert.
     fn drain(&self, spine: &mut Spine<C>) {
+        let mut spins = 0u64;
         loop {
+            self.install_queued_remote();
             self.sweep(spine);
-            if spine.pipe.is_empty() {
-                return;
+            if spine.pipe.is_empty() && self.remote.lock().iter().all(|q| q.is_empty()) {
+                break;
             }
-            std::thread::yield_now();
+            spins += 1;
+            if spins <= DRAIN_SPIN_LIMIT {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(DRAIN_PARK);
+            }
+        }
+        if spins > 0 {
+            self.lane.drain_spins.fetch_add(spins, Ordering::Relaxed);
+        }
+    }
+
+    /// Claims and installs every queued remote version that its lane has not picked up
+    /// yet (the lane finds the slot claimed and skips it).
+    fn install_queued_remote(&self) {
+        let remote = self.remote.lock();
+        for queue in remote.iter() {
+            for res in queue.iter() {
+                res.slot.install(&self.store);
+            }
         }
     }
 
@@ -136,7 +275,7 @@ impl<C: Clock> Shared<C> {
     /// code outside the sweep may touch the engine. Outputs are shipped while the spine
     /// is still held, so replication order on the FIFO channels matches engine order.
     fn with_engine<R>(&self, f: impl FnOnce(&mut Engine<C>, &mut Vec<ServerOutput>) -> R) -> R {
-        let mut spine = self.spine.lock();
+        let mut spine = self.lock_spine();
         self.drain(&mut spine);
         let mut outputs = Vec::new();
         let r = f(&mut spine.engine, &mut outputs);
@@ -144,7 +283,7 @@ impl<C: Clock> Shared<C> {
         // reservation floor; keep future reservations above both.
         let local_vv = spine.engine.core().vv.get(self.id.replica);
         spine.floor = spine.floor.max(local_vv);
-        *self.published.write() = spine.engine.core().vv.clone();
+        self.published.refresh_from(&spine.engine.core().vv);
         self.ship(outputs);
         r
     }
@@ -205,8 +344,36 @@ impl<C: Clock> Shared<C> {
     /// Serves a dependency-covered GET straight from the store (no spine).
     fn serve_lane_get(&self, client: ClientId, key: Key) {
         let response = self.response_for(self.store.latest(key));
-        self.lane_gets.fetch_add(1, Ordering::Relaxed);
+        self.lane.gets.fetch_add(1, Ordering::Relaxed);
         (self.sink)(ServerOutput::reply(client, ClientReply::Get(response)));
+    }
+
+    /// Reads every key of an entirely-local RO-TX under the published snapshot `tv`
+    /// (the caller has checked `tv` covers the client's dependencies, so it is exactly
+    /// the `VV ∨ RDV` snapshot POCC would pick — just from a possibly slightly older
+    /// epoch). Returns `None` when GC may have removed a version the snapshot needs;
+    /// the caller then defers to the spine, which owns the abort bookkeeping.
+    fn lane_rotx_items(&self, keys: &[Key], tv: &DependencyVector) -> Option<Vec<TxItem>> {
+        let mut items = Vec::with_capacity(keys.len());
+        let mut old = 0u64;
+        for &key in keys {
+            let outcome = self.store.latest_in_snapshot(key, tv);
+            if outcome.version.is_none() && self.store.snapshot_may_predate_gc(key, tv) {
+                return None;
+            }
+            if outcome.is_old() {
+                old += 1;
+            }
+            items.push(TxItem {
+                key,
+                response: self.response_for(outcome.version),
+            });
+        }
+        self.lane
+            .tx_items
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        self.lane.old_tx_items.fetch_add(old, Ordering::Relaxed);
+        Some(items)
     }
 }
 
@@ -236,14 +403,17 @@ fn lane_loop<C: Clock + 'static>(shared: Arc<Shared<C>>, rx: Receiver<LaneMsg>) 
             Err(_) => return,
         };
         let mut batch = Vec::with_capacity(BATCH);
+        let mut remotes = Vec::new();
         let mut shutdown = false;
         match first {
             LaneMsg::Op(client, request) => batch.push((client, request)),
+            LaneMsg::Remote(slot) => remotes.push(slot),
             LaneMsg::Shutdown => return,
         }
-        while batch.len() < BATCH {
+        while batch.len() + remotes.len() < BATCH {
             match rx.try_recv() {
                 Ok(LaneMsg::Op(client, request)) => batch.push((client, request)),
+                Ok(LaneMsg::Remote(slot)) => remotes.push(slot),
                 Ok(LaneMsg::Shutdown) => {
                     shutdown = true;
                     break;
@@ -251,40 +421,97 @@ fn lane_loop<C: Clock + 'static>(shared: Arc<Shared<C>>, rx: Receiver<LaneMsg>) 
                 Err(_) => break,
             }
         }
-        process_batch(&shared, batch);
+        // Remote installs first: they are pure store inserts and unblock the spine's
+        // watermark (a drain waiting on these queues claims unstarted slots itself).
+        if !remotes.is_empty() {
+            for slot in &remotes {
+                slot.install(&shared.store);
+            }
+            // Opportunistically absorb the advances; if the spine is busy, whoever
+            // holds it sweeps on its way out, and ticks sweep periodically.
+            if let Some(mut spine) = shared.try_lock_spine() {
+                shared.sweep(&mut spine);
+            }
+        }
+        if !batch.is_empty() {
+            process_batch(&shared, batch);
+        }
         if shutdown {
             return;
         }
     }
 }
 
-fn process_batch<C: Clock + 'static>(shared: &Shared<C>, batch: Vec<(ClientId, ClientRequest)>) {
-    // Reader fast path: a batch of GETs all covered by the published VV snapshot is
-    // served entirely from the store, without the spine lock.
-    if shared.profile.gets {
-        let covered_by_snapshot = {
-            let snapshot = shared.published.read();
-            batch.iter().all(|(_, request)| match request {
-                ClientRequest::Get { rdv, .. } => {
-                    snapshot.covers_dependencies_except_local(rdv, shared.id.replica)
-                }
-                _ => false,
-            })
-        };
-        if covered_by_snapshot {
-            for (client, request) in batch {
-                match request {
-                    ClientRequest::Get { key, .. } => shared.serve_lane_get(client, key),
-                    _ => unreachable!("only GETs were classified as covered"),
-                }
-            }
-            return;
+/// Serves a batch consisting purely of snapshot-covered GETs and entirely-local,
+/// snapshot-covered RO-TXs straight from the store, without any lock. Returns `false`
+/// (serving nothing) if any operation of the batch does not qualify.
+fn try_serve_from_snapshot<C: Clock + 'static>(
+    shared: &Shared<C>,
+    batch: &[(ClientId, ClientRequest)],
+) -> bool {
+    let snapshot = shared.published.load();
+    let covered = batch.iter().all(|(_, request)| match request {
+        ClientRequest::Get { rdv, .. } => {
+            snapshot.covers_dependencies_except_local(rdv, shared.id.replica)
         }
+        ClientRequest::RoTx { keys, rdv } => {
+            snapshot.covers(rdv)
+                && keys
+                    .iter()
+                    .all(|&k| partition_for_key(k, shared.num_partitions) == shared.id.partition)
+        }
+        ClientRequest::Put { .. } => false,
+    });
+    if !covered {
+        return false;
+    }
+    // Compute every reply before shipping any: an RO-TX can still lose its snapshot to
+    // garbage collection, in which case the whole batch falls back to the spine path
+    // (re-serving the GETs there is harmless — nothing has been shipped yet).
+    let tv = snapshot.snapshot_with(&DependencyVector::zero(shared.num_replicas));
+    let mut replies = Vec::with_capacity(batch.len());
+    let mut rotx = 0u64;
+    for (client, request) in batch {
+        match request {
+            ClientRequest::Get { key, .. } => replies.push((
+                *client,
+                ClientReply::Get(shared.response_for(shared.store.latest(*key))),
+            )),
+            ClientRequest::RoTx { keys, .. } => match shared.lane_rotx_items(keys, &tv) {
+                Some(items) => {
+                    rotx += 1;
+                    replies.push((*client, ClientReply::RoTx { items }));
+                }
+                None => return false,
+            },
+            ClientRequest::Put { .. } => unreachable!("PUTs are never snapshot-covered"),
+        }
+    }
+    // Count before shipping: a client that has its reply in hand may probe metrics
+    // immediately, and must already see this batch accounted for.
+    let gets = replies.len() as u64 - rotx;
+    shared.lane.gets.fetch_add(gets, Ordering::Relaxed);
+    shared.lane.rotx.fetch_add(rotx, Ordering::Relaxed);
+    shared
+        .lane
+        .fast_path_hits
+        .fetch_add(replies.len() as u64, Ordering::Relaxed);
+    for (client, reply) in replies {
+        (shared.sink)(ServerOutput::reply(client, reply));
+    }
+    true
+}
+
+fn process_batch<C: Clock + 'static>(shared: &Shared<C>, batch: Vec<(ClientId, ClientRequest)>) {
+    // Reader fast path: a batch of GETs and local RO-TXs all covered by the published
+    // epoch snapshot is served entirely from the store, without any lock.
+    if shared.profile.gets && try_serve_from_snapshot(shared, &batch) {
+        return;
     }
 
     // Classify under the spine lock (exact, live VV), then execute off-lock.
     let classified: Vec<Classified> = {
-        let mut spine = shared.spine.lock();
+        let mut spine = shared.lock_spine();
         shared.sweep(&mut spine);
         batch
             .into_iter()
@@ -314,6 +541,17 @@ fn process_batch<C: Clock + 'static>(shared: &Shared<C>, batch: Vec<(ClientId, C
             .collect()
     };
 
+    // As above: account for the whole batch before any reply ships.
+    let hits = classified
+        .iter()
+        .filter(|op| !matches!(op, Classified::Defer { .. }))
+        .count() as u64;
+    if hits > 0 {
+        shared
+            .lane
+            .fast_path_hits
+            .fetch_add(hits, Ordering::Relaxed);
+    }
     let mut deferred = Vec::new();
     for op in classified {
         match op {
@@ -344,6 +582,10 @@ fn process_batch<C: Clock + 'static>(shared: &Shared<C>, batch: Vec<(ClientId, C
     }
 
     if !deferred.is_empty() {
+        shared
+            .lane
+            .fast_path_misses
+            .fetch_add(deferred.len() as u64, Ordering::Relaxed);
         // All of this lane's own reservations are completed above, so the drain inside
         // with_engine cannot wait on ourselves.
         shared.with_engine(|engine, outputs| {
@@ -364,9 +606,10 @@ struct Lane {
 ///
 /// Replies and server-to-server messages flow through the [`OutputSink`] passed to
 /// [`ParallelServer::start`]; [`ParallelServer::submit_client`] routes client operations
-/// to lanes, while server messages and ticks are handled synchronously on the calling
-/// thread. [`ServerIntrospect`] is implemented with full-drain semantics, so probes
-/// observe a consistent engine.
+/// to lanes, and [`ParallelServer::handle_server_message`] routes replicated remote
+/// versions to lanes as well — only genuinely-deferred messages (heartbeats, slices,
+/// stabilization, GC) and ticks run on the calling thread. [`ServerIntrospect`] is
+/// implemented with full-drain semantics, so probes observe a consistent engine.
 pub struct ParallelServer<C> {
     shared: Arc<Shared<C>>,
     lanes: Vec<Lane>,
@@ -388,17 +631,19 @@ impl<C: Clock + 'static> ParallelServer<C> {
         let shared = Arc::new(Shared {
             id,
             num_replicas: config.num_replicas,
+            num_partitions: config.num_partitions,
             num_shards: config.storage_shards,
             put_waits_for_dependencies: config.put_waits_for_dependencies,
             profile: protocol.fast_path(),
             store: engine.core().store.clone(),
-            published: RwLock::new(engine.core().vv.clone()),
+            published: PublishedVector::new(&engine.core().vv),
+            remote: Mutex::new((0..config.num_replicas).map(|_| VecDeque::new()).collect()),
             spine: Mutex::new(Spine {
                 engine,
                 pipe: VecDeque::new(),
                 floor: Timestamp::ZERO,
             }),
-            lane_gets: AtomicU64::new(0),
+            lane: LaneCounters::default(),
             sink,
         });
         let lanes = (0..num_lanes)
@@ -424,26 +669,65 @@ impl<C: Clock + 'static> ParallelServer<C> {
     }
 
     /// Routes a client operation to its key's lane. Blocks when the lane's mailbox is
-    /// full (backpressure).
-    pub fn submit_client(&self, client: ClientId, request: ClientRequest) {
+    /// full (backpressure); returns [`ServerClosed`] when the submission races
+    /// shutdown and the lane is gone.
+    pub fn submit_client(
+        &self,
+        client: ClientId,
+        request: ClientRequest,
+    ) -> Result<(), ServerClosed> {
         let key = match &request {
             ClientRequest::Get { key, .. } | ClientRequest::Put { key, .. } => *key,
-            // RO-TX is deferred to the spine wherever it lands; route by first key so
+            // RO-TX is served (or deferred) wherever it lands; route by first key so
             // repeated transactions spread across lanes.
             ClientRequest::RoTx { keys, .. } => keys.first().copied().unwrap_or(Key(0)),
         };
-        let lane = shard_for_key(key, self.shared.num_shards) % self.lanes.len();
-        self.lanes[lane]
-            .tx
+        self.lane_for(key)
             .send(LaneMsg::Op(client, request))
-            .expect("lane thread alive");
+            .map_err(|_| ServerClosed)
     }
 
-    /// Handles a message from another server on the spine (pipeline drained first).
+    fn lane_for(&self, key: Key) -> &SyncSender<LaneMsg> {
+        &self.lanes[shard_for_key(key, self.shared.num_shards) % self.lanes.len()].tx
+    }
+
+    /// Handles a message from another server. Replicated versions are queued on the
+    /// per-origin pipeline and routed to their key's lane, which installs them into the
+    /// store off-spine; everything else is handled on the spine (pipeline drained
+    /// first, so per-origin arrival order is preserved).
     pub fn handle_server_message(&self, from: ServerId, message: ServerMessage) {
-        self.shared.with_engine(|engine, outputs| {
-            outputs.extend(engine.handle_server_message(from, message));
-        });
+        match message {
+            ServerMessage::Replicate { version } => self.submit_remote(from, version),
+            ServerMessage::Batch { messages } => {
+                for message in messages {
+                    self.handle_server_message(from, message);
+                }
+            }
+            message => self.shared.with_engine(|engine, outputs| {
+                outputs.extend(engine.handle_server_message(from, message));
+            }),
+        }
+    }
+
+    /// Queues one replicated remote version and hands its payload to the key's lane.
+    fn submit_remote(&self, from: ServerId, version: Version) {
+        let key = version.key;
+        let ts = version.update_time;
+        let slot = Arc::new(RemoteSlot::new(version));
+        {
+            let mut remote = self.shared.remote.lock();
+            remote[from.replica.0 as usize].push_back(RemoteRes {
+                from,
+                key,
+                ts,
+                slot: Arc::clone(&slot),
+            });
+        }
+        if self.lane_for(key).send(LaneMsg::Remote(slot)).is_err() {
+            // Shutdown raced the message; nothing may drive the spine again, so
+            // install inline to keep the queued reservation completable.
+            self.shared.install_queued_remote();
+        }
     }
 
     /// Runs one engine tick (batcher flush, heartbeats, policy periodic work).
@@ -485,7 +769,18 @@ impl<C: Clock + 'static> ServerIntrospect for ParallelServer<C> {
         let mut m = self
             .shared
             .with_engine(|engine, _| ServerIntrospect::metrics(engine));
-        m.gets_served += self.shared.lane_gets.load(Ordering::Relaxed);
+        let lane = &self.shared.lane;
+        m.gets_served += lane.gets.load(Ordering::Relaxed);
+        m.rotx_served += lane.rotx.load(Ordering::Relaxed);
+        m.tx_items_returned += lane.tx_items.load(Ordering::Relaxed);
+        // Lane RO-TXs run only under the POCC profile, whose slice-unmerged mode
+        // classifies every old item as unmerged (`SliceUnmergedMode::OldIsUnmerged`).
+        m.old_tx_items += lane.old_tx_items.load(Ordering::Relaxed);
+        m.unmerged_tx_items += lane.old_tx_items.load(Ordering::Relaxed);
+        m.lane_fast_path_hits = lane.fast_path_hits.load(Ordering::Relaxed);
+        m.lane_fast_path_misses = lane.fast_path_misses.load(Ordering::Relaxed);
+        m.spine_acquisitions = lane.spine_acquisitions.load(Ordering::Relaxed);
+        m.drain_spins = lane.drain_spins.load(Ordering::Relaxed);
         m
     }
 
@@ -528,13 +823,23 @@ mod tests {
         ParallelServer<MonotonicClock<SystemClock>>,
         Receiver<ServerOutput>,
     ) {
+        start_with_config(protocol, single_server_config(lanes))
+    }
+
+    fn start_with_config(
+        protocol: ExecProtocol,
+        config: Config,
+    ) -> (
+        ParallelServer<MonotonicClock<SystemClock>>,
+        Receiver<ServerOutput>,
+    ) {
         let (tx, rx) = unbounded();
         let sink: OutputSink = Arc::new(move |out| {
             let _ = tx.send(out);
         });
         let server = ParallelServer::start(
             ServerId::new(ReplicaId(0), PartitionId(0)),
-            single_server_config(lanes),
+            config,
             protocol,
             MonotonicClock::new(SystemClock::new()),
             sink,
@@ -543,12 +848,15 @@ mod tests {
     }
 
     fn recv_reply(rx: &Receiver<ServerOutput>) -> ClientReply {
-        match rx
-            .recv_timeout(std::time::Duration::from_secs(5))
-            .expect("an output before the timeout")
-        {
-            ServerOutput::Reply { reply, .. } => reply,
-            other => panic!("expected a reply, got {other:?}"),
+        loop {
+            match rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .expect("an output before the timeout")
+            {
+                ServerOutput::Reply { reply, .. } => return reply,
+                // Multi-replica servers also emit replication traffic; skip it.
+                ServerOutput::Send { .. } => continue,
+            }
         }
     }
 
@@ -557,27 +865,31 @@ mod tests {
         let (server, rx) = start(ExecProtocol::Pocc, 2);
         let client = ClientId(1);
         let dv = DependencyVector::zero(1);
-        server.submit_client(
-            client,
-            ClientRequest::Put {
-                key: Key(7),
-                value: Value::from("v"),
-                dv: dv.clone(),
-            },
-        );
+        server
+            .submit_client(
+                client,
+                ClientRequest::Put {
+                    key: Key(7),
+                    value: Value::from("v"),
+                    dv: dv.clone(),
+                },
+            )
+            .expect("server is running");
         let update_time = match recv_reply(&rx) {
             ClientReply::Put { update_time } => update_time,
             other => panic!("expected a PUT reply, got {other:?}"),
         };
         assert!(update_time > Timestamp::ZERO);
 
-        server.submit_client(
-            client,
-            ClientRequest::Get {
-                key: Key(7),
-                rdv: dv,
-            },
-        );
+        server
+            .submit_client(
+                client,
+                ClientRequest::Get {
+                    key: Key(7),
+                    rdv: dv,
+                },
+            )
+            .expect("server is running");
         match recv_reply(&rx) {
             ClientReply::Get(resp) => {
                 assert_eq!(resp.value, Some(Value::from("v")));
@@ -592,14 +904,16 @@ mod tests {
         let (server, rx) = start(ExecProtocol::Pocc, 4);
         let n = 400u64;
         for i in 0..n {
-            server.submit_client(
-                ClientId(i),
-                ClientRequest::Put {
-                    key: Key(i),
-                    value: Value::from(i),
-                    dv: DependencyVector::zero(1),
-                },
-            );
+            server
+                .submit_client(
+                    ClientId(i),
+                    ClientRequest::Put {
+                        key: Key(i),
+                        value: Value::from(i),
+                        dv: DependencyVector::zero(1),
+                    },
+                )
+                .expect("server is running");
         }
         let mut times = Vec::new();
         for _ in 0..n {
@@ -630,33 +944,39 @@ mod tests {
             let (server, rx) = start(protocol, 2);
             let client = ClientId(9);
             let dv = DependencyVector::zero(1);
-            server.submit_client(
-                client,
-                ClientRequest::Put {
-                    key: Key(3),
-                    value: Value::from("x"),
-                    dv: dv.clone(),
-                },
-            );
+            server
+                .submit_client(
+                    client,
+                    ClientRequest::Put {
+                        key: Key(3),
+                        value: Value::from("x"),
+                        dv: dv.clone(),
+                    },
+                )
+                .expect("server is running");
             assert!(matches!(recv_reply(&rx), ClientReply::Put { .. }));
-            server.submit_client(
-                client,
-                ClientRequest::Get {
-                    key: Key(3),
-                    rdv: dv.clone(),
-                },
-            );
+            server
+                .submit_client(
+                    client,
+                    ClientRequest::Get {
+                        key: Key(3),
+                        rdv: dv.clone(),
+                    },
+                )
+                .expect("server is running");
             match recv_reply(&rx) {
                 ClientReply::Get(resp) => assert_eq!(resp.value, Some(Value::from("x"))),
                 other => panic!("{protocol:?}: expected a GET reply, got {other:?}"),
             }
-            server.submit_client(
-                client,
-                ClientRequest::RoTx {
-                    keys: vec![Key(3)],
-                    rdv: dv,
-                },
-            );
+            server
+                .submit_client(
+                    client,
+                    ClientRequest::RoTx {
+                        keys: vec![Key(3)],
+                        rdv: dv,
+                    },
+                )
+                .expect("server is running");
             match recv_reply(&rx) {
                 ClientReply::RoTx { items } => assert_eq!(items.len(), 1),
                 other => panic!("{protocol:?}: expected an RO-TX reply, got {other:?}"),
@@ -665,6 +985,11 @@ mod tests {
             assert_eq!(m.puts_served, 1, "{protocol:?}");
             assert_eq!(m.gets_served, 1, "{protocol:?}");
             assert_eq!(m.rotx_served, 1, "{protocol:?}");
+            assert_eq!(
+                m.lane_fast_path_hits + m.lane_fast_path_misses,
+                3,
+                "{protocol:?}: every operation is either a hit or a miss ({m:?})"
+            );
         }
     }
 
@@ -672,14 +997,16 @@ mod tests {
     fn ticks_interleaved_with_writes_keep_the_engine_consistent() {
         let (server, rx) = start(ExecProtocol::Pocc, 2);
         for i in 0..100u64 {
-            server.submit_client(
-                ClientId(i),
-                ClientRequest::Put {
-                    key: Key(i),
-                    value: Value::from(i),
-                    dv: DependencyVector::zero(1),
-                },
-            );
+            server
+                .submit_client(
+                    ClientId(i),
+                    ClientRequest::Put {
+                        key: Key(i),
+                        value: Value::from(i),
+                        dv: DependencyVector::zero(1),
+                    },
+                )
+                .expect("server is running");
             if i % 10 == 0 {
                 server.tick();
             }
@@ -689,5 +1016,97 @@ mod tests {
         }
         assert_eq!(server.metrics().puts_served, 100);
         assert_eq!(server.store_stats().versions, 100);
+    }
+
+    #[test]
+    fn submit_after_shutdown_reports_server_closed_instead_of_panicking() {
+        let (mut server, _rx) = start(ExecProtocol::Pocc, 2);
+        server.shutdown();
+        let result = server.submit_client(
+            ClientId(1),
+            ClientRequest::Get {
+                key: Key(1),
+                rdv: DependencyVector::zero(1),
+            },
+        );
+        assert_eq!(result, Err(ServerClosed));
+    }
+
+    #[test]
+    fn remote_versions_are_applied_off_spine_and_become_visible() {
+        let config = Config::builder()
+            .num_replicas(3)
+            .num_partitions(1)
+            .worker_lanes(4)
+            .build()
+            .expect("valid config");
+        let (server, rx) = start_with_config(ExecProtocol::Pocc, config);
+        let origin_a = ServerId::new(ReplicaId(1), PartitionId(0));
+        let origin_b = ServerId::new(ReplicaId(2), PartitionId(0));
+        let n = 200u64;
+        for i in 0..n {
+            let mk = |origin: ServerId, ts: u64| ServerMessage::Replicate {
+                version: Version::new(
+                    Key(i),
+                    Value::from(i),
+                    origin.replica,
+                    Timestamp::from_micros(ts),
+                    DependencyVector::zero(3),
+                ),
+            };
+            // Per-origin timestamps strictly increase, as FIFO replication guarantees.
+            server.handle_server_message(origin_a, mk(origin_a, i + 1));
+            server.handle_server_message(origin_b, mk(origin_b, i + 1));
+        }
+        let metrics = server.metrics();
+        assert_eq!(metrics.replicate_received, 2 * n);
+        assert_eq!(server.store_stats().versions as u64, 2 * n);
+
+        // A GET depending on the last remote version is served once published.
+        let mut rdv = DependencyVector::zero(3);
+        rdv.set(ReplicaId(1), Timestamp::from_micros(n));
+        server
+            .submit_client(ClientId(1), ClientRequest::Get { key: Key(0), rdv })
+            .expect("server is running");
+        match recv_reply(&rx) {
+            ClientReply::Get(resp) => assert!(resp.value.is_some()),
+            other => panic!("expected a GET reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_replication_interleaved_with_heartbeats_keeps_order() {
+        let config = Config::builder()
+            .num_replicas(2)
+            .num_partitions(1)
+            .worker_lanes(2)
+            .build()
+            .expect("valid config");
+        let (server, _rx) = start_with_config(ExecProtocol::Pocc, config);
+        let origin = ServerId::new(ReplicaId(1), PartitionId(0));
+        let versions: Vec<ServerMessage> = (0..50u64)
+            .map(|i| ServerMessage::Replicate {
+                version: Version::new(
+                    Key(i),
+                    Value::from(i),
+                    origin.replica,
+                    Timestamp::from_micros(i + 1),
+                    DependencyVector::zero(2),
+                ),
+            })
+            .collect();
+        server.handle_server_message(origin, ServerMessage::Batch { messages: versions });
+        // The heartbeat's advance must not overtake the queued versions: handling it
+        // drains the remote pipeline first.
+        server.handle_server_message(
+            origin,
+            ServerMessage::Heartbeat {
+                clock: Timestamp::from_micros(1_000),
+            },
+        );
+        let metrics = server.metrics();
+        assert_eq!(metrics.replicate_received, 50);
+        assert_eq!(metrics.heartbeats_received, 1);
+        assert_eq!(server.store_stats().versions, 50);
     }
 }

@@ -1,0 +1,254 @@
+//! Lock-free publication of the engine's version vector as per-replica atomics.
+//!
+//! The spine publishes version-vector advances after every pipeline sweep; lanes read
+//! the publication on every snapshot-covered GET and RO-TX. A whole-vector
+//! `RwLock<VersionVector>` makes that read a lock acquisition on the hottest read path,
+//! and the clone-on-sweep write an allocation on the hottest write path. Publishing one
+//! `AtomicU64` per replica instead makes the reader wait-free and the writer a handful
+//! of `fetch_max` instructions.
+//!
+//! Entries only ever advance (the engine's vector is monotone), so `fetch_max` with
+//! release ordering is sufficient on the write side: a reader that observes entry `r` at
+//! `t` (acquire) also observes every store insert that happened before the publication —
+//! exactly the coverage claim `VersionVector::covers*` encodes. A concurrent reader may
+//! see some entries from an older publication than others; such a mixed view is
+//! entry-wise *below* the newest publication, which can only make a coverage check more
+//! conservative, never wrong.
+
+use pocc_types::{DependencyVector, ReplicaId, Timestamp, VersionVector};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A version vector published as one atomic timestamp per replica. See the module docs
+/// for the memory-ordering contract.
+pub struct PublishedVector {
+    entries: Box<[AtomicU64]>,
+}
+
+impl PublishedVector {
+    /// Starts from the entries of `vv` (normally the engine's vector at server start).
+    pub fn new(vv: &VersionVector) -> Self {
+        let entries = (0..vv.len())
+            .map(|i| AtomicU64::new(vv.get(ReplicaId(i as u16)).as_micros()))
+            .collect();
+        PublishedVector { entries }
+    }
+
+    /// Number of replica entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The published timestamp for `replica`.
+    pub fn get(&self, replica: ReplicaId) -> Timestamp {
+        Timestamp::from_micros(self.entries[replica.0 as usize].load(Ordering::Acquire))
+    }
+
+    /// Advances the entry for `replica` to at least `ts` (entries never move backwards).
+    pub fn advance(&self, replica: ReplicaId, ts: Timestamp) {
+        self.entries[replica.0 as usize].fetch_max(ts.as_micros(), Ordering::AcqRel);
+    }
+
+    /// Advances every entry to at least the corresponding entry of `vv`.
+    pub fn refresh_from(&self, vv: &VersionVector) {
+        for (i, entry) in self.entries.iter().enumerate() {
+            entry.fetch_max(vv.get(ReplicaId(i as u16)).as_micros(), Ordering::AcqRel);
+        }
+    }
+
+    /// Materialises the publication as a plain [`VersionVector`] (one acquire load per
+    /// entry; entries may stem from different publications — see the module docs for
+    /// why that is safe).
+    pub fn load(&self) -> VersionVector {
+        let mut vv = VersionVector::zero(self.entries.len());
+        for (i, entry) in self.entries.iter().enumerate() {
+            vv.set(
+                ReplicaId(i as u16),
+                Timestamp::from_micros(entry.load(Ordering::Acquire)),
+            );
+        }
+        vv
+    }
+
+    /// Whether the publication covers `deps` on every entry except `local` — the lane
+    /// GET fast-path check, answering exactly like
+    /// [`VersionVector::covers_dependencies_except_local`] on a vector the publication
+    /// dominates.
+    pub fn covers_dependencies_except_local(
+        &self,
+        deps: &DependencyVector,
+        local: ReplicaId,
+    ) -> bool {
+        self.entries.iter().enumerate().all(|(i, entry)| {
+            let replica = ReplicaId(i as u16);
+            replica == local || deps.get(replica).as_micros() <= entry.load(Ordering::Acquire)
+        })
+    }
+
+    /// Whether the publication covers `deps` on every entry (the RO-TX fast-path check:
+    /// the snapshot `published ∨ deps` then equals the publication itself).
+    pub fn covers(&self, deps: &DependencyVector) -> bool {
+        self.entries.iter().enumerate().all(|(i, entry)| {
+            deps.get(ReplicaId(i as u16)).as_micros() <= entry.load(Ordering::Acquire)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn dv(entries: &[u64]) -> DependencyVector {
+        let mut v = DependencyVector::zero(entries.len());
+        for (i, &ts) in entries.iter().enumerate() {
+            v.set(ReplicaId(i as u16), Timestamp::from_micros(ts));
+        }
+        v
+    }
+
+    #[test]
+    fn advance_is_monotone_and_load_round_trips() {
+        let published = PublishedVector::new(&VersionVector::zero(3));
+        published.advance(ReplicaId(1), Timestamp::from_micros(10));
+        published.advance(ReplicaId(1), Timestamp::from_micros(5));
+        assert_eq!(published.get(ReplicaId(1)), Timestamp::from_micros(10));
+        assert_eq!(published.get(ReplicaId(0)), Timestamp::ZERO);
+        let vv = published.load();
+        assert_eq!(vv.get(ReplicaId(1)), Timestamp::from_micros(10));
+    }
+
+    #[test]
+    fn covers_checks_match_the_locked_vector() {
+        let mut vv = VersionVector::zero(3);
+        vv.set(ReplicaId(0), Timestamp::from_micros(7));
+        vv.set(ReplicaId(2), Timestamp::from_micros(20));
+        let published = PublishedVector::new(&vv);
+        for deps in [
+            dv(&[0, 0, 0]),
+            dv(&[7, 0, 20]),
+            dv(&[8, 0, 0]),
+            dv(&[0, 1, 0]),
+            dv(&[0, 0, 21]),
+        ] {
+            for local in 0..3 {
+                let local = ReplicaId(local);
+                assert_eq!(
+                    published.covers_dependencies_except_local(&deps, local),
+                    vv.covers_dependencies_except_local(&deps, local),
+                    "deps {deps:?} local {local:?}"
+                );
+            }
+            assert_eq!(published.covers(&deps), vv.covers(&deps), "deps {deps:?}");
+        }
+    }
+
+    /// The concurrent contract: while writers advance entries, any `true` coverage
+    /// answer must also hold against the final (fully advanced) vector — a publication
+    /// never claims coverage it does not have.
+    #[test]
+    fn concurrent_advances_never_overclaim_coverage() {
+        const WRITERS: usize = 3;
+        const ADVANCES: u64 = 2_000;
+        let published = Arc::new(PublishedVector::new(&VersionVector::zero(WRITERS)));
+        let handles: Vec<_> = (0..WRITERS as u16)
+            .map(|r| {
+                let published = Arc::clone(&published);
+                std::thread::spawn(move || {
+                    for ts in 1..=ADVANCES {
+                        published.advance(ReplicaId(r), Timestamp::from_micros(ts));
+                    }
+                })
+            })
+            .collect();
+
+        let mut claimed = Vec::new();
+        for probe in (0..ADVANCES).step_by(37) {
+            let deps = dv(&[probe, probe, probe]);
+            if published.covers(&deps) {
+                claimed.push(deps);
+            }
+        }
+        for handle in handles {
+            handle.join().expect("writer thread");
+        }
+        let fin = published.load();
+        for deps in claimed {
+            assert!(
+                fin.covers(&deps),
+                "claimed coverage of {deps:?} must persist"
+            );
+        }
+        assert_eq!(fin.get(ReplicaId(0)), Timestamp::from_micros(ADVANCES));
+    }
+
+    mod properties {
+        use super::*;
+        use parking_lot::RwLock;
+        use proptest::prelude::*;
+
+        const REPLICAS: usize = 4;
+
+        fn arb_advances() -> impl Strategy<Value = Vec<(u16, u64)>> {
+            proptest::collection::vec((0u16..REPLICAS as u16, 1u64..1_000_000), 0..64)
+        }
+
+        fn arb_deps() -> impl Strategy<Value = Vec<u64>> {
+            proptest::collection::vec(0u64..1_000_000, REPLICAS)
+        }
+
+        proptest! {
+            /// The same multiset of advances, applied to the atomic publication from
+            /// several threads concurrently and to an `RwLock<VersionVector>` serially,
+            /// must answer `covers_dependencies_except_local` (and `covers`)
+            /// identically for any query once the advances are done — `fetch_max` is
+            /// commutative, so interleaving cannot change the fixpoint.
+            #[test]
+            fn prop_atomic_snapshot_matches_locked_vector(
+                advances in arb_advances(),
+                deps in arb_deps(),
+                local in 0u16..REPLICAS as u16,
+            ) {
+                let locked = RwLock::new(VersionVector::zero(REPLICAS));
+                for &(r, ts) in &advances {
+                    locked.write().advance(ReplicaId(r), Timestamp::from_micros(ts));
+                }
+
+                let published = Arc::new(PublishedVector::new(&VersionVector::zero(REPLICAS)));
+                let workers: Vec<_> = (0..3)
+                    .map(|w| {
+                        let published = Arc::clone(&published);
+                        let slice: Vec<_> = advances
+                            .iter()
+                            .copied()
+                            .skip(w)
+                            .step_by(3)
+                            .collect();
+                        std::thread::spawn(move || {
+                            for (r, ts) in slice {
+                                published.advance(ReplicaId(r), Timestamp::from_micros(ts));
+                            }
+                        })
+                    })
+                    .collect();
+                for handle in workers {
+                    handle.join().expect("advance thread");
+                }
+
+                let deps = dv(&deps);
+                let local = ReplicaId(local);
+                let vv = locked.read();
+                prop_assert_eq!(
+                    published.covers_dependencies_except_local(&deps, local),
+                    vv.covers_dependencies_except_local(&deps, local)
+                );
+                prop_assert_eq!(published.covers(&deps), vv.covers(&deps));
+                prop_assert_eq!(published.load(), vv.clone());
+            }
+        }
+    }
+}

@@ -81,6 +81,18 @@ pub struct MetricsSnapshot {
 
     /// Total bytes of server-to-server traffic sent (wire-size estimate).
     pub bytes_sent: u64,
+
+    /// Operations served entirely on a worker lane, without deferring to the spine
+    /// (threaded runtime only; always zero for serial servers and the simulator).
+    pub lane_fast_path_hits: u64,
+    /// Operations a lane had to defer to the full policy dispatch on the spine
+    /// (threaded runtime only).
+    pub lane_fast_path_misses: u64,
+    /// Times the spine mutex was acquired (threaded runtime only).
+    pub spine_acquisitions: u64,
+    /// Iterations the pipeline drain spent waiting for an in-flight lane slot to
+    /// complete (threaded runtime only; each spin is a yield or a short park).
+    pub drain_spins: u64,
 }
 
 impl MetricsSnapshot {
@@ -192,6 +204,10 @@ impl MetricsSnapshot {
         self.gc_versions_removed += other.gc_versions_removed;
         self.sessions_aborted += other.sessions_aborted;
         self.bytes_sent += other.bytes_sent;
+        self.lane_fast_path_hits += other.lane_fast_path_hits;
+        self.lane_fast_path_misses += other.lane_fast_path_misses;
+        self.spine_acquisitions += other.spine_acquisitions;
+        self.drain_spins += other.drain_spins;
     }
 
     /// The difference `self - earlier`, counter by counter. Used to build per-interval
@@ -224,6 +240,10 @@ impl MetricsSnapshot {
             gc_versions_removed: self.gc_versions_removed - earlier.gc_versions_removed,
             sessions_aborted: self.sessions_aborted - earlier.sessions_aborted,
             bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            lane_fast_path_hits: self.lane_fast_path_hits - earlier.lane_fast_path_hits,
+            lane_fast_path_misses: self.lane_fast_path_misses - earlier.lane_fast_path_misses,
+            spine_acquisitions: self.spine_acquisitions - earlier.spine_acquisitions,
+            drain_spins: self.drain_spins - earlier.drain_spins,
         }
     }
 }

@@ -391,7 +391,13 @@ fn parallel_server_thread<C: Clock + 'static>(
             continue;
         }
         match inbox.recv_timeout(next_tick - now) {
-            Ok(Inbound::FromClient { client, request }) => server.submit_client(client, request),
+            Ok(Inbound::FromClient { client, request }) => {
+                if server.submit_client(client, request).is_err() {
+                    // The lanes are gone: the server is shutting down, so stop
+                    // dispatching instead of panicking on a shutdown race.
+                    break;
+                }
+            }
             Ok(Inbound::FromServer { from, message }) => {
                 server.handle_server_message(from, message);
                 router.flush(id);

@@ -13,6 +13,10 @@
 //! store convergence across replicas, order-insensitive metric totals (operations served,
 //! replication message counts, zero aborts) and a clean exact causal-consistency checker.
 //! Interleavings, timestamps and latencies are allowed to differ — that is the point.
+//!
+//! The suite runs two topologies: the base two-replica deployment, and a three-replica
+//! deployment where every server's remote-apply volume is twice its local write volume —
+//! the shape that exercises the threaded runtime's per-origin replication pipeline.
 
 use pocc::clock::ManualClock;
 use pocc::prelude::*;
@@ -23,7 +27,8 @@ use pocc::storage::partition_for_key;
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
-const REPLICAS: usize = 2;
+const BASE_REPLICAS: usize = 2;
+const MULTI_REPLICAS: usize = 3;
 const PARTITIONS: usize = 2;
 const CLIENTS: usize = 4;
 const KEYS_PER_CLIENT: u64 = 16;
@@ -114,13 +119,13 @@ fn op_counts(scripts: &[Vec<Op>]) -> (u64, u64, u64) {
     (puts, gets, txs)
 }
 
-fn config() -> Config {
+fn config(replicas: usize) -> Config {
     Config::builder()
-        .num_replicas(REPLICAS)
+        .num_replicas(replicas)
         .num_partitions(PARTITIONS)
         .storage_shards(4)
         .latency(LatencyMatrix::uniform(
-            REPLICAS,
+            replicas,
             Duration::from_micros(50),
             Duration::from_millis(2),
         ))
@@ -146,7 +151,7 @@ struct Outcome {
     violations: usize,
 }
 
-fn check_outcome(label: &str, outcome: &Outcome, scripts: &[Vec<Op>]) {
+fn check_outcome(label: &str, outcome: &Outcome, scripts: &[Vec<Op>], replicas: usize) {
     let (puts, gets, txs) = op_counts(scripts);
     let expected = expected_final_values(scripts);
     assert_eq!(outcome.violations, 0, "{label}: causal violations");
@@ -161,7 +166,7 @@ fn check_outcome(label: &str, outcome: &Outcome, scripts: &[Vec<Op>]) {
     assert_eq!(outcome.rotx_served, txs, "{label}: transactions served");
     assert_eq!(
         outcome.replicate_sent,
-        puts * (REPLICAS as u64 - 1),
+        puts * (replicas as u64 - 1),
         "{label}: replication fan-out"
     );
     assert_eq!(
@@ -271,19 +276,19 @@ impl SerialDriver {
     }
 }
 
-fn run_serial(protocol: RuntimeProtocol, scripts: &[Vec<Op>]) -> Outcome {
-    let cfg = config();
+fn run_serial(protocol: RuntimeProtocol, scripts: &[Vec<Op>], replicas: usize) -> Outcome {
+    let cfg = config(replicas);
     let mut driver = SerialDriver::new(protocol, &cfg);
     let mut checker = ConsistencyChecker::new();
 
     let mut sessions: Vec<Client> = (0..CLIENTS)
         .map(|i| {
             let id = ClientId(i as u64);
-            let home = ServerId::new(ReplicaId((i % REPLICAS) as u16), 0u32);
+            let home = ServerId::new(ReplicaId((i % replicas) as u16), 0u32);
             if uses_snapshot_reads(protocol) {
-                Client::new_snapshot_reads(id, home, REPLICAS)
+                Client::new_snapshot_reads(id, home, replicas)
             } else {
-                Client::new(id, home, REPLICAS)
+                Client::new(id, home, replicas)
             }
         })
         .collect();
@@ -293,7 +298,7 @@ fn run_serial(protocol: RuntimeProtocol, scripts: &[Vec<Op>]) -> Outcome {
     for step in 0..OPS_PER_CLIENT {
         for (i, session) in sessions.iter_mut().enumerate() {
             let id = ClientId(i as u64);
-            let replica = ReplicaId((i % REPLICAS) as u16);
+            let replica = ReplicaId((i % replicas) as u16);
             let op = &scripts[i][step];
             let (target, request) = match op {
                 Op::Put(key, value) => (
@@ -367,7 +372,7 @@ fn run_serial(protocol: RuntimeProtocol, scripts: &[Vec<Op>]) -> Outcome {
     // protocols bound visibility by the GSS, which trails the newest writes — pump ticks
     // and retry until the script's final value becomes visible.
     let mut final_values = HashMap::new();
-    let mut reader = Client::new(ClientId(9_999), ServerId::new(ReplicaId(0), 0u32), REPLICAS);
+    let mut reader = Client::new(ClientId(9_999), ServerId::new(ReplicaId(0), 0u32), replicas);
     let expected = expected_final_values(scripts);
     for (key, wanted) in &expected {
         let target = ServerId::new(ReplicaId(0), partition_for_key(*key, PARTITIONS));
@@ -430,15 +435,20 @@ impl MetricsTotals {
 // Driver 2: the threaded cluster with shard-parallel servers.
 // ---------------------------------------------------------------------------
 
-fn run_parallel(protocol: RuntimeProtocol, scripts: &[Vec<Op>], lanes: usize) -> Outcome {
+fn run_parallel(
+    protocol: RuntimeProtocol,
+    scripts: &[Vec<Op>],
+    lanes: usize,
+    replicas: usize,
+) -> Outcome {
     let cluster = Cluster::builder()
-        .config(config())
+        .config(config(replicas))
         .protocol(protocol)
         .worker_lanes(lanes)
         .start();
     let mut checker = ConsistencyChecker::new();
     let mut clients: Vec<ClusterClient> = (0..CLIENTS)
-        .map(|i| cluster.client(ReplicaId((i % REPLICAS) as u16)))
+        .map(|i| cluster.client(ReplicaId((i % replicas) as u16)))
         .collect();
 
     #[allow(clippy::needless_range_loop)] // `step` is the round-robin outer index
@@ -539,32 +549,46 @@ fn run_parallel(protocol: RuntimeProtocol, scripts: &[Vec<Op>], lanes: usize) ->
 // The differential tests.
 // ---------------------------------------------------------------------------
 
+fn assert_drivers_agree(label: &str, serial: &Outcome, parallel: &Outcome) {
+    assert_eq!(
+        serial.final_values, parallel.final_values,
+        "{label}: drivers disagree on final per-key values"
+    );
+    assert_eq!(
+        serial.puts_served, parallel.puts_served,
+        "{label}: drivers disagree on puts served"
+    );
+    assert_eq!(
+        serial.rotx_served, parallel.rotx_served,
+        "{label}: drivers disagree on transactions served"
+    );
+    assert_eq!(
+        serial.replicate_sent, parallel.replicate_sent,
+        "{label}: drivers disagree on replication volume"
+    );
+}
+
 #[test]
 fn serial_and_parallel_drivers_agree_for_every_protocol() {
     let scripts = scripts();
     for protocol in PROTOCOLS {
-        let serial = run_serial(protocol, &scripts);
-        check_outcome(&format!("serial {protocol:?}"), &serial, &scripts);
+        let serial = run_serial(protocol, &scripts, BASE_REPLICAS);
+        check_outcome(
+            &format!("serial {protocol:?}"),
+            &serial,
+            &scripts,
+            BASE_REPLICAS,
+        );
 
-        let parallel = run_parallel(protocol, &scripts, 4);
-        check_outcome(&format!("parallel {protocol:?}"), &parallel, &scripts);
+        let parallel = run_parallel(protocol, &scripts, 4, BASE_REPLICAS);
+        check_outcome(
+            &format!("parallel {protocol:?}"),
+            &parallel,
+            &scripts,
+            BASE_REPLICAS,
+        );
 
-        assert_eq!(
-            serial.final_values, parallel.final_values,
-            "{protocol:?}: drivers disagree on final per-key values"
-        );
-        assert_eq!(
-            serial.puts_served, parallel.puts_served,
-            "{protocol:?}: drivers disagree on puts served"
-        );
-        assert_eq!(
-            serial.rotx_served, parallel.rotx_served,
-            "{protocol:?}: drivers disagree on transactions served"
-        );
-        assert_eq!(
-            serial.replicate_sent, parallel.replicate_sent,
-            "{protocol:?}: drivers disagree on replication volume"
-        );
+        assert_drivers_agree(&format!("{protocol:?}"), &serial, &parallel);
     }
 }
 
@@ -572,7 +596,41 @@ fn serial_and_parallel_drivers_agree_for_every_protocol() {
 fn parallel_runtime_is_clean_at_every_lane_count() {
     let scripts = scripts();
     for lanes in [1, 2, 4] {
-        let outcome = run_parallel(RuntimeProtocol::Pocc, &scripts, lanes);
-        check_outcome(&format!("POCC lanes={lanes}"), &outcome, &scripts);
+        let outcome = run_parallel(RuntimeProtocol::Pocc, &scripts, lanes, BASE_REPLICAS);
+        check_outcome(
+            &format!("POCC lanes={lanes}"),
+            &outcome,
+            &scripts,
+            BASE_REPLICAS,
+        );
+    }
+}
+
+/// The remote-apply pipeline's differential test: a three-replica topology, where every
+/// server applies twice as many replicated versions as it writes locally, pinned against
+/// the serial driver for all four protocols at every lane count.
+#[test]
+fn multi_replica_topology_matches_the_serial_driver() {
+    let scripts = scripts();
+    for protocol in PROTOCOLS {
+        let serial = run_serial(protocol, &scripts, MULTI_REPLICAS);
+        check_outcome(
+            &format!("serial {protocol:?} x{MULTI_REPLICAS}"),
+            &serial,
+            &scripts,
+            MULTI_REPLICAS,
+        );
+
+        for lanes in [1, 2, 4] {
+            let label = format!("{protocol:?} x{MULTI_REPLICAS} lanes={lanes}");
+            let parallel = run_parallel(protocol, &scripts, lanes, MULTI_REPLICAS);
+            check_outcome(
+                &format!("parallel {label}"),
+                &parallel,
+                &scripts,
+                MULTI_REPLICAS,
+            );
+            assert_drivers_agree(&label, &serial, &parallel);
+        }
     }
 }
